@@ -1,0 +1,49 @@
+//! E18 — remapping-graph construction complexity (paper App. B:
+//! O(n·s·m²·p²)). Sweeps the number of statements `n`, remapping
+//! statements `m`, and distributed arrays `p` independently on
+//! synthetic worst-case routines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpfc_bench::synth_program;
+
+fn build_graph(src: &str) {
+    let m = hpfc::lang::frontend(src).unwrap();
+    let rg = hpfc::rgraph::build(m.main()).unwrap();
+    std::hint::black_box(rg);
+}
+
+fn bench_statements(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction/statements");
+    for n in [64usize, 256, 1024] {
+        let src = synth_program(n, 8, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            b.iter(|| build_graph(src))
+        });
+    }
+    g.finish();
+}
+
+fn bench_remaps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction/remap_statements");
+    for m in [2usize, 8, 32] {
+        let src = synth_program(256, m, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &src, |b, src| {
+            b.iter(|| build_graph(src))
+        });
+    }
+    g.finish();
+}
+
+fn bench_arrays(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction/arrays");
+    for p in [2usize, 8, 32] {
+        let src = synth_program(256, 8, p);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &src, |b, src| {
+            b.iter(|| build_graph(src))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_statements, bench_remaps, bench_arrays);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E20/E21/E14 — end-to-end simulated execution of the paper's
+//! motivating kernels, naive vs optimized. Wall time here is dominated
+//! by the simulator, but the *ratio* tracks the eliminated remapping
+//! work; the authoritative communication counts come from
+//! `hpfc-experiments`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpfc::{compile, execute, figures, CompileOptions, ExecConfig};
+
+fn run(programs: &std::collections::BTreeMap<String, hpfc::StaticProgram>, main: &str, t: f64) {
+    let r = execute(
+        programs,
+        main,
+        ExecConfig::default().with_scalar("t", t).with_scalar("m", 1.0),
+    );
+    std::hint::black_box(r);
+}
+
+fn bench_adi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec/adi_n32_p4_t4");
+    for (label, opts) in
+        [("naive", CompileOptions::naive()), ("optimized", CompileOptions::max())]
+    {
+        let src = figures::scaled("adi", 32, 4).unwrap();
+        let compiled = compile(&src, &opts).unwrap();
+        let programs = compiled.programs();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &programs, |b, p| {
+            b.iter(|| run(p, "adi", 4.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec/fft_n64_p4");
+    for (label, opts) in
+        [("naive", CompileOptions::naive()), ("optimized", CompileOptions::default())]
+    {
+        let src = figures::scaled("fft", 64, 4).unwrap();
+        let compiled = compile(&src, &opts).unwrap();
+        let programs = compiled.programs();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &programs, |b, p| {
+            b.iter(|| run(p, "fft2d", 0.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_loop_motion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec/fig16_t16");
+    for (label, opts) in
+        [("naive", CompileOptions::naive()), ("motioned", CompileOptions::max())]
+    {
+        let compiled = compile(figures::FIG16_LOOP, &opts).unwrap();
+        let programs = compiled.programs();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &programs, |b, p| {
+            b.iter(|| run(p, "fig16", 16.0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_adi, bench_fft, bench_loop_motion);
+criterion_main!(benches);

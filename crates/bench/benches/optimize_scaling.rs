@@ -1,0 +1,54 @@
+//! E19 — optimization complexity (paper App. C: O(m²·p·q·r) for the
+//! useless-remapping removal and reaching recomputation). Sweeps
+//! remapping statements `m` and arrays `p`; `q` (mappings per array) is
+//! 2 by construction, `r` (max predecessors) is small and constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpfc_bench::synth_program;
+
+fn built(src: &str) -> (hpfc::lang::sema::Module, hpfc::rgraph::Rg) {
+    let m = hpfc::lang::frontend(src).unwrap();
+    let rg = hpfc::rgraph::build(m.main()).unwrap();
+    (m, rg)
+}
+
+fn bench_remove_useless(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimize/remove_useless_m");
+    for m in [4usize, 16, 64] {
+        let src = synth_program(2 * m, m, 4);
+        let (_module, rg) = built(&src);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &rg, |b, rg| {
+            b.iter_batched(
+                || rg.clone(),
+                |mut rg| {
+                    hpfc::rgraph::optimize(&mut rg, hpfc::OptConfig::default());
+                    std::hint::black_box(rg)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_arrays(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimize/arrays_p");
+    for p in [2usize, 8, 32] {
+        let src = synth_program(64, 8, p);
+        let (_module, rg) = built(&src);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &rg, |b, rg| {
+            b.iter_batched(
+                || rg.clone(),
+                |mut rg| {
+                    hpfc::rgraph::optimize(&mut rg, hpfc::OptConfig::default());
+                    std::hint::black_box(rg)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_remove_useless, bench_arrays);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Compiler-phase wall time for every paper figure: the cost of the
+//! whole pipeline (parse → sema → G_R → optimize → codegen) is the
+//! "compile-time optimizations are cheap" claim of the paper's
+//! implicit-compilation philosophy (Sec. 2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpfc::{compile, figures, CompileOptions};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/figure");
+    for (name, src) in figures::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
+            b.iter(|| std::hint::black_box(compile(src, &CompileOptions::default()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_naive_vs_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline/fig10");
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                compile(figures::FIG10_ADI, &CompileOptions::naive()).unwrap(),
+            )
+        })
+    });
+    g.bench_function("optimized", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                compile(figures::FIG10_ADI, &CompileOptions::max()).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_naive_vs_opt);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E23 — the redistribution-engine substrate (ref. [19]): closed-form
+//! communication-set computation must be cheap and essentially
+//! independent of the array size (it works on interval lists), while
+//! the enumeration oracle is O(n). Also measures the full data
+//! movement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpfc::mapping::{
+    Alignment, DimFormat, Distribution, Extents, GridId, Mapping, NormalizedMapping, ProcGrid,
+    Template, TemplateId,
+};
+use hpfc::runtime::{plan_by_enumeration, plan_redistribution, VersionData};
+
+fn mk(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
+    let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n]) };
+    let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p]) };
+    Mapping {
+        align: Alignment::identity(TemplateId(0), 1),
+        dist: Distribution::new(GridId(0), vec![fmt]),
+    }
+    .normalize(&Extents::new(&[n]), &t, &g)
+    .unwrap()
+}
+
+fn bench_plan_closed_form(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist/plan_closed_form");
+    for n in [1024u64, 16384, 262144] {
+        let src = mk(n, 16, DimFormat::Block(None));
+        let dst = mk(n, 16, DimFormat::Cyclic(Some(4)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(src, dst), |b, (s, d)| {
+            b.iter(|| std::hint::black_box(plan_redistribution(s, d, 8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist/plan_enumeration_oracle");
+    for n in [1024u64, 16384] {
+        let src = mk(n, 16, DimFormat::Block(None));
+        let dst = mk(n, 16, DimFormat::Cyclic(Some(4)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(src, dst), |b, (s, d)| {
+            b.iter(|| std::hint::black_box(plan_by_enumeration(s, d, 8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_data_movement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist/data_movement");
+    for n in [1024u64, 16384] {
+        let src = mk(n, 16, DimFormat::Block(None));
+        let dst = mk(n, 16, DimFormat::Cyclic(None));
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| p[0] as f64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, dst), |b, (a, d)| {
+            b.iter(|| {
+                let mut t = VersionData::new(d.clone(), 8);
+                t.copy_values_from(a);
+                std::hint::black_box(t)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_procs_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist/plan_vs_procs");
+    for p in [4u64, 16, 64] {
+        let src = mk(65536, p, DimFormat::Block(None));
+        let dst = mk(65536, p, DimFormat::Cyclic(None));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &(src, dst), |b, (s, d)| {
+            b.iter(|| std::hint::black_box(plan_redistribution(s, d, 8)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan_closed_form, bench_plan_oracle, bench_data_movement, bench_procs_sweep);
+criterion_main!(benches);

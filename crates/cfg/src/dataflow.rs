@@ -1,0 +1,186 @@
+//! A small worklist solver for the may-forward / may-backward dataflow
+//! problems of App. B–D.
+//!
+//! All six analyses in the paper are *may* problems over union
+//! semilattices, so the solver only needs: a bottom value, a join that
+//! reports change, and a transfer function. Facts are tracked per node
+//! (the "out" side in the analysis direction); the "in" side is the
+//! join over the neighbours and is recomputed on demand.
+
+use crate::graph::{Cfg, NodeId};
+
+/// Analysis direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow along edges (predecessors → node).
+    Forward,
+    /// Facts flow against edges (successors → node).
+    Backward,
+}
+
+/// A may-dataflow problem over the CFG.
+pub trait Dataflow {
+    /// The lattice value attached to each node.
+    type Fact: Clone;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// Bottom (initial) fact for every node.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Join `b` into `a`; return whether `a` changed. Must be monotone.
+    fn join(&self, a: &mut Self::Fact, b: &Self::Fact) -> bool;
+
+    /// Transfer: compute the node's out-fact from its in-fact (the join
+    /// of neighbour facts in the analysis direction). `outs` exposes the
+    /// current out-fact of every node — needed by transfer functions
+    /// with non-local dependencies (the ArgOut restore vertex reads the
+    /// facts at its paired ArgIn's predecessors); reads must be
+    /// monotone in those facts.
+    fn transfer(&self, node: NodeId, input: &Self::Fact, outs: &[Self::Fact]) -> Self::Fact;
+
+    /// Extra seed applied to the node's *input* before transfer (e.g.
+    /// boundary facts at entry/exit). Default: nothing.
+    fn seed(&self, _node: NodeId, _input: &mut Self::Fact) {}
+}
+
+/// Solve to fixpoint; returns the out-fact of every node.
+pub fn solve<D: Dataflow>(cfg: &Cfg, problem: &D) -> Vec<D::Fact> {
+    let n = cfg.len();
+    let mut out: Vec<D::Fact> = (0..n).map(|_| problem.bottom()).collect();
+
+    // Iteration order: RPO for forward, reverse-RPO for backward.
+    let mut order = cfg.reverse_postorder();
+    if problem.direction() == Direction::Backward {
+        order.reverse();
+    }
+
+    let mut in_worklist = vec![true; n];
+    let mut worklist: std::collections::VecDeque<NodeId> = order.iter().copied().collect();
+
+    while let Some(v) = worklist.pop_front() {
+        in_worklist[v.idx()] = false;
+        // Input = join of neighbour outputs.
+        let mut input = problem.bottom();
+        let neighbours = match problem.direction() {
+            Direction::Forward => &cfg.preds[v.idx()],
+            Direction::Backward => &cfg.succs[v.idx()],
+        };
+        for nb in neighbours {
+            problem.join(&mut input, &out[nb.idx()]);
+        }
+        problem.seed(v, &mut input);
+        let new_out = problem.transfer(v, &input, &out);
+        // Did the out-fact grow?
+        let mut tmp = out[v.idx()].clone();
+        let changed = problem.join(&mut tmp, &new_out);
+        if changed {
+            out[v.idx()] = tmp;
+            let downstream = match problem.direction() {
+                Direction::Forward => &cfg.succs[v.idx()],
+                Direction::Backward => &cfg.preds[v.idx()],
+            };
+            for d in downstream {
+                if !in_worklist[d.idx()] {
+                    in_worklist[d.idx()] = true;
+                    worklist.push_back(*d);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build_cfg, NodeKind};
+    use hpfc_lang::frontend;
+    use std::collections::BTreeSet;
+
+    /// Forward reachability-from-entry as a trivial may-problem: the
+    /// fact is the set of Cond nodes passed through.
+    struct PassedConds<'a> {
+        cfg: &'a crate::graph::Cfg,
+    }
+
+    impl<'a> Dataflow for PassedConds<'a> {
+        type Fact = BTreeSet<u32>;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn bottom(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn join(&self, a: &mut Self::Fact, b: &Self::Fact) -> bool {
+            let before = a.len();
+            a.extend(b.iter().copied());
+            a.len() != before
+        }
+        fn transfer(&self, node: NodeId, input: &Self::Fact, _outs: &[Self::Fact]) -> Self::Fact {
+            let mut f = input.clone();
+            if matches!(self.cfg.node(node).kind, NodeKind::Cond { .. }) {
+                f.insert(node.0);
+            }
+            f
+        }
+    }
+
+    #[test]
+    fn forward_fixpoint_through_branches_and_loops() {
+        let src = "subroutine s\nreal :: a(8)\n\
+                   if (a(1) > 0.0) then\na = 1.0\nendif\n\
+                   do i = 1, 3\nif (a(2) > 0.0) then\na = 2.0\nendif\nenddo\nend";
+        let m = frontend(src).unwrap();
+        let cfg = build_cfg(m.main()).unwrap();
+        let out = solve(&cfg, &PassedConds { cfg: &cfg });
+        // At exit, both conds have been passed (may).
+        let conds: BTreeSet<u32> = cfg
+            .node_ids()
+            .filter(|&id| matches!(cfg.node(id).kind, NodeKind::Cond { .. }))
+            .map(|id| id.0)
+            .collect();
+        assert_eq!(out[cfg.exit.idx()], conds);
+        assert_eq!(conds.len(), 2);
+    }
+
+    /// Backward: set of LoopTest nodes reachable *from* a node.
+    struct ReachesTests<'a> {
+        cfg: &'a crate::graph::Cfg,
+    }
+
+    impl<'a> Dataflow for ReachesTests<'a> {
+        type Fact = BTreeSet<u32>;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn bottom(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn join(&self, a: &mut Self::Fact, b: &Self::Fact) -> bool {
+            let before = a.len();
+            a.extend(b.iter().copied());
+            a.len() != before
+        }
+        fn transfer(&self, node: NodeId, input: &Self::Fact, _outs: &[Self::Fact]) -> Self::Fact {
+            let mut f = input.clone();
+            if matches!(self.cfg.node(node).kind, NodeKind::LoopTest { .. }) {
+                f.insert(node.0);
+            }
+            f
+        }
+    }
+
+    #[test]
+    fn backward_fixpoint_sees_loop() {
+        let src = "subroutine s\nreal :: a(8)\na = 0.0\ndo i = 1, 3\na(i) = 1.0\nenddo\nend";
+        let m = frontend(src).unwrap();
+        let cfg = build_cfg(m.main()).unwrap();
+        let out = solve(&cfg, &ReachesTests { cfg: &cfg });
+        // From entry, the loop test is reachable.
+        assert_eq!(out[cfg.entry.idx()].len(), 1);
+        // From exit, nothing is.
+        assert!(out[cfg.exit.idx()].is_empty());
+    }
+}

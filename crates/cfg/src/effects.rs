@@ -1,0 +1,277 @@
+//! Per-node reference effects on distributed arrays — the paper's
+//! `EffectsOf(v)` basic information ("assumed to be available", App. B).
+//!
+//! For each CFG node we compute which arrays it reads and writes, and
+//! whether a write fully redefines the array. The remapping-graph
+//! construction folds these into the `N < D < R < W` use qualifiers.
+
+use hpfc_lang::ast::{Expr, Intent, LValue};
+use hpfc_lang::sema::{is_intrinsic, RoutineUnit, Symbol};
+use hpfc_mapping::ArrayId;
+
+use crate::graph::{Cfg, NodeId, NodeKind};
+
+/// How a node touches one array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The array is read (any element).
+    pub read: bool,
+    /// The array is written (any element).
+    pub write: bool,
+    /// The write covers the whole array (whole-array assignment), so
+    /// the previous values are dead afterwards.
+    pub write_full: bool,
+}
+
+impl Access {
+    /// No access.
+    pub const NONE: Access = Access { read: false, write: false, write_full: false };
+
+    /// Merge two accesses to the same array within one node.
+    pub fn merge(self, other: Access) -> Access {
+        Access {
+            read: self.read || other.read,
+            write: self.write || other.write,
+            // A full write only survives if nothing else partial-writes;
+            // conservatively: full iff some full write and the array is
+            // not also read (read-then-overwrite still *uses* the copy).
+            write_full: self.write_full || other.write_full,
+        }
+    }
+}
+
+/// Effects of one CFG node on distributed arrays, as (array, access)
+/// pairs sorted by array id.
+pub fn node_effects(unit: &RoutineUnit, cfg: &Cfg, id: NodeId) -> Vec<(ArrayId, Access)> {
+    let mut map: std::collections::BTreeMap<ArrayId, Access> = std::collections::BTreeMap::new();
+    let read = |map: &mut std::collections::BTreeMap<ArrayId, Access>, a: ArrayId| {
+        let e = map.entry(a).or_insert(Access::NONE);
+        e.read = true;
+    };
+    let node = cfg.node(id);
+    match &node.kind {
+        NodeKind::Assign { lhs, rhs } => {
+            for a in expr_arrays(unit, rhs) {
+                read(&mut map, a);
+            }
+            for sub in &lhs.subs {
+                for a in expr_arrays(unit, sub) {
+                    read(&mut map, a);
+                }
+            }
+            if let Some(a) = lvalue_array(unit, lhs) {
+                let e = map.entry(a).or_insert(Access::NONE);
+                e.write = true;
+                // Whole-array assignment (no subscripts) fully
+                // redefines the array.
+                e.write_full = lhs.subs.is_empty();
+            }
+        }
+        NodeKind::Cond { cond } => {
+            for a in expr_arrays(unit, cond) {
+                read(&mut map, a);
+            }
+        }
+        NodeKind::LoopInit { lo, .. } => {
+            for a in expr_arrays(unit, lo) {
+                read(&mut map, a);
+            }
+        }
+        NodeKind::LoopTest { hi, .. } => {
+            for a in expr_arrays(unit, hi) {
+                read(&mut map, a);
+            }
+        }
+        NodeKind::LoopIncr { step, .. } => {
+            if let Some(e) = step {
+                for a in expr_arrays(unit, e) {
+                    read(&mut map, a);
+                }
+            }
+        }
+        NodeKind::Call { args, mapped, .. } => {
+            // Scalar/expression arguments are reads. Whole-array actuals
+            // that are *mapped* arguments are excluded here: their
+            // data movement is the ArgIn copy and their use is the
+            // intent effect below (attributing a read would wrongly
+            // upgrade OUT dummies).
+            for e in args {
+                let skip = matches!(e, Expr::Var(n, _)
+                    if matches!(unit.symbols.get(n), Some(Symbol::Array(a))
+                        if mapped.iter().any(|(m, _)| m == a)));
+                if skip {
+                    continue;
+                }
+                for a in expr_arrays(unit, e) {
+                    read(&mut map, a);
+                }
+            }
+            // Mapped array arguments take the intent effect (Fig. 25):
+            // IN → read, INOUT → read+write, OUT → full write.
+            for (a, intent) in mapped {
+                let e = map.entry(*a).or_insert(Access::NONE);
+                match intent {
+                    Intent::In => e.read = true,
+                    Intent::InOut => {
+                        e.read = true;
+                        e.write = true;
+                    }
+                    Intent::Out => {
+                        e.write = true;
+                        e.write_full = true;
+                    }
+                }
+            }
+        }
+        NodeKind::Kill { arrays } => {
+            // The paper's Sec. 4.3 KILL: the values die here. Backward,
+            // that is exactly a full redefinition with no read — any
+            // remapping upstream sees `D` and skips the data movement.
+            for a in arrays {
+                let e = map.entry(*a).or_insert(Access::NONE);
+                e.write = true;
+                e.write_full = true;
+            }
+        }
+        // Remapping vertices have no proper effects (App. B), except the
+        // intent effects attached to v_c / v_e which the remapping-graph
+        // construction adds itself.
+        NodeKind::CallCtx
+        | NodeKind::Entry
+        | NodeKind::Exit
+        | NodeKind::ArgIn { .. }
+        | NodeKind::ArgOut { .. }
+        | NodeKind::Realign { .. }
+        | NodeKind::Redistribute { .. } => {}
+    }
+    map.into_iter().collect()
+}
+
+/// Arrays referenced anywhere in an expression.
+pub fn expr_arrays(unit: &RoutineUnit, e: &Expr) -> Vec<ArrayId> {
+    let mut refs = Vec::new();
+    e.collect_refs(&mut refs);
+    let mut out = Vec::new();
+    for (name, subscripted, _) in refs {
+        if subscripted && is_intrinsic(&name) {
+            continue;
+        }
+        if let Some(Symbol::Array(a)) = unit.symbols.get(&name) {
+            if !out.contains(a) {
+                out.push(*a);
+            }
+        }
+    }
+    out
+}
+
+fn lvalue_array(unit: &RoutineUnit, lhs: &LValue) -> Option<ArrayId> {
+    match unit.symbols.get(&lhs.name) {
+        Some(Symbol::Array(a)) => Some(*a),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_cfg;
+    use hpfc_lang::frontend;
+
+    fn setup(src: &str) -> (hpfc_lang::sema::Module, Cfg) {
+        let m = frontend(src).unwrap();
+        let cfg = build_cfg(m.main()).unwrap();
+        (m, cfg)
+    }
+
+    #[test]
+    fn whole_array_assign_is_full_write() {
+        let (m, cfg) = setup("subroutine s\nreal :: a(8), b(8)\na = b + 1.0\nend");
+        let unit = m.main();
+        let assign = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::Assign { .. }))
+            .unwrap();
+        let eff = node_effects(unit, &cfg, assign);
+        let a = unit.array("a").unwrap();
+        let b = unit.array("b").unwrap();
+        let ea = eff.iter().find(|(x, _)| *x == a).unwrap().1;
+        let eb = eff.iter().find(|(x, _)| *x == b).unwrap().1;
+        assert!(ea.write && ea.write_full && !ea.read);
+        assert!(eb.read && !eb.write);
+    }
+
+    #[test]
+    fn element_assign_is_partial_write_and_subscripts_are_reads() {
+        let (m, cfg) = setup("subroutine s\nreal :: a(8), ix(8)\na(ix(1)) = 2.0\nend");
+        let unit = m.main();
+        let assign = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::Assign { .. }))
+            .unwrap();
+        let eff = node_effects(unit, &cfg, assign);
+        let a = unit.array("a").unwrap();
+        let ix = unit.array("ix").unwrap();
+        let ea = eff.iter().find(|(x, _)| *x == a).unwrap().1;
+        assert!(ea.write && !ea.write_full);
+        assert!(eff.iter().find(|(x, _)| *x == ix).unwrap().1.read);
+    }
+
+    #[test]
+    fn self_update_reads_and_writes() {
+        let (m, cfg) = setup("subroutine s\nreal :: a(8)\na = a * 2.0\nend");
+        let unit = m.main();
+        let assign = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::Assign { .. }))
+            .unwrap();
+        let eff = node_effects(unit, &cfg, assign);
+        let ea = eff[0].1;
+        assert!(ea.read && ea.write && ea.write_full);
+    }
+
+    #[test]
+    fn intrinsic_calls_are_not_array_refs() {
+        let (m, cfg) = setup("subroutine s\nreal :: a(8)\nx = sqrt(a(1))\nend");
+        let unit = m.main();
+        let assign = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::Assign { .. }))
+            .unwrap();
+        let eff = node_effects(unit, &cfg, assign);
+        assert_eq!(eff.len(), 1); // only `a`, not `sqrt`
+        assert!(eff[0].1.read);
+    }
+
+    #[test]
+    fn call_intent_effects_follow_fig25() {
+        let src = "subroutine s\nreal :: b(8)\n!hpf$ processors p(2)\ninterface\n\
+                   subroutine f(x)\nreal :: x(8)\nintent(out) :: x\n\
+                   !hpf$ distribute x(block) onto p\nend subroutine\nend interface\n\
+                   call f(b)\nend";
+        let (m, cfg) = setup(src);
+        let unit = m.main();
+        let call = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::Call { .. }))
+            .unwrap();
+        let eff = node_effects(unit, &cfg, call);
+        let eb = eff[0].1;
+        // OUT: fully redefined, not read.
+        assert!(eb.write && eb.write_full && !eb.read);
+    }
+
+    #[test]
+    fn cond_reads_its_operands() {
+        let (m, cfg) = setup(
+            "subroutine s\nreal :: a(8)\nif (a(1) > 0.0) then\nx = 1.0\nendif\nend",
+        );
+        let unit = m.main();
+        let cond = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::Cond { .. }))
+            .unwrap();
+        let eff = node_effects(unit, &cfg, cond);
+        assert!(eff[0].1.read);
+    }
+}

@@ -1,0 +1,692 @@
+//! CFG construction from an analyzed routine.
+
+use hpfc_lang::ast::{Directive, Expr, Intent, LValue, Stmt};
+use hpfc_lang::diag::{codes, Diagnostic};
+use hpfc_lang::sema::{resolve_align_spec, resolve_distribution, RoutineUnit, Symbol};
+use hpfc_lang::Span;
+use hpfc_mapping::{Alignment, ArrayId, Distribution, Mapping, TemplateId};
+
+/// A node index in the CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// As a usize for indexing.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a CFG node does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// `v_c` — models the caller's context for dummy arguments.
+    CallCtx,
+    /// `v_0` — routine entry (initial mappings of local arrays).
+    Entry,
+    /// `v_e` — routine exit (dummies restored to their declared
+    /// mappings, exported values attached intent effects).
+    Exit,
+    /// An assignment.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Source.
+        rhs: Expr,
+    },
+    /// A two-way branch on `cond`: successor 0 = then, successor 1 = else.
+    Cond {
+        /// The condition (evaluated here: a *read* of its operands).
+        cond: Expr,
+    },
+    /// `var = lo` before a loop.
+    LoopInit {
+        /// Loop variable.
+        var: String,
+        /// Initial value.
+        lo: Expr,
+    },
+    /// Loop trip test: successor 0 = body, successor 1 = after-loop.
+    LoopTest {
+        /// Loop variable.
+        var: String,
+        /// Upper bound.
+        hi: Expr,
+    },
+    /// `var = var + step` at the bottom of a loop body.
+    LoopIncr {
+        /// Loop variable.
+        var: String,
+        /// Step (`None` = 1).
+        step: Option<Expr>,
+    },
+    /// The call itself (argument copies live in `ArgIn`/`ArgOut`).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Per mapped array argument: (array, intent) — the effect the
+        /// call has on its current (dummy-mapped) copy, per Fig. 25.
+        mapped: Vec<(ArrayId, Intent)>,
+    },
+    /// Explicit remapping of an actual into the callee's dummy mapping
+    /// (the paper's `v_b`, Fig. 24).
+    ArgIn {
+        /// The actual argument array.
+        array: ArrayId,
+        /// The mapping the callee prescribes (in caller terms).
+        mapping: Mapping,
+        /// The dummy's intent.
+        intent: Intent,
+        /// Callee name (display only).
+        callee: String,
+    },
+    /// Restore of the actual's pre-call mapping after return (the
+    /// paper's `v_a`, Fig. 24; flow-dependent restores are the Fig. 18
+    /// status save/restore).
+    ArgOut {
+        /// The actual argument array.
+        array: ArrayId,
+        /// The matching `ArgIn` node (whose *reaching* mappings are what
+        /// this node restores).
+        arg_in: NodeId,
+        /// The dummy's intent.
+        intent: Intent,
+        /// Callee name (display only).
+        callee: String,
+    },
+    /// `!HPF$ REALIGN`, resolved.
+    Realign {
+        /// Per-array new alignments.
+        pairs: Vec<(ArrayId, Alignment)>,
+    },
+    /// `!HPF$ REDISTRIBUTE`, resolved.
+    Redistribute {
+        /// The redistributed template.
+        template: TemplateId,
+        /// The new distribution.
+        dist: Distribution,
+    },
+    /// `!HPF$ KILL` — values of these arrays die here (Sec. 4.3).
+    Kill {
+        /// The killed arrays.
+        arrays: Vec<ArrayId>,
+    },
+}
+
+impl NodeKind {
+    /// Whether this node is a remapping vertex of the remapping graph
+    /// (the paper's `V_R`, including the synthetic context vertices).
+    ///
+    /// `KILL` is *not* one: we realize the paper's "remapping vertex
+    /// tagged D" (Sec. 4.3) as a value-deadness effect — backward it
+    /// acts like a full redefinition (upstream vertices see `D`),
+    /// forward it marks values dead so the next remapping moves no data.
+    pub fn is_remap_vertex(&self) -> bool {
+        matches!(
+            self,
+            NodeKind::CallCtx
+                | NodeKind::Entry
+                | NodeKind::Exit
+                | NodeKind::ArgIn { .. }
+                | NodeKind::ArgOut { .. }
+                | NodeKind::Realign { .. }
+                | NodeKind::Redistribute { .. }
+        )
+    }
+}
+
+/// One CFG node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// What it does.
+    pub kind: NodeKind,
+    /// Source location (synthetic for `v_c`/`v_0`/`v_e`).
+    pub span: Span,
+}
+
+/// The control-flow graph of one routine.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Nodes; `NodeId` indexes into this.
+    pub nodes: Vec<Node>,
+    /// Successors per node. Branch nodes order successors as documented
+    /// on [`NodeKind`].
+    pub succs: Vec<Vec<NodeId>>,
+    /// Predecessors per node.
+    pub preds: Vec<Vec<NodeId>>,
+    /// `v_c`.
+    pub call_ctx: NodeId,
+    /// `v_0`.
+    pub entry: NodeId,
+    /// `v_e`.
+    pub exit: NodeId,
+}
+
+impl Cfg {
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of all nodes, in construction order (roughly topological for
+    /// the acyclic parts).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All remapping vertices (`V_R`), in construction order.
+    pub fn remap_vertices(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&v| self.node(v).kind.is_remap_vertex()).collect()
+    }
+
+    /// A reverse-postorder over the graph from `v_c` (cycles broken at
+    /// back edges); good iteration order for forward problems.
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        let mut state = vec![0u8; self.len()]; // 0 unvisited, 1 on stack, 2 done
+        let mut order = Vec::with_capacity(self.len());
+        // Iterative DFS.
+        let mut stack = vec![(self.call_ctx, 0usize)];
+        state[self.call_ctx.idx()] = 1;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[v.idx()].len() {
+                // Iterate successors in reverse so that the *first*
+                // successor (then-branch, loop body) comes first in the
+                // final reverse-postorder — this is what makes vertex
+                // and version numbering match the paper's figures.
+                let s = self.succs[v.idx()][self.succs[v.idx()].len() - 1 - *i];
+                *i += 1;
+                if state[s.idx()] == 0 {
+                    state[s.idx()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[v.idx()] = 2;
+                order.push(v);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    fn add_node(&mut self, kind: NodeKind, span: Span) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, span });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.succs[from.idx()].contains(&to) {
+            self.succs[from.idx()].push(to);
+            self.preds[to.idx()].push(from);
+        }
+    }
+
+    /// Render the CFG in graphviz dot format (debugging aid).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph cfg {\n");
+        for id in self.node_ids() {
+            let label = match &self.node(id).kind {
+                NodeKind::CallCtx => "v_c".into(),
+                NodeKind::Entry => "v_0".into(),
+                NodeKind::Exit => "v_e".into(),
+                NodeKind::Assign { lhs, .. } => format!("{} = …", lhs.name),
+                NodeKind::Cond { .. } => "if".into(),
+                NodeKind::LoopInit { var, .. } => format!("{var} = lo"),
+                NodeKind::LoopTest { var, .. } => format!("{var} <= hi?"),
+                NodeKind::LoopIncr { var, .. } => format!("{var}++"),
+                NodeKind::Call { name, .. } => format!("call {name}"),
+                NodeKind::ArgIn { callee, .. } => format!("arg_in {callee}"),
+                NodeKind::ArgOut { callee, .. } => format!("arg_out {callee}"),
+                NodeKind::Realign { .. } => "realign".into(),
+                NodeKind::Redistribute { .. } => "redistribute".into(),
+                NodeKind::Kill { .. } => "kill".into(),
+            };
+            s.push_str(&format!("  n{} [label=\"{}: {label}\"];\n", id.0, id.0));
+        }
+        for id in self.node_ids() {
+            for t in &self.succs[id.idx()] {
+                s.push_str(&format!("  n{} -> n{};\n", id.0, t.0));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Build the CFG of an analyzed routine. Errors are resolution failures
+/// inside executable directives (sema already validated them, so these
+/// indicate inconsistent inputs).
+pub fn build_cfg(unit: &RoutineUnit) -> Result<Cfg, Vec<Diagnostic>> {
+    let mut cfg = Cfg {
+        nodes: Vec::new(),
+        succs: Vec::new(),
+        preds: Vec::new(),
+        call_ctx: NodeId(0),
+        entry: NodeId(0),
+        exit: NodeId(0),
+    };
+    let call_ctx = cfg.add_node(NodeKind::CallCtx, Span::synthetic());
+    let entry = cfg.add_node(NodeKind::Entry, Span::synthetic());
+    let exit = cfg.add_node(NodeKind::Exit, Span::synthetic());
+    cfg.call_ctx = call_ctx;
+    cfg.entry = entry;
+    cfg.exit = exit;
+    cfg.add_edge(call_ctx, entry);
+
+    let mut b = Builder { unit, cfg, errs: Vec::new() };
+    let frontier = b.lower_body(&unit.ast.body, vec![entry]);
+    for f in frontier {
+        b.cfg.add_edge(f, exit);
+    }
+    if b.errs.is_empty() {
+        Ok(b.cfg)
+    } else {
+        Err(b.errs)
+    }
+}
+
+struct Builder<'a> {
+    unit: &'a RoutineUnit,
+    cfg: Cfg,
+    errs: Vec<Diagnostic>,
+}
+
+impl<'a> Builder<'a> {
+    /// Add a node with edges from every node in `frontier`.
+    fn seq(&mut self, frontier: &[NodeId], kind: NodeKind, span: Span) -> NodeId {
+        let n = self.cfg.add_node(kind, span);
+        for &f in frontier {
+            self.cfg.add_edge(f, n);
+        }
+        n
+    }
+
+    /// Lower a statement list. `frontier` is the set of nodes control
+    /// may arrive from; returns the outgoing frontier (empty when the
+    /// tail is unreachable, e.g. after RETURN).
+    fn lower_body(&mut self, body: &[Stmt], mut frontier: Vec<NodeId>) -> Vec<NodeId> {
+        for s in body {
+            if frontier.is_empty() {
+                break; // unreachable code after RETURN: dropped
+            }
+            frontier = self.lower_stmt(s, frontier);
+        }
+        frontier
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, frontier: Vec<NodeId>) -> Vec<NodeId> {
+        match s {
+            Stmt::Assign { lhs, rhs, span } => {
+                let n = self.seq(
+                    &frontier,
+                    NodeKind::Assign { lhs: lhs.clone(), rhs: rhs.clone() },
+                    *span,
+                );
+                vec![n]
+            }
+            Stmt::Return { .. } => {
+                let exit = self.cfg.exit;
+                for f in frontier {
+                    self.cfg.add_edge(f, exit);
+                }
+                Vec::new()
+            }
+            Stmt::If { cond, then_body, else_body, span } => {
+                let c = self.seq(&frontier, NodeKind::Cond { cond: cond.clone() }, *span);
+                // Successor order contract: index 0 = then, 1 = else.
+                // `lower_body` adds the first edge out of `c` when it
+                // lowers the first then-statement; an empty then-branch
+                // contributes `c` itself to the frontier, preserving
+                // the fall-through edge.
+                let then_out = self.lower_body(then_body, vec![c]);
+                let else_out = self.lower_body(else_body, vec![c]);
+                let mut out: Vec<NodeId> = Vec::new();
+                for t in then_out.into_iter().chain(else_out) {
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            Stmt::Do { var, lo, hi, step, body, span } => {
+                let init = self.seq(
+                    &frontier,
+                    NodeKind::LoopInit { var: var.clone(), lo: lo.clone() },
+                    *span,
+                );
+                let test = self.seq(
+                    &[init],
+                    NodeKind::LoopTest { var: var.clone(), hi: hi.clone() },
+                    *span,
+                );
+                // Body (successor 0 of the test).
+                let body_out = self.lower_body(body, vec![test]);
+                if !body_out.is_empty() {
+                    let incr = self.seq(
+                        &body_out,
+                        NodeKind::LoopIncr { var: var.clone(), step: step.clone() },
+                        *span,
+                    );
+                    self.cfg.add_edge(incr, test); // back edge
+                }
+                // After-loop (successor 1 of the test; also the
+                // zero-trip path the paper's Fig. 11 relies on).
+                vec![test]
+            }
+            Stmt::Call { name, args, span } => self.lower_call(name, args, *span, frontier),
+            Stmt::Directive(d) => self.lower_directive(d, frontier),
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+        frontier: Vec<NodeId>,
+    ) -> Vec<NodeId> {
+        let Some(sig) = self.unit.callees.get(name) else {
+            // sema already reported NO_INTERFACE; keep a call node so
+            // downstream phases see the reference effects.
+            let n = self.seq(
+                &frontier,
+                NodeKind::Call { name: name.to_string(), args: args.to_vec(), mapped: vec![] },
+                span,
+            );
+            return vec![n];
+        };
+        // Mapped array arguments, in positional order.
+        let mut mapped: Vec<(ArrayId, Intent, Mapping)> = Vec::new();
+        for (dummy, actual) in sig.dummies.iter().zip(args) {
+            if let (Some(m), Expr::Var(n, _)) = (&dummy.mapping, actual) {
+                if let Some(Symbol::Array(a)) = self.unit.symbols.get(n) {
+                    mapped.push((*a, dummy.intent, m.clone()));
+                }
+            }
+        }
+        // v_b chain: one ArgIn per mapped argument (paper Fig. 24).
+        let mut cur = frontier;
+        let mut arg_ins = Vec::new();
+        for (a, intent, m) in &mapped {
+            let n = self.seq(
+                &cur,
+                NodeKind::ArgIn {
+                    array: *a,
+                    mapping: m.clone(),
+                    intent: *intent,
+                    callee: name.to_string(),
+                },
+                span,
+            );
+            arg_ins.push(n);
+            cur = vec![n];
+        }
+        // The call itself.
+        let call = self.seq(
+            &cur,
+            NodeKind::Call {
+                name: name.to_string(),
+                args: args.to_vec(),
+                mapped: mapped.iter().map(|(a, i, _)| (*a, *i)).collect(),
+            },
+            span,
+        );
+        cur = vec![call];
+        // v_a chain: restore pre-call mappings.
+        for ((a, intent, _), arg_in) in mapped.iter().zip(arg_ins) {
+            let n = self.seq(
+                &cur,
+                NodeKind::ArgOut {
+                    array: *a,
+                    arg_in,
+                    intent: *intent,
+                    callee: name.to_string(),
+                },
+                span,
+            );
+            cur = vec![n];
+        }
+        cur
+    }
+
+    fn lower_directive(&mut self, d: &Directive, frontier: Vec<NodeId>) -> Vec<NodeId> {
+        match d {
+            Directive::Realign { spec, span } => {
+                match resolve_align_spec(&self.unit.env, &self.unit.symbols, spec) {
+                    Ok(pairs) => {
+                        let n = self.seq(&frontier, NodeKind::Realign { pairs }, *span);
+                        vec![n]
+                    }
+                    Err(msg) => {
+                        self.errs.push(Diagnostic::error(codes::BAD_DIRECTIVE, *span, msg));
+                        frontier
+                    }
+                }
+            }
+            Directive::Redistribute { target, formats, onto, span } => {
+                let template = match self.unit.symbols.get(target) {
+                    Some(Symbol::Template(t)) => *t,
+                    Some(Symbol::Array(a)) => self.unit.env.implicit_template(*a),
+                    _ => {
+                        self.errs.push(Diagnostic::error(
+                            codes::UNRESOLVED,
+                            *span,
+                            format!("unknown object `{target}`"),
+                        ));
+                        return frontier;
+                    }
+                };
+                match resolve_distribution(
+                    &self.unit.env,
+                    &self.unit.symbols,
+                    Some(self.unit.default_grid),
+                    template,
+                    formats,
+                    onto.as_deref(),
+                ) {
+                    Ok(dist) => {
+                        let n =
+                            self.seq(&frontier, NodeKind::Redistribute { template, dist }, *span);
+                        vec![n]
+                    }
+                    Err(msg) => {
+                        self.errs.push(Diagnostic::error(codes::BAD_DIRECTIVE, *span, msg));
+                        frontier
+                    }
+                }
+            }
+            Directive::Kill { names, span } => {
+                let arrays: Vec<ArrayId> =
+                    names.iter().filter_map(|n| self.unit.array(n)).collect();
+                let n = self.seq(&frontier, NodeKind::Kill { arrays }, *span);
+                vec![n]
+            }
+            other => {
+                // Static directives cannot appear in a body (parser
+                // invariant).
+                self.errs.push(Diagnostic::error(
+                    codes::BAD_DIRECTIVE,
+                    other.span(),
+                    "non-executable directive in routine body",
+                ));
+                frontier
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpfc_lang::figures;
+    use hpfc_lang::frontend;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let m = frontend(src).unwrap();
+        build_cfg(m.main()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_shape() {
+        let cfg = cfg_of("subroutine s\nreal :: a(8)\na = 1.0\na = 2.0\nend");
+        // v_c -> v_0 -> assign -> assign -> v_e
+        assert_eq!(cfg.len(), 5);
+        assert_eq!(cfg.succs[cfg.call_ctx.idx()], vec![cfg.entry]);
+        assert_eq!(cfg.preds[cfg.exit.idx()].len(), 1);
+    }
+
+    #[test]
+    fn if_join_has_two_preds() {
+        let cfg = cfg_of(
+            "subroutine s\nreal :: a(8)\nif (a(1) > 0.0) then\na = 1.0\nelse\na = 2.0\nendif\na = 3.0\nend",
+        );
+        // The statement after the IF must have two predecessors.
+        let last_assign = cfg
+            .node_ids()
+            .filter(|&id| matches!(cfg.node(id).kind, NodeKind::Assign { .. }))
+            .last()
+            .unwrap();
+        assert_eq!(cfg.preds[last_assign.idx()].len(), 2);
+    }
+
+    #[test]
+    fn empty_else_falls_through() {
+        let cfg = cfg_of(
+            "subroutine s\nreal :: a(8)\nif (a(1) > 0.0) then\na = 1.0\nendif\na = 3.0\nend",
+        );
+        let cond = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::Cond { .. }))
+            .unwrap();
+        // Cond has two successors: the then-assign and the join-assign.
+        assert_eq!(cfg.succs[cond.idx()].len(), 2);
+    }
+
+    #[test]
+    fn loop_has_zero_trip_edge_and_back_edge() {
+        let cfg = cfg_of(
+            "subroutine s\nreal :: a(8)\ndo i = 1, 4\na(i) = 0.0\nenddo\na = 1.0\nend",
+        );
+        let test = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::LoopTest { .. }))
+            .unwrap();
+        let incr = cfg
+            .node_ids()
+            .find(|&id| matches!(cfg.node(id).kind, NodeKind::LoopIncr { .. }))
+            .unwrap();
+        // Test: succ 0 = body, succ 1 = after-loop (zero-trip path).
+        assert_eq!(cfg.succs[test.idx()].len(), 2);
+        // Incr feeds back to the test.
+        assert!(cfg.succs[incr.idx()].contains(&test));
+        // And the test has 2 preds: init and incr.
+        assert_eq!(cfg.preds[test.idx()].len(), 2);
+    }
+
+    #[test]
+    fn call_expands_to_argin_call_argout() {
+        let cfg = cfg_of(figures::FIG8_CALL);
+        let kinds: Vec<_> = cfg
+            .node_ids()
+            .map(|id| match &cfg.node(id).kind {
+                NodeKind::ArgIn { .. } => "in",
+                NodeKind::Call { .. } => "call",
+                NodeKind::ArgOut { .. } => "out",
+                _ => "-",
+            })
+            .filter(|k| *k != "-")
+            .collect();
+        assert_eq!(kinds, vec!["in", "call", "out"]);
+        // ArgOut points back at its ArgIn.
+        let (arg_in, arg_out) = {
+            let i = cfg
+                .node_ids()
+                .find(|&id| matches!(cfg.node(id).kind, NodeKind::ArgIn { .. }))
+                .unwrap();
+            let o = cfg
+                .node_ids()
+                .find(|&id| matches!(cfg.node(id).kind, NodeKind::ArgOut { .. }))
+                .unwrap();
+            (i, o)
+        };
+        match cfg.node(arg_out).kind {
+            NodeKind::ArgOut { arg_in: linked, .. } => assert_eq!(linked, arg_in),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fig10_has_four_explicit_remap_statements() {
+        let cfg = cfg_of(figures::FIG10_ADI);
+        let redists = cfg
+            .node_ids()
+            .filter(|&id| matches!(cfg.node(id).kind, NodeKind::Redistribute { .. }))
+            .count();
+        assert_eq!(redists, 4);
+        // Plus v_c, v_0, v_e: seven remap vertices total (paper Sec. 3.3).
+        assert_eq!(cfg.remap_vertices().len(), 7);
+    }
+
+    #[test]
+    fn fig4_expands_three_calls() {
+        let cfg = cfg_of(figures::FIG4_ARGS);
+        let ins = cfg
+            .node_ids()
+            .filter(|&id| matches!(cfg.node(id).kind, NodeKind::ArgIn { .. }))
+            .count();
+        let outs = cfg
+            .node_ids()
+            .filter(|&id| matches!(cfg.node(id).kind, NodeKind::ArgOut { .. }))
+            .count();
+        assert_eq!((ins, outs), (3, 3));
+        // 3 ArgIn + 3 ArgOut + v_c + v_0 + v_e = 9 remap vertices.
+        assert_eq!(cfg.remap_vertices().len(), 9);
+    }
+
+    #[test]
+    fn reverse_postorder_visits_everything_once() {
+        let cfg = cfg_of(figures::FIG10_ADI);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.len(), cfg.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &rpo {
+            assert!(seen.insert(*v));
+        }
+        // Entry appears before exit.
+        let pos = |n: NodeId| rpo.iter().position(|&x| x == n).unwrap();
+        assert!(pos(cfg.call_ctx) < pos(cfg.entry));
+        assert!(pos(cfg.entry) < pos(cfg.exit));
+    }
+
+    #[test]
+    fn return_connects_to_exit_and_drops_dead_code() {
+        let cfg = cfg_of("subroutine s\nreal :: a(8)\nreturn\na = 1.0\nend");
+        // v_c, v_0, v_e only: the assignment after RETURN is unreachable
+        // and dropped.
+        assert_eq!(cfg.len(), 3);
+        assert!(cfg.succs[cfg.entry.idx()].contains(&cfg.exit));
+    }
+
+    #[test]
+    fn dot_export_is_wellformed() {
+        let cfg = cfg_of(figures::FIG10_ADI);
+        let dot = cfg.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("v_c") && dot.contains("v_e"));
+    }
+}

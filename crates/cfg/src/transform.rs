@@ -1,0 +1,184 @@
+//! Source-level loop-invariant remapping motion (paper Sec. 4.3,
+//! Fig. 16 → Fig. 17).
+//!
+//! The transform moves *trailing* remapping directives of a `DO` body
+//! to just after the loop. The paper's rationale:
+//!
+//! * the **initial** in-loop remapping is *not* moved above the loop —
+//!   hoisting it would insert a useless remapping when the trip count
+//!   is zero;
+//! * the **trailing** remapping only matters on the loop-exit path (on
+//!   the back edge its result is immediately remapped again), so moving
+//!   it after the loop preserves semantics, and from the second
+//!   iteration on, the leading in-loop remapping finds the array already
+//!   in the right mapping — a cheap runtime status check (Sec. 5.1).
+//!
+//! Safety condition implemented here: the moved directive must be the
+//! last statement of the body, and every array it may impact must not
+//! be *referenced* in the body before the body's first remapping
+//! statement that covers it (otherwise the reference on iterations ≥ 2
+//! would see the wrong mapping). The remapping-graph construction
+//! re-checks reference unambiguity afterwards, so the transform can
+//! never silently miscompile — worst case it produces a program the
+//! compiler then rejects, and we only apply it when provably safe.
+
+use hpfc_lang::ast::{AlignSpec, Directive, Routine, Stmt};
+
+/// Apply the Fig. 16→17 motion everywhere in a routine; returns the
+/// transformed routine and how many directives were moved.
+pub fn hoist_trailing_loop_remaps(routine: &Routine) -> (Routine, usize) {
+    let mut r = routine.clone();
+    let mut moved = 0;
+    r.body = hoist_in_body(std::mem::take(&mut r.body), &mut moved);
+    (r, moved)
+}
+
+fn hoist_in_body(body: Vec<Stmt>, moved: &mut usize) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(body.len());
+    for s in body {
+        match s {
+            Stmt::Do { var, lo, hi, step, body: inner, span } => {
+                let inner = hoist_in_body(inner, moved);
+                let (kept, hoisted) = split_trailing_remaps(inner);
+                out.push(Stmt::Do { var, lo, hi, step, body: kept, span });
+                for d in hoisted {
+                    *moved += 1;
+                    out.push(Stmt::Directive(d));
+                }
+            }
+            Stmt::If { cond, then_body, else_body, span } => {
+                let then_body = hoist_in_body(then_body, moved);
+                let else_body = hoist_in_body(else_body, moved);
+                out.push(Stmt::If { cond, then_body, else_body, span });
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Split trailing remapping directives off a loop body when the motion
+/// is safe (see module docs). Returns (kept body, hoisted directives in
+/// original order).
+fn split_trailing_remaps(body: Vec<Stmt>) -> (Vec<Stmt>, Vec<Directive>) {
+    // Find the trailing run of executable remapping directives.
+    let mut split = body.len();
+    while split > 0 {
+        match &body[split - 1] {
+            Stmt::Directive(Directive::Realign { .. } | Directive::Redistribute { .. }) => {
+                split -= 1
+            }
+            _ => break,
+        }
+    }
+    if split == body.len() || split == 0 {
+        // Nothing trailing, or the body is *only* remappings (no point).
+        return (body, Vec::new());
+    }
+    // Safety: each array (or redistribution target) named by a trailing
+    // directive must be re-remapped before any reference in the body
+    // prefix. We approximate "covered by a remapping first" by: the
+    // first statement of the body is a remapping directive naming the
+    // same target (the Fig. 16 shape). More general cases are left in
+    // place — missing the motion is only a lost optimization.
+    let prefix_first_remap: Vec<String> = match body.first() {
+        Some(Stmt::Directive(d)) => directive_targets(d),
+        _ => Vec::new(),
+    };
+    let trailing: Vec<&Directive> = body[split..]
+        .iter()
+        .map(|s| match s {
+            Stmt::Directive(d) => d,
+            _ => unreachable!(),
+        })
+        .collect();
+    let safe = trailing
+        .iter()
+        .all(|d| directive_targets(d).iter().all(|t| prefix_first_remap.contains(t)));
+    if !safe {
+        return (body, Vec::new());
+    }
+    let mut kept = body;
+    let tail = kept.split_off(split);
+    let hoisted = tail
+        .into_iter()
+        .map(|s| match s {
+            Stmt::Directive(d) => d,
+            _ => unreachable!(),
+        })
+        .collect();
+    (kept, hoisted)
+}
+
+/// The names a remapping directive targets (arrays for REALIGN, the
+/// distributee for REDISTRIBUTE).
+fn directive_targets(d: &Directive) -> Vec<String> {
+    match d {
+        Directive::Realign { spec, .. } => match spec {
+            AlignSpec::Explicit { array, .. } => vec![array.clone()],
+            AlignSpec::With { arrays, .. } => arrays.clone(),
+        },
+        Directive::Redistribute { target, .. } => vec![target.clone()],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpfc_lang::figures;
+    use hpfc_lang::parser::parse_program;
+
+    #[test]
+    fn fig16_trailing_restore_is_moved_out() {
+        let p = parse_program(figures::FIG16_LOOP).unwrap();
+        let (r, moved) = hoist_trailing_loop_remaps(&p.routines[0]);
+        assert_eq!(moved, 1);
+        // The loop body now has 2 statements (redistribute + assign)...
+        let Stmt::Do { body, .. } = &r.body[1] else { panic!("expected DO") };
+        assert_eq!(body.len(), 2);
+        // ...and the moved directive follows the loop.
+        assert!(matches!(&r.body[2], Stmt::Directive(Directive::Redistribute { .. })));
+    }
+
+    #[test]
+    fn unsafe_motion_is_not_applied() {
+        // The array is referenced before the first in-loop remapping:
+        // moving the trailing restore would change what iteration ≥ 2
+        // reads. Must stay in place.
+        let src = "subroutine s(t)\ninteger :: t\nreal :: a(8)\n!hpf$ processors p(4)\n\
+                   !hpf$ dynamic a\n!hpf$ distribute a(block) onto p\n\
+                   do i = 1, t\n  a = a + 1.0\n!hpf$ redistribute a(cyclic)\n\
+                   x = a(1)\n!hpf$ redistribute a(block)\nenddo\nend";
+        let p = parse_program(src).unwrap();
+        let (r, moved) = hoist_trailing_loop_remaps(&p.routines[0]);
+        assert_eq!(moved, 0);
+        let Stmt::Do { body, .. } = &r.body[0] else { panic!() };
+        assert_eq!(body.len(), 4);
+    }
+
+    #[test]
+    fn nested_loops_are_handled_inside_out() {
+        let src = "subroutine s(t)\ninteger :: t\nreal :: a(8)\n!hpf$ processors p(4)\n\
+                   !hpf$ dynamic a\n!hpf$ distribute a(block) onto p\n\
+                   do j = 1, t\ndo i = 1, t\n!hpf$ redistribute a(cyclic)\na = a + 1.0\n\
+                   !hpf$ redistribute a(block)\nenddo\nenddo\nx = a(1)\nend";
+        let p = parse_program(src).unwrap();
+        let (r, moved) = hoist_trailing_loop_remaps(&p.routines[0]);
+        // Inner restore moves after the inner loop; it then forms the
+        // trailing directive of the *outer* body... whose first stmt is
+        // the inner DO, not a covering remap → outer motion not applied.
+        assert_eq!(moved, 1);
+        let Stmt::Do { body: outer, .. } = &r.body[0] else { panic!() };
+        assert_eq!(outer.len(), 2); // inner do + moved redistribute
+    }
+
+    #[test]
+    fn loop_without_remaps_is_untouched() {
+        let src = "subroutine s\nreal :: a(8)\ndo i = 1, 4\na(i) = 1.0\nenddo\nend";
+        let p = parse_program(src).unwrap();
+        let (r, moved) = hoist_trailing_loop_remaps(&p.routines[0]);
+        assert_eq!(moved, 0);
+        assert_eq!(r.body.len(), p.routines[0].body.len());
+    }
+}

@@ -1,0 +1,178 @@
+//! The static-program IR: the paper's "standard statically mapped HPF
+//! program with copies between differently mapped arrays" (Sec. 2).
+
+use std::collections::BTreeSet;
+
+use hpfc_lang::ast::{Expr, Intent, LValue};
+use hpfc_mapping::{ArrayId, NormalizedMapping};
+
+/// One array of the static program with all its versions.
+#[derive(Debug, Clone)]
+pub struct ArrayDecl {
+    /// Identity (indices into `StaticProgram.arrays` follow `ArrayId`).
+    pub id: ArrayId,
+    /// Source name.
+    pub name: String,
+    /// Element size in bytes.
+    pub elem_size: u64,
+    /// The statically mapped versions `A_0 … A_k` (index = subscript).
+    pub versions: Vec<NormalizedMapping>,
+    /// The version holding the array on entry (always 0 by
+    /// construction).
+    pub entry_version: u32,
+    /// Whether the array is a dummy argument (its current copy belongs
+    /// to the caller and is never freed by exit cleanup).
+    pub is_dummy: bool,
+}
+
+/// An explicit remapping operation — one (vertex, array) slot of the
+/// remapping graph, compiled per Fig. 19.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapOp {
+    /// The array being remapped.
+    pub array: ArrayId,
+    /// Target version (`L_A(v)`).
+    pub target: u32,
+    /// Versions that may reach this point (`R_A(v)`) — the guarded copy
+    /// sources of Fig. 20.
+    pub reaching: BTreeSet<u32>,
+    /// Copies to keep alive past this point (`M_A(v)`, App. D).
+    pub may_live: BTreeSet<u32>,
+    /// No data movement required: the leaving copy is fully redefined
+    /// before use (`U = D`, Fig. 19's test) or the values are dead
+    /// (`KILL` upstream).
+    pub no_data: bool,
+    /// Partial-impact guard: if the current status is one of these
+    /// versions, this execution is unaffected by the directive (the
+    /// array's alignment does not involve the redistributed template on
+    /// this path) — skip the remap, keep the status.
+    pub skip_if_current: BTreeSet<u32>,
+}
+
+/// A statement of the static program.
+#[derive(Debug, Clone)]
+pub enum SStmt {
+    /// An assignment (references use each array's *current* copy; the
+    /// compiler guarantees the current version at this point — recorded
+    /// in `expected` and asserted by the interpreter).
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+        /// Compiler-predicted (array, version) pairs at this reference.
+        expected: Vec<(ArrayId, u32)>,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<SStmt>,
+        /// Else branch.
+        else_body: Vec<SStmt>,
+    },
+    /// Counted loop.
+    Do {
+        /// Loop variable.
+        var: String,
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+        /// Step (default 1).
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<SStmt>,
+    },
+    /// A call; argument copies are separate [`SStmt::Remap`] /
+    /// [`SStmt::RestoreStatus`] statements around it.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Mapped array arguments with their intents and the dummy
+        /// version the callee sees.
+        mapped: Vec<(ArrayId, Intent, u32)>,
+    },
+    /// A compiled remapping (Fig. 19/20).
+    Remap(RemapOp),
+    /// Save the current status of an array before a call whose restore
+    /// is flow-dependent (Fig. 18, `reaching_A = status_A`).
+    SaveStatus {
+        /// The array.
+        array: ArrayId,
+        /// Save-slot index (per routine).
+        slot: u32,
+    },
+    /// Restore the saved mapping after the call (Fig. 18's
+    /// if/elif chain, executed by the runtime as a remap to the saved
+    /// version).
+    RestoreStatus {
+        /// The array.
+        array: ArrayId,
+        /// Save-slot index.
+        slot: u32,
+        /// The statically possible restored versions (display/tests).
+        possible: BTreeSet<u32>,
+        /// Copies to keep alive past the restore.
+        may_live: BTreeSet<u32>,
+    },
+    /// Early return.
+    Return,
+    /// Exit cleanup: free every local copy; dummies keep their current
+    /// copy ("which belongs to the caller", Sec. 5.2).
+    ExitCleanup,
+}
+
+/// A fully lowered routine.
+#[derive(Debug, Clone)]
+pub struct StaticProgram {
+    /// Routine name.
+    pub routine: String,
+    /// Scalar dummy argument names (arrays are in `arrays`).
+    pub params: Vec<String>,
+    /// All arrays with their version tables.
+    pub arrays: Vec<ArrayDecl>,
+    /// Number of processors of the largest grid in use.
+    pub nprocs: u64,
+    /// The body.
+    pub body: Vec<SStmt>,
+    /// The exit block: dummy-argument restores (the `v_e` vertex) and
+    /// final cleanup. Always executed, including on early RETURN.
+    pub exit_block: Vec<SStmt>,
+    /// Number of status save slots used.
+    pub n_slots: u32,
+    /// All dummy argument names in positional order (scalars and
+    /// arrays), for interprocedural argument binding.
+    pub param_order: Vec<String>,
+}
+
+impl StaticProgram {
+    /// Array declaration by id.
+    pub fn array(&self, a: ArrayId) -> &ArrayDecl {
+        &self.arrays[a.0 as usize]
+    }
+
+    /// Total number of `Remap` statements (static count).
+    pub fn count_remaps(&self) -> usize {
+        fn go(body: &[SStmt], n: &mut usize) {
+            for s in body {
+                match s {
+                    SStmt::Remap(_) | SStmt::RestoreStatus { .. } => *n += 1,
+                    SStmt::If { then_body, else_body, .. } => {
+                        go(then_body, n);
+                        go(else_body, n);
+                    }
+                    SStmt::Do { body, .. } => go(body, n),
+                    _ => {}
+                }
+            }
+        }
+        let mut n = 0;
+        go(&self.body, &mut n);
+        go(&self.exit_block, &mut n);
+        n
+    }
+}

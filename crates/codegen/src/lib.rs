@@ -1,0 +1,20 @@
+//! Copy-code generation (paper Sec. 5.2, Fig. 19) — lowering a routine
+//! plus its optimized remapping graph into a **static program**: a
+//! statement tree in which every dynamic mapping has been replaced by
+//! statically mapped versions, every remapping by an explicit guarded
+//! copy operation, and every flow-dependent argument restore by the
+//! Fig. 18 status save/restore.
+//!
+//! The output [`ir::StaticProgram`] is what the interpreter executes on
+//! the simulated machine, and what [`render`] pretty-prints in the
+//! shape of the paper's Fig. 20.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ir;
+pub mod lower;
+pub mod render;
+
+pub use ir::{RemapOp, SStmt, StaticProgram};
+pub use lower::{lower, CodegenStats};

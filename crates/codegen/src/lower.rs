@@ -1,0 +1,325 @@
+//! The lowering walk: AST × remapping graph → static program.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hpfc_cfg::graph::{NodeId, NodeKind};
+use hpfc_lang::ast::{Directive, Stmt};
+use hpfc_lang::sema::RoutineUnit;
+use hpfc_lang::Span;
+use hpfc_mapping::ArrayId;
+use hpfc_rgraph::build::{Rg, VertexId};
+use hpfc_rgraph::label::{Leaving, UseInfo};
+
+use crate::ir::{ArrayDecl, RemapOp, SStmt, StaticProgram};
+
+/// Static accounting of what lowering emitted — the compile-time side
+/// of the experiment tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CodegenStats {
+    /// `Remap` statements emitted.
+    pub emitted_remaps: usize,
+    /// Remapping slots suppressed because App. C removed them.
+    pub suppressed_removed: usize,
+    /// Emitted remaps that are statically trivial (runtime status check
+    /// will skip them).
+    pub emitted_trivial: usize,
+    /// Fig. 18 save/restore pairs.
+    pub save_restores: usize,
+    /// Remaps emitted with no data movement (`U = D` or dead values).
+    pub no_data_remaps: usize,
+}
+
+/// Lower a routine to its static program, consuming the (optimized)
+/// remapping graph.
+pub fn lower(unit: &RoutineUnit, rg: &Rg) -> (StaticProgram, CodegenStats) {
+    let mut stats = CodegenStats::default();
+
+    // --- indices from source spans to CFG nodes / vertices.
+    let mut directive_vertex: BTreeMap<(usize, usize), VertexId> = BTreeMap::new();
+    let mut call_groups: BTreeMap<(usize, usize), CallGroup> = BTreeMap::new();
+    let mut assign_nodes: BTreeMap<(usize, usize), NodeId> = BTreeMap::new();
+    for v in rg.vertex_ids() {
+        let n = rg.node_of(v);
+        let span = rg.cfg.node(n).span;
+        match rg.cfg.node(n).kind {
+            NodeKind::Realign { .. } | NodeKind::Redistribute { .. } => {
+                directive_vertex.insert(key(span), v);
+            }
+            NodeKind::ArgIn { .. } => {
+                call_groups.entry(key(span)).or_default().arg_ins.push(v);
+            }
+            NodeKind::ArgOut { .. } => {
+                call_groups.entry(key(span)).or_default().arg_outs.push(v);
+            }
+            _ => {}
+        }
+    }
+    for n in rg.cfg.node_ids() {
+        if matches!(rg.cfg.node(n).kind, NodeKind::Assign { .. }) {
+            assign_nodes.insert(key(rg.cfg.node(n).span), n);
+        }
+    }
+
+    let mut lowerer = Lowerer {
+        rg,
+        directive_vertex,
+        call_groups,
+        assign_nodes,
+        stats: &mut stats,
+        n_slots: 0,
+    };
+    let body = lowerer.lower_body(&unit.ast.body);
+
+    // Exit block: dummy restores (the v_e vertex), then cleanup —
+    // executed on every path out of the routine, including RETURN.
+    let exit_v = rg
+        .vertex_ids()
+        .find(|&v| matches!(rg.cfg.node(rg.node_of(v)).kind, NodeKind::Exit))
+        .expect("exit vertex");
+    let mut exit_block = Vec::new();
+    for (a, label) in rg.labels[exit_v.idx()].clone() {
+        if let Some(op) = lowerer.remap_op_from_label(a, &label) {
+            exit_block.push(SStmt::Remap(op));
+        }
+    }
+    exit_block.push(SStmt::ExitCleanup);
+    let n_slots = lowerer.n_slots;
+
+    // --- array declarations with version tables.
+    let dummies: BTreeSet<ArrayId> =
+        unit.ast.params.iter().filter_map(|p| unit.array(p)).collect();
+    let mut arrays = Vec::new();
+    for info in unit.env.arrays() {
+        let mut versions: Vec<_> = rg
+            .versions
+            .versions_of(info.id)
+            .into_iter()
+            .map(|v| rg.versions.mapping_of(v).clone())
+            .collect();
+        if versions.is_empty() {
+            // Never remapped nor referenced: a single static version.
+            versions.push(unit.env.normalize(info.id, &unit.initial[&info.id]).expect(
+                "initial mappings were validated by sema",
+            ));
+        }
+        arrays.push(ArrayDecl {
+            id: info.id,
+            name: info.name.clone(),
+            elem_size: info.elem_size,
+            versions,
+            entry_version: 0,
+            is_dummy: dummies.contains(&info.id),
+        });
+    }
+
+    let nprocs = unit.env.grids().iter().map(|g| g.nprocs()).max().unwrap_or(1);
+    let params: Vec<String> = unit
+        .ast
+        .params
+        .iter()
+        .filter(|p| unit.array(p).is_none())
+        .cloned()
+        .collect();
+
+    (
+        StaticProgram {
+            routine: unit.name.clone(),
+            params,
+            arrays,
+            nprocs,
+            body,
+            exit_block,
+            n_slots,
+            param_order: unit.ast.params.clone(),
+        },
+        stats,
+    )
+}
+
+fn key(s: Span) -> (usize, usize) {
+    (s.start, s.end)
+}
+
+#[derive(Default)]
+struct CallGroup {
+    arg_ins: Vec<VertexId>,
+    arg_outs: Vec<VertexId>,
+}
+
+struct Lowerer<'a> {
+    rg: &'a Rg,
+    directive_vertex: BTreeMap<(usize, usize), VertexId>,
+    call_groups: BTreeMap<(usize, usize), CallGroup>,
+    assign_nodes: BTreeMap<(usize, usize), NodeId>,
+    stats: &'a mut CodegenStats,
+    n_slots: u32,
+}
+
+impl<'a> Lowerer<'a> {
+    fn lower_body(&mut self, body: &[Stmt]) -> Vec<SStmt> {
+        let mut out = Vec::new();
+        for s in body {
+            self.lower_stmt(s, &mut out);
+        }
+        out
+    }
+
+    fn remap_op_from_label(
+        &mut self,
+        a: ArrayId,
+        label: &hpfc_rgraph::label::Label,
+    ) -> Option<RemapOp> {
+        match &label.leaving {
+            None => {
+                if label.is_removed() {
+                    self.stats.suppressed_removed += 1;
+                }
+                None
+            }
+            Some(Leaving::One(v)) => {
+                let reaching: std::collections::BTreeSet<u32> =
+                    label.reaching.iter().map(|x| x.index).collect();
+                let op = RemapOp {
+                    array: a,
+                    target: v.index,
+                    skip_if_current: label
+                        .passthrough
+                        .iter()
+                        .map(|x| x.index)
+                        .filter(|i| !reaching.contains(i))
+                        .collect(),
+                    reaching,
+                    may_live: label.may_live.iter().map(|x| x.index).collect(),
+                    no_data: label.values_dead || label.use_info == UseInfo::D,
+                };
+                self.stats.emitted_remaps += 1;
+                if label.is_trivial() {
+                    self.stats.emitted_trivial += 1;
+                }
+                if op.no_data {
+                    self.stats.no_data_remaps += 1;
+                }
+                Some(op)
+            }
+            Some(Leaving::Restore(_)) => {
+                unreachable!("restores are emitted by the call path")
+            }
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, out: &mut Vec<SStmt>) {
+        match s {
+            Stmt::Assign { lhs, rhs, span } => {
+                let expected = self
+                    .assign_nodes
+                    .get(&key(*span))
+                    .map(|n| {
+                        self.rg
+                            .ref_versions
+                            .iter()
+                            .filter(|((node, _), _)| node == n)
+                            .map(|((_, a), v)| (*a, v.index))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                out.push(SStmt::Assign { lhs: lhs.clone(), rhs: rhs.clone(), expected });
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let then_body = self.lower_body(then_body);
+                let else_body = self.lower_body(else_body);
+                out.push(SStmt::If { cond: cond.clone(), then_body, else_body });
+            }
+            Stmt::Do { var, lo, hi, step, body, .. } => {
+                let body = self.lower_body(body);
+                out.push(SStmt::Do {
+                    var: var.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    step: step.clone(),
+                    body,
+                });
+            }
+            Stmt::Return { .. } => out.push(SStmt::Return),
+            Stmt::Call { name, args, span } => {
+                let group = self.call_groups.remove(&key(*span)).unwrap_or_default();
+                // Fig. 18: save the reaching status of every array whose
+                // restore is flow-dependent, *before* remapping it.
+                let mut slots: BTreeMap<ArrayId, u32> = BTreeMap::new();
+                for &vo in &group.arg_outs {
+                    let NodeKind::ArgOut { array, .. } = rg_kind(self.rg, vo) else { continue };
+                    let label = &self.rg.labels[vo.idx()][&array];
+                    if matches!(label.leaving, Some(Leaving::Restore(_))) {
+                        let slot = self.n_slots;
+                        self.n_slots += 1;
+                        slots.insert(array, slot);
+                        out.push(SStmt::SaveStatus { array, slot });
+                        self.stats.save_restores += 1;
+                    }
+                }
+                // ArgIn remaps.
+                let mut mapped = Vec::new();
+                for &vi in &group.arg_ins {
+                    let NodeKind::ArgIn { array, intent, .. } = rg_kind(self.rg, vi) else {
+                        continue;
+                    };
+                    let label = self.rg.labels[vi.idx()][&array].clone();
+                    if let Some(op) = self.remap_op_from_label(array, &label) {
+                        mapped.push((array, intent, op.target));
+                        out.push(SStmt::Remap(op));
+                    } else if let Some(Leaving::One(v)) = &label.original_leaving {
+                        // Removed ArgIn cannot happen (a call always uses
+                        // its argument), but keep the dummy version for
+                        // the Call record defensively.
+                        mapped.push((array, intent, v.index));
+                    }
+                }
+                out.push(SStmt::Call { name: name.clone(), args: args.clone(), mapped });
+                // ArgOut restores.
+                for &vo in &group.arg_outs {
+                    let NodeKind::ArgOut { array, .. } = rg_kind(self.rg, vo) else { continue };
+                    let label = self.rg.labels[vo.idx()][&array].clone();
+                    match &label.leaving {
+                        None => {
+                            if label.is_removed() {
+                                self.stats.suppressed_removed += 1;
+                            }
+                        }
+                        Some(Leaving::One(_)) => {
+                            if let Some(op) = self.remap_op_from_label(array, &label) {
+                                out.push(SStmt::Remap(op));
+                            }
+                        }
+                        Some(Leaving::Restore(set)) => {
+                            out.push(SStmt::RestoreStatus {
+                                array,
+                                slot: slots[&array],
+                                possible: set.iter().map(|x| x.index).collect(),
+                                may_live: label.may_live.iter().map(|x| x.index).collect(),
+                            });
+                            self.stats.emitted_remaps += 1;
+                        }
+                    }
+                }
+            }
+            Stmt::Directive(d) => match d {
+                Directive::Realign { span, .. } | Directive::Redistribute { span, .. } => {
+                    let Some(&v) = self.directive_vertex.get(&key(*span)) else {
+                        return; // unreachable directive (dead code)
+                    };
+                    for (a, label) in self.rg.labels[v.idx()].clone() {
+                        if let Some(op) = self.remap_op_from_label(a, &label) {
+                            out.push(SStmt::Remap(op));
+                        }
+                    }
+                }
+                // KILL is an analysis fact, not executable code.
+                Directive::Kill { .. } => {}
+                _ => {}
+            },
+        }
+    }
+}
+
+fn rg_kind(rg: &Rg, v: VertexId) -> NodeKind {
+    rg.cfg.node(rg.node_of(v)).kind.clone()
+}

@@ -1,0 +1,140 @@
+//! Pretty-printing of the static program, including the Fig. 20-style
+//! guarded copy code for each remapping.
+
+use crate::ir::{RemapOp, SStmt, StaticProgram};
+use hpfc_lang::pretty::expr_to_string;
+
+/// Fig. 20: the runtime copy code of one remapping, as the paper's code
+/// generation phase would emit it.
+///
+/// ```text
+/// if (status_a /= 2) then
+///   allocate a_2 if needed
+///   if (.not. live_a(2)) then
+///     if (status_a == 0) a_2 = a_0
+///     if (status_a == 1) a_2 = a_1
+///     live_a(2) = .true.
+///   endif
+///   status_a = 2
+/// endif
+/// ```
+pub fn remap_text(p: &StaticProgram, op: &RemapOp) -> String {
+    let name = &p.array(op.array).name;
+    let t = op.target;
+    let mut s = String::new();
+    s.push_str(&format!("if (status_{name} /= {t}) then\n"));
+    s.push_str(&format!("  allocate {name}_{t} if needed\n"));
+    s.push_str(&format!("  if (.not. live_{name}({t})) then\n"));
+    if op.no_data {
+        s.push_str("    ! values dead or fully redefined: no copy\n");
+    } else {
+        for r in op.reaching.iter().filter(|&&r| r != t) {
+            s.push_str(&format!("    if (status_{name} == {r}) {name}_{t} = {name}_{r}\n"));
+        }
+    }
+    s.push_str(&format!("    live_{name}({t}) = .true.\n"));
+    s.push_str("  endif\n");
+    s.push_str(&format!("  status_{name} = {t}\n"));
+    s.push_str("endif\n");
+    // Cleaning (Fig. 19's second loop).
+    let all: Vec<u32> = (0..p.array(op.array).versions.len() as u32).collect();
+    for v in all {
+        if v != op.target && !op.may_live.contains(&v) {
+            s.push_str(&format!(
+                "if (live_{name}({v})) then\n  free {name}_{v}\n  live_{name}({v}) = .false.\nendif\n"
+            ));
+        }
+    }
+    s
+}
+
+/// Whole-program listing.
+pub fn program_text(p: &StaticProgram) -> String {
+    let mut s = format!("! static program for `{}` on {} processors\n", p.routine, p.nprocs);
+    for a in &p.arrays {
+        s.push_str(&format!(
+            "! array {}: {} version(s){}\n",
+            a.name,
+            a.versions.len(),
+            if a.is_dummy { " (dummy)" } else { "" }
+        ));
+        for (i, v) in a.versions.iter().enumerate() {
+            s.push_str(&format!("!   {}_{i}: {v}\n", a.name));
+        }
+    }
+    body_text(p, &p.body, 0, &mut s);
+    s.push_str("! exit block\n");
+    body_text(p, &p.exit_block, 0, &mut s);
+    s
+}
+
+fn body_text(p: &StaticProgram, body: &[SStmt], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for s in body {
+        match s {
+            SStmt::Assign { lhs, rhs, .. } => {
+                let subs = if lhs.subs.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "({})",
+                        lhs.subs.iter().map(expr_to_string).collect::<Vec<_>>().join(", ")
+                    )
+                };
+                out.push_str(&format!("{pad}{}{subs} = {}\n", lhs.name, expr_to_string(rhs)));
+            }
+            SStmt::If { cond, then_body, else_body } => {
+                out.push_str(&format!("{pad}if ({}) then\n", expr_to_string(cond)));
+                body_text(p, then_body, depth + 1, out);
+                if !else_body.is_empty() {
+                    out.push_str(&format!("{pad}else\n"));
+                    body_text(p, else_body, depth + 1, out);
+                }
+                out.push_str(&format!("{pad}endif\n"));
+            }
+            SStmt::Do { var, lo, hi, step, body } => {
+                let st = step
+                    .as_ref()
+                    .map(|e| format!(", {}", expr_to_string(e)))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "{pad}do {var} = {}, {}{st}\n",
+                    expr_to_string(lo),
+                    expr_to_string(hi)
+                ));
+                body_text(p, body, depth + 1, out);
+                out.push_str(&format!("{pad}enddo\n"));
+            }
+            SStmt::Call { name, args, .. } => {
+                out.push_str(&format!(
+                    "{pad}call {name}({})\n",
+                    args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ")
+                ));
+            }
+            SStmt::Remap(op) => {
+                for line in remap_text(p, op).lines() {
+                    out.push_str(&format!("{pad}{line}\n"));
+                }
+            }
+            SStmt::SaveStatus { array, slot } => {
+                out.push_str(&format!(
+                    "{pad}reaching_{slot} = status_{}\n",
+                    p.array(*array).name
+                ));
+            }
+            SStmt::RestoreStatus { array, slot, possible, .. } => {
+                let name = &p.array(*array).name;
+                let mut first = true;
+                for v in possible {
+                    let kw = if first { "if" } else { "elif" };
+                    first = false;
+                    out.push_str(&format!(
+                        "{pad}{kw} (reaching_{slot} == {v}) remap {name} -> {name}_{v}\n"
+                    ));
+                }
+            }
+            SStmt::Return => out.push_str(&format!("{pad}return\n")),
+            SStmt::ExitCleanup => out.push_str(&format!("{pad}! exit: free local copies\n")),
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! The executor: runs a static program frame-by-frame on the shared
+//! simulated machine.
+
+use std::collections::BTreeMap;
+
+use hpfc_codegen::ir::{SStmt, StaticProgram};
+use hpfc_lang::ast::{Expr, Intent};
+use hpfc_mapping::ArrayId;
+use hpfc_runtime::{ArrayRt, Machine, NetStats};
+
+use crate::eval::EvalCtx;
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Scalar dummy-argument values for the top-level routine.
+    pub scalar_args: BTreeMap<String, f64>,
+    /// Ablation / E24: after every remapping, evict all live non-status
+    /// copies (models permanent memory pressure — disables App. D reuse
+    /// at run time).
+    pub evict_live_copies: bool,
+    /// Call recursion guard.
+    pub max_depth: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { scalar_args: BTreeMap::new(), evict_live_copies: false, max_depth: 8 }
+    }
+}
+
+impl ExecConfig {
+    /// Set a scalar argument.
+    pub fn with_scalar(mut self, name: &str, v: f64) -> Self {
+        self.scalar_args.insert(name.to_string(), v);
+        self
+    }
+}
+
+/// The outcome of a run.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Network statistics accumulated across the whole run (callees
+    /// included).
+    pub stats: NetStats,
+    /// Largest per-processor memory high-water mark (bytes).
+    pub peak_mem_bytes: u64,
+    /// Final dense contents of every array of the top routine.
+    pub arrays: BTreeMap<String, Vec<f64>>,
+    /// Final scalar values of the top routine.
+    pub scalars: BTreeMap<String, f64>,
+}
+
+/// One-shot convenience: execute `routine` from a compiled program set.
+pub fn execute(
+    programs: &BTreeMap<String, StaticProgram>,
+    routine: &str,
+    config: ExecConfig,
+) -> ExecResult {
+    let nprocs = programs.values().map(|p| p.nprocs).max().unwrap_or(1);
+    let mut ex = Executor { programs, machine: Machine::new(nprocs), config };
+    ex.run(routine)
+}
+
+/// The execution engine; owns the machine so several runs can share it.
+pub struct Executor<'a> {
+    /// Compiled routines by name.
+    pub programs: &'a BTreeMap<String, StaticProgram>,
+    /// The simulated machine (shared across calls).
+    pub machine: Machine,
+    /// Options.
+    pub config: ExecConfig,
+}
+
+enum Flow {
+    Normal,
+    Return,
+}
+
+struct Frame {
+    arrays: Vec<ArrayRt>,
+    names: BTreeMap<String, ArrayId>,
+    scalars: BTreeMap<String, f64>,
+    slots: Vec<Option<u32>>,
+    /// Final dense contents, snapshotted by ExitCleanup before local
+    /// copies are freed.
+    results: BTreeMap<ArrayId, Vec<f64>>,
+}
+
+impl<'a> Executor<'a> {
+    /// Run a routine as the entry point: dummies are initialized with a
+    /// deterministic fill (`value = 1 + linear index`).
+    pub fn run(&mut self, routine: &str) -> ExecResult {
+        let p = self.programs.get(routine).unwrap_or_else(|| panic!("no routine `{routine}`"));
+        let mut inputs: BTreeMap<ArrayId, Vec<f64>> = BTreeMap::new();
+        for a in &p.arrays {
+            if a.is_dummy {
+                let n = a.versions[0].array_extents.volume();
+                inputs.insert(a.id, (0..n).map(|i| 1.0 + i as f64).collect());
+            }
+        }
+        let frame = self.run_frame(p, self.config.scalar_args.clone(), inputs, 0);
+        let mut arrays = BTreeMap::new();
+        for decl in &p.arrays {
+            let dense = frame.results.get(&decl.id).cloned().unwrap_or_else(|| {
+                vec![0.0; decl.versions[0].array_extents.volume() as usize]
+            });
+            arrays.insert(decl.name.clone(), dense);
+        }
+        ExecResult {
+            stats: self.machine.stats,
+            peak_mem_bytes: self.machine.mem.max_peak(),
+            arrays,
+            scalars: frame.scalars,
+        }
+    }
+
+    fn run_frame(
+        &mut self,
+        p: &StaticProgram,
+        scalars: BTreeMap<String, f64>,
+        array_inputs: BTreeMap<ArrayId, Vec<f64>>,
+        depth: u32,
+    ) -> Frame {
+        assert!(depth < self.config.max_depth, "call depth limit exceeded");
+        let mut frame = Frame {
+            arrays: p
+                .arrays
+                .iter()
+                .map(|a| ArrayRt::new(a.name.clone(), a.versions.clone(), a.elem_size))
+                .collect(),
+            names: p.arrays.iter().map(|a| (a.name.clone(), a.id)).collect(),
+            scalars,
+            slots: vec![None; p.n_slots as usize],
+            results: BTreeMap::new(),
+        };
+        // Dummy inputs arrive in the entry version.
+        for (a, dense) in array_inputs {
+            let decl = p.array(a);
+            let rt = &mut frame.arrays[a.0 as usize];
+            let cur = rt.current(&mut self.machine, decl.entry_version);
+            let extents = cur.mapping.array_extents.clone();
+            for (i, pt) in extents.points().enumerate() {
+                cur.set(&pt, dense[i]);
+            }
+        }
+        let _ = self.exec_body(p, &mut frame, &p.body, depth);
+        let _ = self.exec_body(p, &mut frame, &p.exit_block, depth);
+        frame
+    }
+
+    fn exec_body(&mut self, p: &StaticProgram, frame: &mut Frame, body: &[SStmt], depth: u32) -> Flow {
+        for s in body {
+            match self.exec_stmt(p, frame, s, depth) {
+                Flow::Normal => {}
+                Flow::Return => return Flow::Return,
+            }
+        }
+        Flow::Normal
+    }
+
+    /// Make sure every array referenced by `e` has a current copy
+    /// (lazy instantiation for reads of never-touched arrays).
+    fn ensure_refs(&mut self, frame: &mut Frame, e: &Expr, expected: &[(ArrayId, u32)]) {
+        let mut refs = Vec::new();
+        e.collect_refs(&mut refs);
+        for (name, _, _) in refs {
+            if let Some(&a) = frame.names.get(&name) {
+                let hint = expected
+                    .iter()
+                    .find(|(x, _)| *x == a)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                frame.arrays[a.0 as usize].current(&mut self.machine, hint);
+                debug_assert!(
+                    frame.arrays[a.0 as usize].status == Some(hint)
+                        || !expected.iter().any(|(x, _)| *x == a),
+                    "compiler version prediction violated for `{name}`"
+                );
+            }
+        }
+    }
+
+    fn exec_stmt(&mut self, p: &StaticProgram, frame: &mut Frame, s: &SStmt, depth: u32) -> Flow {
+        match s {
+            SStmt::Assign { lhs, rhs, expected } => {
+                self.ensure_refs(frame, rhs, expected);
+                for sub in &lhs.subs {
+                    self.ensure_refs(frame, sub, expected);
+                }
+                match frame.names.get(&lhs.name).copied() {
+                    Some(a) => {
+                        let hint = expected
+                            .iter()
+                            .find(|(x, _)| *x == a)
+                            .map(|(_, v)| *v)
+                            .unwrap_or(0);
+                        frame.arrays[a.0 as usize].current(&mut self.machine, hint);
+                        if lhs.subs.is_empty() {
+                            // Whole-array elementwise assignment:
+                            // evaluate fully, then write (Fortran
+                            // array-expression semantics).
+                            let extents = frame.arrays[a.0 as usize]
+                                .mappings[0]
+                                .array_extents
+                                .clone();
+                            let mut values = Vec::with_capacity(extents.volume() as usize);
+                            {
+                                let ctx = EvalCtx {
+                                    scalars: &frame.scalars,
+                                    arrays: &frame.arrays,
+                                    names: &frame.names,
+                                    point: None,
+                                };
+                                for pt in extents.points() {
+                                    let c = EvalCtx { point: Some(&pt), ..ctx };
+                                    values.push(c.eval(rhs));
+                                }
+                            }
+                            let rt = &mut frame.arrays[a.0 as usize];
+                            rt.invalidate_others();
+                            let v = rt.status.expect("current() set status");
+                            let copy = rt.copies[v as usize].as_mut().unwrap();
+                            for (i, pt) in extents.points().enumerate() {
+                                copy.set(&pt, values[i]);
+                            }
+                        } else {
+                            let (point, value) = {
+                                let ctx = EvalCtx {
+                                    scalars: &frame.scalars,
+                                    arrays: &frame.arrays,
+                                    names: &frame.names,
+                                    point: None,
+                                };
+                                let point: Vec<u64> = lhs
+                                    .subs
+                                    .iter()
+                                    .map(|e| (ctx.eval(e) as i64 - 1).max(0) as u64)
+                                    .collect();
+                                (point, ctx.eval(rhs))
+                            };
+                            frame.arrays[a.0 as usize].set(&point, value);
+                        }
+                    }
+                    None => {
+                        let value = {
+                            let ctx = EvalCtx {
+                                scalars: &frame.scalars,
+                                arrays: &frame.arrays,
+                                names: &frame.names,
+                                point: None,
+                            };
+                            ctx.eval(rhs)
+                        };
+                        frame.scalars.insert(lhs.name.clone(), value);
+                    }
+                }
+                Flow::Normal
+            }
+            SStmt::If { cond, then_body, else_body } => {
+                self.ensure_refs(frame, cond, &[]);
+                let c = {
+                    let ctx = EvalCtx {
+                        scalars: &frame.scalars,
+                        arrays: &frame.arrays,
+                        names: &frame.names,
+                        point: None,
+                    };
+                    ctx.eval(cond)
+                };
+                if c != 0.0 {
+                    self.exec_body(p, frame, then_body, depth)
+                } else {
+                    self.exec_body(p, frame, else_body, depth)
+                }
+            }
+            SStmt::Do { var, lo, hi, step, body } => {
+                self.ensure_refs(frame, lo, &[]);
+                self.ensure_refs(frame, hi, &[]);
+                let (lo_v, hi_v, step_v) = {
+                    let ctx = EvalCtx {
+                        scalars: &frame.scalars,
+                        arrays: &frame.arrays,
+                        names: &frame.names,
+                        point: None,
+                    };
+                    (ctx.eval(lo), ctx.eval(hi), step.as_ref().map(|e| ctx.eval(e)).unwrap_or(1.0))
+                };
+                assert!(step_v != 0.0, "zero DO step");
+                let mut i = lo_v;
+                loop {
+                    if (step_v > 0.0 && i > hi_v) || (step_v < 0.0 && i < hi_v) {
+                        break;
+                    }
+                    frame.scalars.insert(var.clone(), i);
+                    if let Flow::Return = self.exec_body(p, frame, body, depth) {
+                        return Flow::Return;
+                    }
+                    i += step_v;
+                }
+                Flow::Normal
+            }
+            SStmt::Remap(op) => {
+                frame.arrays[op.array.0 as usize].remap_guarded(
+                    &mut self.machine,
+                    op.target,
+                    &op.may_live,
+                    op.no_data,
+                    &op.skip_if_current,
+                );
+                if self.config.evict_live_copies {
+                    self.evict_all(frame, op.array);
+                }
+                Flow::Normal
+            }
+            SStmt::SaveStatus { array, slot } => {
+                frame.slots[*slot as usize] = frame.arrays[array.0 as usize].status;
+                Flow::Normal
+            }
+            SStmt::RestoreStatus { array, slot, may_live, .. } => {
+                if let Some(v) = frame.slots[*slot as usize] {
+                    frame.arrays[array.0 as usize].remap(
+                        &mut self.machine,
+                        v,
+                        may_live,
+                        false,
+                    );
+                    if self.config.evict_live_copies {
+                        self.evict_all(frame, *array);
+                    }
+                }
+                Flow::Normal
+            }
+            SStmt::Call { name, args, mapped } => {
+                self.exec_call(p, frame, name, args, mapped, depth);
+                Flow::Normal
+            }
+            SStmt::Return => Flow::Return,
+            SStmt::ExitCleanup => {
+                for decl in &p.arrays {
+                    let rt = &mut frame.arrays[decl.id.0 as usize];
+                    // Snapshot final contents before freeing anything.
+                    if let Some(v) = rt.status {
+                        if let Some(c) = rt.copies[v as usize].as_ref() {
+                            frame.results.insert(decl.id, c.to_dense());
+                        }
+                    }
+                    let keep = if decl.is_dummy { rt.status } else { None };
+                    for v in 0..rt.copies.len() as u32 {
+                        if Some(v) != keep {
+                            rt.free_copy(&mut self.machine, v);
+                        }
+                    }
+                }
+                Flow::Normal
+            }
+        }
+    }
+
+    fn evict_all(&mut self, frame: &mut Frame, a: ArrayId) {
+        let rt = &mut frame.arrays[a.0 as usize];
+        for v in 0..rt.copies.len() as u32 {
+            rt.evict(&mut self.machine, v);
+        }
+    }
+
+    fn exec_call(
+        &mut self,
+        p: &StaticProgram,
+        frame: &mut Frame,
+        name: &str,
+        args: &[Expr],
+        mapped: &[(ArrayId, Intent, u32)],
+        depth: u32,
+    ) {
+        if let Some(callee) = self.programs.get(name) {
+            // Full interprocedural execution: bind arguments by
+            // position, hand dense values over (same placement on both
+            // sides of the boundary: no network traffic).
+            let mut scalars = BTreeMap::new();
+            let mut inputs: BTreeMap<ArrayId, Vec<f64>> = BTreeMap::new();
+            let mut out_args: Vec<(ArrayId, ArrayId)> = Vec::new(); // (caller, callee)
+            for (pos, actual) in args.iter().enumerate() {
+                let Some(pname) = callee.param_order.get(pos) else { continue };
+                match callee.arrays.iter().find(|a| &a.name == pname) {
+                    Some(cdecl) => {
+                        if let Expr::Var(an, _) = actual {
+                            if let Some(&ca) = frame.names.get(an) {
+                                let intent = mapped
+                                    .iter()
+                                    .find(|(x, _, _)| *x == ca)
+                                    .map(|(_, i, _)| *i)
+                                    .unwrap_or(Intent::InOut);
+                                if intent != Intent::Out {
+                                    let rt = &mut frame.arrays[ca.0 as usize];
+                                    let cur = rt.current(&mut self.machine, 0);
+                                    inputs.insert(cdecl.id, cur.to_dense());
+                                }
+                                if intent != Intent::In {
+                                    out_args.push((ca, cdecl.id));
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        let v = {
+                            let ctx = EvalCtx {
+                                scalars: &frame.scalars,
+                                arrays: &frame.arrays,
+                                names: &frame.names,
+                                point: None,
+                            };
+                            ctx.eval(actual)
+                        };
+                        scalars.insert(pname.clone(), v);
+                    }
+                }
+            }
+            let callee_frame = self.run_frame(callee, scalars, inputs, depth + 1);
+            // Export inout/out results back through the dummy copy.
+            for (ca, cid) in out_args {
+                let dense = callee_frame.results.get(&cid).cloned();
+                if let Some(dense) = dense {
+                    let rt = &mut frame.arrays[ca.0 as usize];
+                    rt.invalidate_others();
+                    let cur = rt.current(&mut self.machine, 0);
+                    let extents = cur.mapping.array_extents.clone();
+                    for (i, pt) in extents.points().enumerate() {
+                        cur.set(&pt, dense[i]);
+                    }
+                }
+            }
+        } else {
+            // Interface-only callee: deterministic synthetic effect.
+            let _ = p;
+            for &(a, intent, _dummy_version) in mapped {
+                match intent {
+                    Intent::In => {}
+                    Intent::InOut => {
+                        let rt = &mut frame.arrays[a.0 as usize];
+                        rt.invalidate_others();
+                        let cur = rt.current(&mut self.machine, 0);
+                        let extents = cur.mapping.array_extents.clone();
+                        for pt in extents.points() {
+                            let v = cur.get(&pt);
+                            cur.set(&pt, v + 1.0);
+                        }
+                    }
+                    Intent::Out => {
+                        let rt = &mut frame.arrays[a.0 as usize];
+                        rt.invalidate_others();
+                        let cur = rt.current(&mut self.machine, 0);
+                        let extents = cur.mapping.array_extents.clone();
+                        for (i, pt) in extents.points().enumerate() {
+                            cur.set(&pt, i as f64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Interpreter: executes a lowered [`StaticProgram`] on the simulated
+//! distributed machine, driving the Sec. 5 runtime (status descriptors,
+//! live flags, guarded copies) exactly as the generated code would.
+//!
+//! Scope note (see DESIGN.md): the paper's measurements are about
+//! **remapping communication**; computational statements execute with
+//! correct *values* but without modelling compute-side communication.
+//! Every remapping, argument copy, status save/restore, liveness clean
+//! and eviction goes through `hpfc-runtime` and is accounted exactly.
+//!
+//! Calls execute the callee's own static program when the source module
+//! defines it (full interprocedural execution on the shared machine);
+//! otherwise a deterministic synthetic effect per `INTENT` is applied
+//! (IN: none; INOUT: `x := x + 1` elementwise; OUT: `x := linear
+//! index`), so figure programs with interface-only callees still run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod exec;
+
+pub use exec::{execute, ExecConfig, ExecResult, Executor};

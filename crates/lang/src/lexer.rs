@@ -1,0 +1,359 @@
+//! Line-oriented lexer for the Fortran/HPF subset.
+//!
+//! Peculiarities handled here:
+//! * `!hpf$` starts a *directive* (lexed as [`Tok::Hpf`] followed by
+//!   ordinary tokens); any other `!` starts a comment to end of line;
+//! * `&` at end of line continues the logical line (no
+//!   [`Tok::Newline`] emitted);
+//! * words are case-insensitive and lex to lower-cased identifiers;
+//! * `.and.` / `.or.` / `.not.` dot-operators.
+
+use crate::diag::{codes, Diagnostic};
+use crate::span::Span;
+use crate::token::{Tok, Token};
+
+/// Lex `src` into tokens (ending with [`Tok::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, toks: Vec::new(), errs: Vec::new() }.run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Token>,
+    errs: Vec<Diagnostic>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, text: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.push_here(Tok::Newline, 1);
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'&' => {
+                    // Continuation: swallow everything to and including
+                    // the next newline.
+                    self.pos += 1;
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    if self.pos < self.src.len() {
+                        self.line += 1;
+                        self.pos += 1;
+                    }
+                }
+                b'!' => {
+                    let rest = &text[self.pos..];
+                    let lower: String =
+                        rest.chars().take(5).flat_map(|c| c.to_lowercase()).collect();
+                    if lower == "!hpf$" {
+                        self.push_here(Tok::Hpf, 5);
+                        self.pos += 5;
+                    } else {
+                        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                b'(' => self.single(Tok::LParen),
+                b')' => self.single(Tok::RParen),
+                b',' => self.single(Tok::Comma),
+                b'+' => self.single(Tok::Plus),
+                b'-' => self.single(Tok::Minus),
+                b'*' => {
+                    if self.peek(1) == Some(b'*') {
+                        self.push_here(Tok::Pow, 2);
+                        self.pos += 2;
+                    } else {
+                        self.single(Tok::Star)
+                    }
+                }
+                b'/' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.push_here(Tok::Ne, 2);
+                        self.pos += 2;
+                    } else {
+                        self.single(Tok::Slash)
+                    }
+                }
+                b':' => {
+                    if self.peek(1) == Some(b':') {
+                        self.push_here(Tok::DoubleColon, 2);
+                        self.pos += 2;
+                    } else {
+                        self.single(Tok::Colon)
+                    }
+                }
+                b'=' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.push_here(Tok::EqEq, 2);
+                        self.pos += 2;
+                    } else {
+                        self.single(Tok::Assign)
+                    }
+                }
+                b'<' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.push_here(Tok::Le, 2);
+                        self.pos += 2;
+                    } else {
+                        self.single(Tok::Lt)
+                    }
+                }
+                b'>' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.push_here(Tok::Ge, 2);
+                        self.pos += 2;
+                    } else {
+                        self.single(Tok::Gt)
+                    }
+                }
+                b'.' => {
+                    if self.peek(1).is_some_and(|c| c.is_ascii_alphabetic()) {
+                        self.dot_operator();
+                    } else {
+                        self.number();
+                    }
+                }
+                b'0'..=b'9' => self.number(),
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
+                other => {
+                    self.errs.push(Diagnostic::error(
+                        codes::LEX,
+                        Span::new(self.pos, self.pos + 1, self.line),
+                        format!("unexpected character `{}`", other as char),
+                    ));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push_here(Tok::Eof, 0);
+        if self.errs.is_empty() {
+            Ok(self.toks)
+        } else {
+            Err(self.errs)
+        }
+    }
+
+    fn peek(&self, n: usize) -> Option<u8> {
+        self.src.get(self.pos + n).copied()
+    }
+
+    fn push_here(&mut self, tok: Tok, len: usize) {
+        self.toks.push(Token { tok, span: Span::new(self.pos, self.pos + len, self.line) });
+    }
+
+    fn single(&mut self, tok: Tok) {
+        self.push_here(tok, 1);
+        self.pos += 1;
+    }
+
+    fn word(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_lowercase();
+        self.toks.push(Token { tok: Tok::Ident(text), span: Span::new(start, self.pos, self.line) });
+    }
+
+    fn dot_operator(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // leading '.'
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphabetic()) {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'.') {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_lowercase();
+        let tok = match text.as_str() {
+            ".and." => Tok::And,
+            ".or." => Tok::Or,
+            ".not." => Tok::Not,
+            ".true." => Tok::Int(1),
+            ".false." => Tok::Int(0),
+            other => {
+                self.errs.push(Diagnostic::error(
+                    codes::LEX,
+                    Span::new(start, self.pos, self.line),
+                    format!("unknown dot-operator `{other}`"),
+                ));
+                Tok::And
+            }
+        };
+        self.toks.push(Token { tok, span: Span::new(start, self.pos, self.line) });
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut is_real = false;
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'.')
+            && self.peek(1).is_none_or(|c| !c.is_ascii_alphabetic())
+        {
+            is_real = true;
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if self.peek(0).is_some_and(|c| c == b'e' || c == b'E' || c == b'd' || c == b'D') {
+            let mut probe = self.pos + 1;
+            if self.src.get(probe).is_some_and(|&c| c == b'+' || c == b'-') {
+                probe += 1;
+            }
+            if self.src.get(probe).is_some_and(|c| c.is_ascii_digit()) {
+                is_real = true;
+                self.pos = probe;
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let span = Span::new(start, self.pos, self.line);
+        let tok = if is_real {
+            let t = text.to_lowercase().replace('d', "e");
+            match t.parse::<f64>() {
+                Ok(v) => Tok::Real(v),
+                Err(_) => {
+                    self.errs.push(Diagnostic::error(
+                        codes::LEX,
+                        span,
+                        format!("bad real literal `{text}`"),
+                    ));
+                    Tok::Real(0.0)
+                }
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Tok::Int(v),
+                Err(_) => {
+                    self.errs.push(Diagnostic::error(
+                        codes::LEX,
+                        span,
+                        format!("bad integer literal `{text}`"),
+                    ));
+                    Tok::Int(0)
+                }
+            }
+        };
+        self.toks.push(Token { tok, span });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        assert_eq!(
+            kinds("A = B + 1"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hpf_directive_vs_comment() {
+        let t = kinds("!hpf$ distribute A(block) ! trailing comment\n! full comment\nx = 1");
+        assert_eq!(t[0], Tok::Hpf);
+        assert!(t.contains(&Tok::Ident("distribute".into())));
+        // the trailing and full comments vanish
+        assert!(!t.iter().any(|k| matches!(k, Tok::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn case_insensitive_and_hpf_uppercase() {
+        let t = kinds("!HPF$ DISTRIBUTE A(BLOCK)");
+        assert_eq!(t[0], Tok::Hpf);
+        assert_eq!(t[1], Tok::Ident("distribute".into()));
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        let t = kinds("A = B + &\n    C");
+        assert!(!t.contains(&Tok::Newline));
+        assert_eq!(t[t.len() - 2], Tok::Ident("c".into()));
+    }
+
+    #[test]
+    fn reals_and_ints() {
+        assert_eq!(kinds("1.5")[0], Tok::Real(1.5));
+        assert_eq!(kinds("2e3")[0], Tok::Real(2000.0));
+        assert_eq!(kinds("1.0d0")[0], Tok::Real(1.0));
+        assert_eq!(kinds("42")[0], Tok::Int(42));
+        // `1.and.2` must not eat the dot-operator
+        let t = kinds("1 .and. 2");
+        assert_eq!(t[1], Tok::And);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b >= c == d /= e < f > g"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Ident("c".into()),
+                Tok::EqEq,
+                Tok::Ident("d".into()),
+                Tok::Ne,
+                Tok::Ident("e".into()),
+                Tok::Lt,
+                Tok::Ident("f".into()),
+                Tok::Gt,
+                Tok::Ident("g".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn double_colon_and_star() {
+        assert_eq!(
+            kinds("align with t :: a")[3..5],
+            [Tok::DoubleColon, Tok::Ident("a".into())]
+        );
+        assert_eq!(kinds("x ** 2")[1], Tok::Pow);
+        assert_eq!(kinds("(*)")[1], Tok::Star);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.span.line).collect();
+        assert_eq!(lines, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn bad_character_reports_error() {
+        let errs = lex("a = #").unwrap_err();
+        assert_eq!(errs[0].code, codes::LEX);
+    }
+}

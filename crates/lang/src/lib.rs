@@ -1,0 +1,51 @@
+//! Front-end for the HPF subset the paper's compilation scheme needs.
+//!
+//! The PPoPP'97 scheme (Coelho, *Compiling Dynamic Mappings with Array
+//! Copies*) consumes: array declarations, the HPF mapping directives
+//! (`PROCESSORS`, `TEMPLATE`, `DYNAMIC`, `ALIGN`, `DISTRIBUTE`,
+//! `REALIGN`, `REDISTRIBUTE`, plus the paper's `KILL` extension),
+//! explicit interfaces with `INTENT`, and structured control flow
+//! (`IF`/`DO`/`CALL`/assignments). That is exactly what this front-end
+//! parses — a Fortran-90-flavoured, line-oriented subset.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`sema`] (name resolution,
+//! directive checking, [`hpfc_mapping::MappingEnv`] construction).
+//! [`figures`] holds every example program of the paper as a compilable
+//! source string; the test-suites and experiment harness build on them.
+//!
+//! Deliberate restrictions, straight from the paper (Sec. 2.1):
+//! * `INHERIT` / transcriptive mappings are parsed and **rejected**;
+//! * calls to routines without an explicit interface are rejected;
+//! * remapping a variable not declared `DYNAMIC` is rejected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diag;
+pub mod figures;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod span;
+pub mod token;
+
+pub use ast::*;
+pub use diag::{Diagnostic, Severity};
+pub use parser::parse_program;
+pub use sema::{analyze, Module};
+pub use span::Span;
+
+/// Parse and semantically analyze a source string in one call.
+///
+/// This is the entry point the rest of the workspace uses:
+///
+/// ```
+/// let m = hpfc_lang::frontend(hpfc_lang::figures::FIG10_ADI).unwrap();
+/// assert_eq!(m.routines.len(), 1);
+/// ```
+pub fn frontend(src: &str) -> Result<sema::Module, Vec<diag::Diagnostic>> {
+    let program = parser::parse_program(src)?;
+    sema::analyze(&program)
+}

@@ -1,0 +1,1076 @@
+//! Recursive-descent parser for the HPF subset.
+//!
+//! The grammar is line-oriented: one statement per logical line
+//! (continuations handled by the lexer). Keywords are contextual
+//! identifiers, as in Fortran.
+
+use crate::ast::*;
+use crate::diag::{codes, Diagnostic};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Tok, Token};
+
+/// Parse a program (one or more subroutines).
+pub fn parse_program(src: &str) -> Result<Program, Vec<Diagnostic>> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, errs: Vec::new() };
+    let mut routines = Vec::new();
+    p.skip_newlines();
+    while !p.at_eof() {
+        match p.routine() {
+            Some(r) => routines.push(r),
+            None => break,
+        }
+        p.skip_newlines();
+    }
+    if routines.is_empty() && p.errs.is_empty() {
+        p.errs.push(Diagnostic::error(codes::PARSE, Span::default(), "no subroutine found"));
+    }
+    if p.errs.is_empty() {
+        Ok(Program { routines })
+    } else {
+        Err(p.errs)
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    errs: Vec<Diagnostic>,
+}
+
+impl Parser {
+    // ----- token plumbing ---------------------------------------------
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> bool {
+        if self.eat(&want) {
+            true
+        } else {
+            let sp = self.peek_span();
+            let found = self.peek().clone();
+            self.errs.push(Diagnostic::error(
+                codes::PARSE,
+                sp,
+                format!("expected {want}, found {found}"),
+            ));
+            false
+        }
+    }
+
+    /// Consume an identifier-token and return its text.
+    fn ident(&mut self) -> Option<String> {
+        if let Tok::Ident(s) = self.peek().clone() {
+            self.bump();
+            Some(s)
+        } else {
+            let sp = self.peek_span();
+            let found = self.peek().clone();
+            self.errs.push(Diagnostic::error(
+                codes::PARSE,
+                sp,
+                format!("expected identifier, found {found}"),
+            ));
+            None
+        }
+    }
+
+    /// Whether the current token is the given contextual keyword.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> bool {
+        if self.eat_kw(kw) {
+            true
+        } else {
+            let sp = self.peek_span();
+            let found = self.peek().clone();
+            self.errs.push(Diagnostic::error(
+                codes::PARSE,
+                sp,
+                format!("expected `{kw}`, found {found}"),
+            ));
+            false
+        }
+    }
+
+    /// Skip to end of the current logical line (error recovery).
+    fn sync_line(&mut self) {
+        while !matches!(self.peek(), Tok::Newline | Tok::Eof) {
+            self.bump();
+        }
+    }
+
+    fn end_of_stmt(&mut self) {
+        if !matches!(self.peek(), Tok::Newline | Tok::Eof) {
+            let sp = self.peek_span();
+            let found = self.peek().clone();
+            self.errs.push(Diagnostic::error(
+                codes::PARSE,
+                sp,
+                format!("unexpected {found} at end of statement"),
+            ));
+            self.sync_line();
+        }
+        self.skip_newlines();
+    }
+
+    // ----- routines ----------------------------------------------------
+
+    fn routine(&mut self) -> Option<Routine> {
+        let start = self.peek_span();
+        if !self.expect_kw("subroutine") {
+            self.sync_line();
+            return None;
+        }
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen)
+            && !self.eat(&Tok::RParen) {
+                loop {
+                    params.push(self.ident()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen);
+            }
+        self.end_of_stmt();
+
+        let mut decls = Vec::new();
+        let mut directives = Vec::new();
+        let mut interfaces = Vec::new();
+        let mut body = Vec::new();
+
+        loop {
+            self.skip_newlines();
+            if self.at_eof() {
+                self.errs.push(Diagnostic::error(
+                    codes::PARSE,
+                    self.peek_span(),
+                    format!("missing `end subroutine` for `{name}`"),
+                ));
+                break;
+            }
+            if self.at_kw("end") {
+                self.bump();
+                self.eat_kw("subroutine");
+                if let Tok::Ident(_) = self.peek() {
+                    self.bump(); // optional repeated name
+                }
+                self.end_of_stmt();
+                break;
+            }
+            if self.at_kw("interface") {
+                self.bump();
+                self.end_of_stmt();
+                self.interface_block(&mut interfaces);
+                continue;
+            }
+            if let Some(d) = self.try_decl() {
+                decls.push(d);
+                continue;
+            }
+            if matches!(self.peek(), Tok::Hpf) {
+                let d = self.directive()?;
+                if d.is_executable() {
+                    body.push(Stmt::Directive(d));
+                } else {
+                    directives.push(d);
+                }
+                continue;
+            }
+            if let Some(s) = self.stmt() {
+                body.push(s);
+            } else {
+                self.sync_line();
+                self.skip_newlines();
+            }
+        }
+
+        let span = start.merge(self.peek_span());
+        Some(Routine { name, params, decls, directives, interfaces, body, span })
+    }
+
+    fn interface_block(&mut self, out: &mut Vec<InterfaceRoutine>) {
+        loop {
+            self.skip_newlines();
+            if self.at_eof() {
+                self.errs.push(Diagnostic::error(
+                    codes::PARSE,
+                    self.peek_span(),
+                    "unterminated interface block",
+                ));
+                return;
+            }
+            if self.at_kw("end") {
+                self.bump();
+                self.expect_kw("interface");
+                self.end_of_stmt();
+                return;
+            }
+            if let Some(ir) = self.interface_routine() {
+                out.push(ir);
+            } else {
+                self.sync_line();
+            }
+        }
+    }
+
+    fn interface_routine(&mut self) -> Option<InterfaceRoutine> {
+        let start = self.peek_span();
+        if !self.expect_kw("subroutine") {
+            return None;
+        }
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen)
+            && !self.eat(&Tok::RParen) {
+                loop {
+                    params.push(self.ident()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen);
+            }
+        self.end_of_stmt();
+        let mut decls = Vec::new();
+        let mut directives = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.at_eof() {
+                break;
+            }
+            if self.at_kw("end") {
+                self.bump();
+                self.eat_kw("subroutine");
+                if let Tok::Ident(_) = self.peek() {
+                    self.bump();
+                }
+                self.end_of_stmt();
+                break;
+            }
+            if let Some(d) = self.try_decl() {
+                decls.push(d);
+                continue;
+            }
+            if matches!(self.peek(), Tok::Hpf) {
+                if let Some(d) = self.directive() {
+                    directives.push(d);
+                }
+                continue;
+            }
+            let sp = self.peek_span();
+            self.errs.push(Diagnostic::error(
+                codes::PARSE,
+                sp,
+                "only declarations and directives allowed in an interface body",
+            ));
+            self.sync_line();
+        }
+        let span = start.merge(self.peek_span());
+        Some(InterfaceRoutine { name, params, decls, directives, span })
+    }
+
+    // ----- declarations -------------------------------------------------
+
+    /// Try to parse a declaration line; `None` if the line is not one.
+    fn try_decl(&mut self) -> Option<Decl> {
+        let ty = if self.at_kw("real") {
+            Some(TypeSpec::Real)
+        } else if self.at_kw("integer") {
+            Some(TypeSpec::Integer)
+        } else if self.at_kw("logical") {
+            Some(TypeSpec::Logical)
+        } else {
+            None
+        };
+        if let Some(ty) = ty {
+            let span = self.peek_span();
+            self.bump();
+            // Optional `dimension(…)` attribute applying to all entities.
+            let mut common_dims = Vec::new();
+            if self.eat(&Tok::Comma)
+                && self.expect_kw("dimension") && self.expect(Tok::LParen) {
+                    loop {
+                        common_dims.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen);
+                }
+            self.eat(&Tok::DoubleColon);
+            let mut entities = Vec::new();
+            loop {
+                let name = self.ident()?;
+                let mut dims = common_dims.clone();
+                if self.eat(&Tok::LParen) {
+                    dims.clear();
+                    loop {
+                        dims.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen);
+                }
+                entities.push(EntityDecl { name, dims });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.end_of_stmt();
+            return Some(Decl::Type { ty, entities, span });
+        }
+        if self.at_kw("intent") {
+            let span = self.peek_span();
+            self.bump();
+            self.expect(Tok::LParen);
+            let intent = if self.eat_kw("inout") {
+                Intent::InOut
+            } else if self.eat_kw("in") {
+                Intent::In
+            } else if self.eat_kw("out") {
+                Intent::Out
+            } else {
+                self.errs.push(Diagnostic::error(
+                    codes::PARSE,
+                    self.peek_span(),
+                    "expected IN, OUT or INOUT",
+                ));
+                Intent::InOut
+            };
+            self.expect(Tok::RParen);
+            self.eat(&Tok::DoubleColon);
+            let mut names = Vec::new();
+            loop {
+                names.push(self.ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.end_of_stmt();
+            return Some(Decl::Intent { intent, names, span });
+        }
+        None
+    }
+
+    // ----- directives -----------------------------------------------------
+
+    fn directive(&mut self) -> Option<Directive> {
+        let span = self.peek_span();
+        self.expect(Tok::Hpf);
+        let kw = self.ident()?;
+        let d = match kw.as_str() {
+            "processors" => {
+                let name = self.ident()?;
+                let dims = self.paren_expr_list()?;
+                Directive::Processors { name, dims, span }
+            }
+            "template" => {
+                let name = self.ident()?;
+                let dims = self.paren_expr_list()?;
+                Directive::Template { name, dims, span }
+            }
+            "dynamic" => {
+                self.eat(&Tok::DoubleColon);
+                let names = self.name_list()?;
+                Directive::Dynamic { names, span }
+            }
+            "align" | "realign" => {
+                let spec = self.align_spec()?;
+                if kw == "align" {
+                    Directive::Align { spec, span }
+                } else {
+                    Directive::Realign { spec, span }
+                }
+            }
+            "distribute" | "redistribute" => {
+                let target = self.ident()?;
+                let formats = self.dist_formats()?;
+                let onto = if self.eat_kw("onto") { Some(self.ident()?) } else { None };
+                if kw == "distribute" {
+                    Directive::Distribute { target, formats, onto, span }
+                } else {
+                    Directive::Redistribute { target, formats, onto, span }
+                }
+            }
+            "kill" => {
+                self.eat(&Tok::DoubleColon);
+                let names = self.name_list()?;
+                Directive::Kill { names, span }
+            }
+            "inherit" => {
+                self.eat(&Tok::DoubleColon);
+                let names = self.name_list()?;
+                Directive::Inherit { names, span }
+            }
+            other => {
+                self.errs.push(Diagnostic::error(
+                    codes::PARSE,
+                    span,
+                    format!("unknown HPF directive `{other}`"),
+                ));
+                self.sync_line();
+                self.skip_newlines();
+                return None;
+            }
+        };
+        self.end_of_stmt();
+        Some(d)
+    }
+
+    fn align_spec(&mut self) -> Option<AlignSpec> {
+        if self.eat_kw("with") {
+            // ALIGN WITH T :: A, B
+            let target = self.ident()?;
+            self.expect(Tok::DoubleColon);
+            let arrays = self.name_list()?;
+            return Some(AlignSpec::With { target, arrays });
+        }
+        // ALIGN A(i,j) WITH T(j, i)
+        let array = self.ident()?;
+        let mut dummies = Vec::new();
+        if self.eat(&Tok::LParen) {
+            loop {
+                dummies.push(self.ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen);
+        }
+        self.expect_kw("with");
+        let target = self.ident()?;
+        let mut subscripts = Vec::new();
+        if self.eat(&Tok::LParen) {
+            loop {
+                if self.eat(&Tok::Star) {
+                    subscripts.push(AlignSub::Star);
+                } else {
+                    subscripts.push(AlignSub::Affine(self.expr()?));
+                }
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen);
+        }
+        Some(AlignSpec::Explicit { array, dummies, target, subscripts })
+    }
+
+    fn dist_formats(&mut self) -> Option<Vec<DistFormatAst>> {
+        let mut v = Vec::new();
+        self.expect(Tok::LParen);
+        loop {
+            if self.eat(&Tok::Star) {
+                v.push(DistFormatAst::Star);
+            } else if self.eat_kw("block") {
+                let arg =
+                    if self.eat(&Tok::LParen) {
+                        let e = self.expr()?;
+                        self.expect(Tok::RParen);
+                        Some(e)
+                    } else {
+                        None
+                    };
+                v.push(DistFormatAst::Block(arg));
+            } else if self.eat_kw("cyclic") {
+                let arg =
+                    if self.eat(&Tok::LParen) {
+                        let e = self.expr()?;
+                        self.expect(Tok::RParen);
+                        Some(e)
+                    } else {
+                        None
+                    };
+                v.push(DistFormatAst::Cyclic(arg));
+            } else {
+                self.errs.push(Diagnostic::error(
+                    codes::PARSE,
+                    self.peek_span(),
+                    "expected BLOCK, CYCLIC or `*`",
+                ));
+                return None;
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen);
+        Some(v)
+    }
+
+    fn name_list(&mut self) -> Option<Vec<String>> {
+        let mut v = vec![self.ident()?];
+        while self.eat(&Tok::Comma) {
+            v.push(self.ident()?);
+        }
+        Some(v)
+    }
+
+    fn paren_expr_list(&mut self) -> Option<Vec<Expr>> {
+        self.expect(Tok::LParen);
+        let mut v = vec![self.expr()?];
+        while self.eat(&Tok::Comma) {
+            v.push(self.expr()?);
+        }
+        self.expect(Tok::RParen);
+        Some(v)
+    }
+
+    // ----- statements ----------------------------------------------------
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        let span = self.peek_span();
+        if self.at_kw("if") {
+            return self.if_stmt();
+        }
+        if self.at_kw("do") {
+            return self.do_stmt();
+        }
+        if self.at_kw("call") {
+            self.bump();
+            let name = self.ident()?;
+            let args = if self.eat(&Tok::LParen) {
+                if self.eat(&Tok::RParen) {
+                    Vec::new()
+                } else {
+                    let mut v = vec![self.expr()?];
+                    while self.eat(&Tok::Comma) {
+                        v.push(self.expr()?);
+                    }
+                    self.expect(Tok::RParen);
+                    v
+                }
+            } else {
+                Vec::new()
+            };
+            self.end_of_stmt();
+            return Some(Stmt::Call { name, args, span });
+        }
+        if self.at_kw("return") {
+            self.bump();
+            self.end_of_stmt();
+            return Some(Stmt::Return { span });
+        }
+        if self.at_kw("continue") {
+            self.bump();
+            self.end_of_stmt();
+            // `CONTINUE` is a no-op; encode as empty return-less marker.
+            return self.stmt_or_next();
+        }
+        // Assignment.
+        if let Tok::Ident(_) = self.peek() {
+            let name = self.ident()?;
+            let mut subs = Vec::new();
+            if self.eat(&Tok::LParen) {
+                loop {
+                    subs.push(self.expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen);
+            }
+            self.expect(Tok::Assign);
+            let rhs = self.expr()?;
+            self.end_of_stmt();
+            return Some(Stmt::Assign { lhs: LValue { name, subs, span }, rhs, span });
+        }
+        let found = self.peek().clone();
+        self.errs.push(Diagnostic::error(
+            codes::PARSE,
+            span,
+            format!("expected a statement, found {found}"),
+        ));
+        None
+    }
+
+    /// After a no-op line, parse the next statement if any.
+    fn stmt_or_next(&mut self) -> Option<Stmt> {
+        self.skip_newlines();
+        if self.at_eof() || self.at_kw("end") || self.at_kw("else") || self.at_kw("endif")
+            || self.at_kw("enddo")
+        {
+            None
+        } else if matches!(self.peek(), Tok::Hpf) {
+            self.directive().map(Stmt::Directive)
+        } else {
+            self.stmt()
+        }
+    }
+
+    fn if_stmt(&mut self) -> Option<Stmt> {
+        let span = self.peek_span();
+        self.expect_kw("if");
+        self.expect(Tok::LParen);
+        let cond = self.expr()?;
+        self.expect(Tok::RParen);
+        self.expect_kw("then");
+        self.end_of_stmt();
+        let mut then_body = Vec::new();
+        let mut else_body = Vec::new();
+        let mut in_else = false;
+        loop {
+            self.skip_newlines();
+            if self.at_eof() {
+                self.errs.push(Diagnostic::error(codes::PARSE, span, "unterminated IF"));
+                return None;
+            }
+            if self.at_kw("endif") {
+                self.bump();
+                self.end_of_stmt();
+                break;
+            }
+            if self.at_kw("end") && matches!(self.peek2(), Tok::Ident(s) if s == "if") {
+                self.bump();
+                self.bump();
+                self.end_of_stmt();
+                break;
+            }
+            if self.at_kw("else") {
+                self.bump();
+                in_else = true;
+                self.end_of_stmt();
+                continue;
+            }
+            let s = if matches!(self.peek(), Tok::Hpf) {
+                self.directive().map(Stmt::Directive)
+            } else {
+                self.stmt()
+            };
+            match s {
+                Some(s) => {
+                    if in_else {
+                        else_body.push(s)
+                    } else {
+                        then_body.push(s)
+                    }
+                }
+                None => self.sync_line(),
+            }
+        }
+        Some(Stmt::If { cond, then_body, else_body, span })
+    }
+
+    fn do_stmt(&mut self) -> Option<Stmt> {
+        let span = self.peek_span();
+        self.expect_kw("do");
+        let var = self.ident()?;
+        self.expect(Tok::Assign);
+        let lo = self.expr()?;
+        self.expect(Tok::Comma);
+        let hi = self.expr()?;
+        let step = if self.eat(&Tok::Comma) { Some(self.expr()?) } else { None };
+        self.end_of_stmt();
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.at_eof() {
+                self.errs.push(Diagnostic::error(codes::PARSE, span, "unterminated DO"));
+                return None;
+            }
+            if self.at_kw("enddo") {
+                self.bump();
+                self.end_of_stmt();
+                break;
+            }
+            if self.at_kw("end") && matches!(self.peek2(), Tok::Ident(s) if s == "do") {
+                self.bump();
+                self.bump();
+                self.end_of_stmt();
+                break;
+            }
+            let s = if matches!(self.peek(), Tok::Hpf) {
+                self.directive().map(Stmt::Directive)
+            } else {
+                self.stmt()
+            };
+            match s {
+                Some(s) => body.push(s),
+                None => self.sync_line(),
+            }
+        }
+        Some(Stmt::Do { var, lo, hi, step, body, span })
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Option<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Option<Expr> {
+        let mut l = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let r = self.and_expr()?;
+            let span = l.span().merge(r.span());
+            l = Expr::Bin { op: BinOp::Or, l: Box::new(l), r: Box::new(r), span };
+        }
+        Some(l)
+    }
+
+    fn and_expr(&mut self) -> Option<Expr> {
+        let mut l = self.not_expr()?;
+        while self.eat(&Tok::And) {
+            let r = self.not_expr()?;
+            let span = l.span().merge(r.span());
+            l = Expr::Bin { op: BinOp::And, l: Box::new(l), r: Box::new(r), span };
+        }
+        Some(l)
+    }
+
+    fn not_expr(&mut self) -> Option<Expr> {
+        if self.eat(&Tok::Not) {
+            let e = self.not_expr()?;
+            let span = e.span();
+            Some(Expr::Un { op: UnOp::Not, e: Box::new(e), span })
+        } else {
+            self.rel_expr()
+        }
+    }
+
+    fn rel_expr(&mut self) -> Option<Expr> {
+        let l = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => BinOp::Lt,
+            Tok::Gt => BinOp::Gt,
+            Tok::Le => BinOp::Le,
+            Tok::Ge => BinOp::Ge,
+            Tok::EqEq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            _ => return Some(l),
+        };
+        self.bump();
+        let r = self.add_expr()?;
+        let span = l.span().merge(r.span());
+        Some(Expr::Bin { op, l: Box::new(l), r: Box::new(r), span })
+    }
+
+    fn add_expr(&mut self) -> Option<Expr> {
+        let mut l = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            let span = l.span().merge(r.span());
+            l = Expr::Bin { op, l: Box::new(l), r: Box::new(r), span };
+        }
+        Some(l)
+    }
+
+    fn mul_expr(&mut self) -> Option<Expr> {
+        let mut l = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            let span = l.span().merge(r.span());
+            l = Expr::Bin { op, l: Box::new(l), r: Box::new(r), span };
+        }
+        Some(l)
+    }
+
+    fn unary_expr(&mut self) -> Option<Expr> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            let span = e.span();
+            return Some(Expr::Un { op: UnOp::Neg, e: Box::new(e), span });
+        }
+        if self.eat(&Tok::Plus) {
+            return self.unary_expr();
+        }
+        self.pow_expr()
+    }
+
+    fn pow_expr(&mut self) -> Option<Expr> {
+        let base = self.primary()?;
+        if self.eat(&Tok::Pow) {
+            // Right-associative.
+            let exp = self.unary_expr()?;
+            let span = base.span().merge(exp.span());
+            return Some(Expr::Bin { op: BinOp::Pow, l: Box::new(base), r: Box::new(exp), span });
+        }
+        Some(base)
+    }
+
+    fn primary(&mut self) -> Option<Expr> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Some(Expr::Int(v, span))
+            }
+            Tok::Real(v) => {
+                self.bump();
+                Some(Expr::Real(v, span))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen);
+                Some(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(&Tok::LParen) {
+                    let mut subs = vec![self.expr()?];
+                    while self.eat(&Tok::Comma) {
+                        subs.push(self.expr()?);
+                    }
+                    self.expect(Tok::RParen);
+                    let span = span.merge(self.peek_span());
+                    Some(Expr::Ref { name, subs, span })
+                } else {
+                    Some(Expr::Var(name, span))
+                }
+            }
+            other => {
+                self.errs.push(Diagnostic::error(
+                    codes::PARSE,
+                    span,
+                    format!("expected an expression, found {other}"),
+                ));
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_subroutine() {
+        let p = parse_program("subroutine s\nx = 1\nend subroutine").unwrap();
+        assert_eq!(p.routines.len(), 1);
+        assert_eq!(p.routines[0].name, "s");
+        assert_eq!(p.routines[0].body.len(), 1);
+    }
+
+    #[test]
+    fn params_and_decls() {
+        let src = "subroutine s(a, n)\ninteger :: n\nreal :: a(8,8), b(8)\nintent(inout) :: a\nend";
+        let p = parse_program(src).unwrap();
+        let r = &p.routines[0];
+        assert_eq!(r.params, vec!["a", "n"]);
+        assert_eq!(r.decls.len(), 3);
+        match &r.decls[1] {
+            Decl::Type { ty: TypeSpec::Real, entities, .. } => {
+                assert_eq!(entities.len(), 2);
+                assert_eq!(entities[0].name, "a");
+                assert_eq!(entities[0].dims.len(), 2);
+            }
+            other => panic!("bad decl {other:?}"),
+        }
+        match &r.decls[2] {
+            Decl::Intent { intent: Intent::InOut, names, .. } => assert_eq!(names, &["a"]),
+            other => panic!("bad decl {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives_static_and_executable() {
+        let src = "subroutine s\n\
+                   real :: a(8)\n\
+                   !hpf$ processors p(4)\n\
+                   !hpf$ dynamic a\n\
+                   !hpf$ distribute a(block) onto p\n\
+                   a = 0.0\n\
+                   !hpf$ redistribute a(cyclic)\n\
+                   end";
+        let p = parse_program(src).unwrap();
+        let r = &p.routines[0];
+        assert_eq!(r.directives.len(), 3); // processors, dynamic, distribute
+        assert_eq!(r.body.len(), 2); // assign + redistribute
+        assert!(matches!(r.body[1], Stmt::Directive(Directive::Redistribute { .. })));
+    }
+
+    #[test]
+    fn align_with_colon_form() {
+        let src = "subroutine s\n!hpf$ align with t :: a, b, c\nend";
+        let p = parse_program(src).unwrap();
+        match &p.routines[0].directives[0] {
+            Directive::Align { spec: AlignSpec::With { target, arrays }, .. } => {
+                assert_eq!(target, "t");
+                assert_eq!(arrays, &["a", "b", "c"]);
+            }
+            other => panic!("bad directive {other:?}"),
+        }
+    }
+
+    #[test]
+    fn align_explicit_form_with_affine_subscripts() {
+        let src = "subroutine s\n!hpf$ realign a(i,j) with t(j+1, 2*i, *)\nend";
+        let p = parse_program(src).unwrap();
+        match &p.routines[0].body[0] {
+            Stmt::Directive(Directive::Realign {
+                spec: AlignSpec::Explicit { array, dummies, target, subscripts },
+                ..
+            }) => {
+                assert_eq!(array, "a");
+                assert_eq!(dummies, &["i", "j"]);
+                assert_eq!(target, "t");
+                assert_eq!(subscripts.len(), 3);
+                assert!(matches!(subscripts[2], AlignSub::Star));
+            }
+            other => panic!("bad stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distribute_formats() {
+        let src = "subroutine s\n!hpf$ distribute t(block(10), cyclic, *) onto p\nend";
+        let p = parse_program(src).unwrap();
+        match &p.routines[0].directives[0] {
+            Directive::Distribute { target, formats, onto, .. } => {
+                assert_eq!(target, "t");
+                assert_eq!(formats.len(), 3);
+                assert!(matches!(formats[0], DistFormatAst::Block(Some(_))));
+                assert!(matches!(formats[1], DistFormatAst::Cyclic(None)));
+                assert!(matches!(formats[2], DistFormatAst::Star));
+                assert_eq!(onto.as_deref(), Some("p"));
+            }
+            other => panic!("bad directive {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_and_do() {
+        let src = "subroutine s\n\
+                   do i = 1, 10, 2\n\
+                   if (a(i) > 0.0) then\n\
+                   a(i) = -a(i)\n\
+                   else\n\
+                   a(i) = 0.0\n\
+                   endif\n\
+                   end do\n\
+                   end";
+        let p = parse_program(src).unwrap();
+        match &p.routines[0].body[0] {
+            Stmt::Do { var, step, body, .. } => {
+                assert_eq!(var, "i");
+                assert!(step.is_some());
+                assert!(matches!(&body[0], Stmt::If { else_body, .. } if else_body.len() == 1));
+            }
+            other => panic!("bad stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_block() {
+        let src = "subroutine s\n\
+                   interface\n\
+                   subroutine foo(x)\n\
+                   real :: x(8)\n\
+                   intent(in) :: x\n\
+                   !hpf$ distribute x(cyclic)\n\
+                   end subroutine\n\
+                   end interface\n\
+                   call foo(b)\n\
+                   end";
+        let p = parse_program(src).unwrap();
+        let r = &p.routines[0];
+        assert_eq!(r.interfaces.len(), 1);
+        assert_eq!(r.interfaces[0].name, "foo");
+        assert_eq!(r.interfaces[0].directives.len(), 1);
+        assert!(matches!(&r.body[0], Stmt::Call { name, args, .. } if name == "foo" && args.len() == 1));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "subroutine s\nx = 1 + 2 * 3 ** 2\nend";
+        let p = parse_program(src).unwrap();
+        match &p.routines[0].body[0] {
+            Stmt::Assign { rhs, .. } => {
+                // 1 + (2 * (3 ** 2))
+                let Expr::Bin { op: BinOp::Add, r, .. } = rhs else { panic!() };
+                let Expr::Bin { op: BinOp::Mul, r, .. } = r.as_ref() else { panic!() };
+                assert!(matches!(r.as_ref(), Expr::Bin { op: BinOp::Pow, .. }));
+            }
+            other => panic!("bad stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_and_inherit_parse() {
+        let src = "subroutine s\n!hpf$ inherit x\n!hpf$ kill a, b\nend";
+        let p = parse_program(src).unwrap();
+        let r = &p.routines[0];
+        assert!(matches!(&r.directives[0], Directive::Inherit { names, .. } if names == &["x"]));
+        assert!(matches!(&r.body[0], Stmt::Directive(Directive::Kill { names, .. }) if names.len() == 2));
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let errs = parse_program("subroutine s\nx = = 1\nend").unwrap_err();
+        assert!(errs.iter().any(|e| e.code == codes::PARSE));
+    }
+
+    #[test]
+    fn two_routines() {
+        let src = "subroutine a\nx=1\nend\nsubroutine b\ny=2\nend";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.routines.len(), 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! Pretty-printer: AST → canonical source. Used for golden tests and
+//! for displaying the statically-mapped program the compiler produces.
+
+use crate::ast::*;
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    for r in &p.routines {
+        routine_to_string_into(r, &mut s);
+        s.push('\n');
+    }
+    s
+}
+
+/// Render one routine.
+pub fn routine_to_string(r: &Routine) -> String {
+    let mut s = String::new();
+    routine_to_string_into(r, &mut s);
+    s
+}
+
+fn routine_to_string_into(r: &Routine, s: &mut String) {
+    s.push_str("subroutine ");
+    s.push_str(&r.name);
+    if !r.params.is_empty() {
+        s.push('(');
+        s.push_str(&r.params.join(", "));
+        s.push(')');
+    }
+    s.push('\n');
+    for d in &r.decls {
+        s.push_str("  ");
+        s.push_str(&decl_to_string(d));
+        s.push('\n');
+    }
+    for d in &r.directives {
+        s.push_str(&directive_to_string(d));
+        s.push('\n');
+    }
+    if !r.interfaces.is_empty() {
+        s.push_str("  interface\n");
+        for itf in &r.interfaces {
+            s.push_str("    subroutine ");
+            s.push_str(&itf.name);
+            s.push('(');
+            s.push_str(&itf.params.join(", "));
+            s.push_str(")\n");
+            for d in &itf.decls {
+                s.push_str("      ");
+                s.push_str(&decl_to_string(d));
+                s.push('\n');
+            }
+            for d in &itf.directives {
+                s.push_str(&directive_to_string(d));
+                s.push('\n');
+            }
+            s.push_str("    end subroutine\n");
+        }
+        s.push_str("  end interface\n");
+    }
+    for st in &r.body {
+        stmt_to_string_into(st, 1, s);
+    }
+    s.push_str("end subroutine ");
+    s.push_str(&r.name);
+    s.push('\n');
+}
+
+fn decl_to_string(d: &Decl) -> String {
+    match d {
+        Decl::Type { ty, entities, .. } => {
+            let tn = match ty {
+                TypeSpec::Real => "real",
+                TypeSpec::Integer => "integer",
+                TypeSpec::Logical => "logical",
+            };
+            let es: Vec<String> = entities
+                .iter()
+                .map(|e| {
+                    if e.dims.is_empty() {
+                        e.name.clone()
+                    } else {
+                        format!(
+                            "{}({})",
+                            e.name,
+                            e.dims.iter().map(expr_to_string).collect::<Vec<_>>().join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("{tn} :: {}", es.join(", "))
+        }
+        Decl::Intent { intent, names, .. } => {
+            format!("intent({}) :: {}", intent_str(*intent), names.join(", "))
+        }
+    }
+}
+
+fn intent_str(i: Intent) -> &'static str {
+    match i {
+        Intent::In => "in",
+        Intent::Out => "out",
+        Intent::InOut => "inout",
+    }
+}
+
+/// Render a directive (with its `!hpf$` prefix, no indentation —
+/// directives conventionally start in column 1).
+pub fn directive_to_string(d: &Directive) -> String {
+    match d {
+        Directive::Processors { name, dims, .. } => {
+            format!("!hpf$ processors {name}({})", exprs(dims))
+        }
+        Directive::Template { name, dims, .. } => {
+            format!("!hpf$ template {name}({})", exprs(dims))
+        }
+        Directive::Dynamic { names, .. } => format!("!hpf$ dynamic {}", names.join(", ")),
+        Directive::Align { spec, .. } => format!("!hpf$ align {}", align_spec(spec)),
+        Directive::Realign { spec, .. } => format!("!hpf$ realign {}", align_spec(spec)),
+        Directive::Distribute { target, formats, onto, .. } => {
+            format!("!hpf$ distribute {target}({}){}", fmts(formats), onto_str(onto))
+        }
+        Directive::Redistribute { target, formats, onto, .. } => {
+            format!("!hpf$ redistribute {target}({}){}", fmts(formats), onto_str(onto))
+        }
+        Directive::Kill { names, .. } => format!("!hpf$ kill {}", names.join(", ")),
+        Directive::Inherit { names, .. } => format!("!hpf$ inherit {}", names.join(", ")),
+    }
+}
+
+fn onto_str(onto: &Option<String>) -> String {
+    onto.as_ref().map(|g| format!(" onto {g}")).unwrap_or_default()
+}
+
+fn align_spec(spec: &AlignSpec) -> String {
+    match spec {
+        AlignSpec::With { target, arrays } => {
+            format!("with {target} :: {}", arrays.join(", "))
+        }
+        AlignSpec::Explicit { array, dummies, target, subscripts } => {
+            let subs: Vec<String> = subscripts
+                .iter()
+                .map(|s| match s {
+                    AlignSub::Star => "*".to_string(),
+                    AlignSub::Affine(e) => expr_to_string(e),
+                })
+                .collect();
+            if dummies.is_empty() {
+                format!("{array} with {target}({})", subs.join(", "))
+            } else {
+                format!("{array}({}) with {target}({})", dummies.join(", "), subs.join(", "))
+            }
+        }
+    }
+}
+
+fn fmts(formats: &[DistFormatAst]) -> String {
+    formats
+        .iter()
+        .map(|f| match f {
+            DistFormatAst::Star => "*".to_string(),
+            DistFormatAst::Block(None) => "block".to_string(),
+            DistFormatAst::Block(Some(e)) => format!("block({})", expr_to_string(e)),
+            DistFormatAst::Cyclic(None) => "cyclic".to_string(),
+            DistFormatAst::Cyclic(Some(e)) => format!("cyclic({})", expr_to_string(e)),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn exprs(es: &[Expr]) -> String {
+    es.iter().map(expr_to_string).collect::<Vec<_>>().join(", ")
+}
+
+fn stmt_to_string_into(s: &Stmt, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match s {
+        Stmt::Assign { lhs, rhs, .. } => {
+            out.push_str(&pad);
+            out.push_str(&lhs.name);
+            if !lhs.subs.is_empty() {
+                out.push('(');
+                out.push_str(&exprs(&lhs.subs));
+                out.push(')');
+            }
+            out.push_str(" = ");
+            out.push_str(&expr_to_string(rhs));
+            out.push('\n');
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            out.push_str(&pad);
+            out.push_str("if (");
+            out.push_str(&expr_to_string(cond));
+            out.push_str(") then\n");
+            for st in then_body {
+                stmt_to_string_into(st, depth + 1, out);
+            }
+            if !else_body.is_empty() {
+                out.push_str(&pad);
+                out.push_str("else\n");
+                for st in else_body {
+                    stmt_to_string_into(st, depth + 1, out);
+                }
+            }
+            out.push_str(&pad);
+            out.push_str("endif\n");
+        }
+        Stmt::Do { var, lo, hi, step, body, .. } => {
+            out.push_str(&pad);
+            out.push_str(&format!("do {var} = {}, {}", expr_to_string(lo), expr_to_string(hi)));
+            if let Some(st) = step {
+                out.push_str(&format!(", {}", expr_to_string(st)));
+            }
+            out.push('\n');
+            for st in body {
+                stmt_to_string_into(st, depth + 1, out);
+            }
+            out.push_str(&pad);
+            out.push_str("enddo\n");
+        }
+        Stmt::Call { name, args, .. } => {
+            out.push_str(&pad);
+            out.push_str(&format!("call {name}({})\n", exprs(args)));
+        }
+        Stmt::Directive(d) => {
+            out.push_str(&directive_to_string(d));
+            out.push('\n');
+        }
+        Stmt::Return { .. } => {
+            out.push_str(&pad);
+            out.push_str("return\n");
+        }
+    }
+}
+
+/// Render an expression with minimal parenthesization (conservative:
+/// parens around every nested binary operation).
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Real(v, _) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(n, _) => n.clone(),
+        Expr::Ref { name, subs, .. } => format!("{name}({})", exprs(subs)),
+        Expr::Bin { op, l, r, .. } => {
+            let ls = wrap(l);
+            let rs = wrap(r);
+            format!("{ls} {} {rs}", binop_str(*op))
+        }
+        Expr::Un { op, e, .. } => match op {
+            UnOp::Neg => format!("-{}", wrap(e)),
+            UnOp::Not => format!(".not. {}", wrap(e)),
+        },
+    }
+}
+
+fn wrap(e: &Expr) -> String {
+    match e {
+        Expr::Bin { .. } => format!("({})", expr_to_string(e)),
+        _ => expr_to_string(e),
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Pow => "**",
+        BinOp::Lt => "<",
+        BinOp::Gt => ">",
+        BinOp::Le => "<=",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "/=",
+        BinOp::And => ".and.",
+        BinOp::Or => ".or.",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Pretty-printed output must re-parse to the same AST (modulo
+    /// spans, which `PartialEq` on the AST includes — so we compare the
+    /// *second* round trip against the first).
+    #[test]
+    fn roundtrip_stability() {
+        let src = "subroutine s(a, t)\n\
+                   integer :: t\n\
+                   real :: a(8,8), b(8,8)\n\
+                   !hpf$ processors p(4)\n\
+                   !hpf$ dynamic a\n\
+                   !hpf$ align with a :: b\n\
+                   !hpf$ distribute a(block, *) onto p\n\
+                   b = a + 1.5\n\
+                   if (b(1,1) > 0.0) then\n\
+                   !hpf$ redistribute a(cyclic, *)\n\
+                   a = -a\n\
+                   endif\n\
+                   do i = 1, t\n\
+                   a(i, i) = 2.0 * a(i, i)\n\
+                   enddo\n\
+                   end";
+        let p1 = parse_program(src).unwrap();
+        let printed1 = program_to_string(&p1);
+        let p2 = parse_program(&printed1).unwrap();
+        let printed2 = program_to_string(&p2);
+        assert_eq!(printed1, printed2);
+    }
+}

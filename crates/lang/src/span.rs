@@ -1,0 +1,53 @@
+//! Source positions and spans for diagnostics.
+
+/// A half-open byte range into the source, with the 1-based line of its
+/// start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Span covering `start..end` on `line`.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+
+    /// A zero-width span used for synthesized nodes.
+    pub fn synthetic() -> Span {
+        Span::default()
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(4, 9, 2);
+        let b = Span::new(12, 20, 3);
+        let m = a.merge(b);
+        assert_eq!(m, Span::new(4, 20, 2));
+    }
+}

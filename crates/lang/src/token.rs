@@ -1,0 +1,104 @@
+//! Token model. Fortran has no reserved words, so words lex as
+//! [`Tok::Ident`] (lower-cased — Fortran is case-insensitive) and the
+//! parser matches keywords contextually.
+
+use crate::span::Span;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, lower-cased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `::`
+    DoubleColon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `**`
+    Pow,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `/=`
+    Ne,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+    /// `.not.`
+    Not,
+    /// The `!hpf$` directive sentinel starting a directive line.
+    Hpf,
+    /// End of a logical line (statement separator).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Real(v) => write!(f, "{v}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::DoubleColon => write!(f, "::"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Pow => write!(f, "**"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Le => write!(f, "<="),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Ne => write!(f, "/="),
+            Tok::And => write!(f, ".and."),
+            Tok::Or => write!(f, ".or."),
+            Tok::Not => write!(f, ".not."),
+            Tok::Hpf => write!(f, "!hpf$"),
+            Tok::Newline => write!(f, "end of line"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind (and payload).
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}

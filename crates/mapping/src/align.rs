@@ -1,0 +1,185 @@
+//! Alignments: the affine first level of the two-level HPF mapping
+//! (`!HPF$ ALIGN A(i,j) WITH T(j+1, 2*i)`).
+
+use crate::TemplateId;
+
+/// What a single *template* axis receives from the aligned array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignTarget {
+    /// The template axis tracks array axis `array_dim` affinely:
+    /// `t = stride * a + offset` (zero-based; stride may be negative).
+    Axis {
+        /// Which array dimension feeds this template dimension.
+        array_dim: usize,
+        /// Affine stride (non-zero).
+        stride: i64,
+        /// Affine offset.
+        offset: i64,
+    },
+    /// The array is replicated along this template axis (`*` subscript
+    /// on the template side).
+    Replicate,
+    /// The whole array sits at one fixed coordinate of this template
+    /// axis (a constant subscript).
+    Constant(i64),
+}
+
+impl AlignTarget {
+    /// Identity axis alignment `t = a` for array dimension `d`.
+    pub fn identity(d: usize) -> Self {
+        AlignTarget::Axis { array_dim: d, stride: 1, offset: 0 }
+    }
+
+    /// Evaluate the template coordinate for array point `p`
+    /// (`None` for [`AlignTarget::Replicate`], which spans the axis).
+    pub fn eval(&self, p: &[u64]) -> Option<i64> {
+        match *self {
+            AlignTarget::Axis { array_dim, stride, offset } => {
+                Some(stride * p[array_dim] as i64 + offset)
+            }
+            AlignTarget::Constant(c) => Some(c),
+            AlignTarget::Replicate => None,
+        }
+    }
+}
+
+/// A complete alignment of one array onto a template: one
+/// [`AlignTarget`] per *template* dimension.
+///
+/// Invariants (checked by [`Alignment::validate`]):
+/// * each array axis is used by at most one template axis;
+/// * strides are non-zero.
+///
+/// Array axes used by no template axis are *collapsed on the template*:
+/// the element's coordinate along them does not influence placement
+/// (HPF's `ALIGN A(i,*) WITH T(i)` effect).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Alignment {
+    /// The template this alignment targets.
+    pub template: TemplateId,
+    /// One entry per template dimension.
+    pub targets: Vec<AlignTarget>,
+}
+
+impl Alignment {
+    /// The identity alignment of an `rank`-dimensional array onto an
+    /// equally-ranked template (`ALIGN A(i1,…,ik) WITH T(i1,…,ik)`).
+    pub fn identity(template: TemplateId, rank: usize) -> Self {
+        Alignment { template, targets: (0..rank).map(AlignTarget::identity).collect() }
+    }
+
+    /// A transposing alignment for a rank-2 array:
+    /// `ALIGN A(i,j) WITH T(j,i)` (paper Fig. 1/2).
+    pub fn transpose2(template: TemplateId) -> Self {
+        Alignment {
+            template,
+            targets: vec![
+                AlignTarget::Axis { array_dim: 1, stride: 1, offset: 0 },
+                AlignTarget::Axis { array_dim: 0, stride: 1, offset: 0 },
+            ],
+        }
+    }
+
+    /// Check the structural invariants; returns a human-readable reason
+    /// on failure.
+    pub fn validate(&self, array_rank: usize) -> Result<(), String> {
+        let mut used = vec![false; array_rank];
+        for (tdim, t) in self.targets.iter().enumerate() {
+            if let AlignTarget::Axis { array_dim, stride, .. } = t {
+                if *array_dim >= array_rank {
+                    return Err(format!(
+                        "template dim {tdim} references array axis {array_dim} \
+                         but array rank is {array_rank}"
+                    ));
+                }
+                if *stride == 0 {
+                    return Err(format!("template dim {tdim} has zero stride"));
+                }
+                if used[*array_dim] {
+                    return Err(format!("array axis {array_dim} aligned twice"));
+                }
+                used[*array_dim] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Template coordinates of array point `p`; `None` entries are
+    /// replicated axes (the point occupies the whole axis).
+    pub fn image(&self, p: &[u64]) -> Vec<Option<i64>> {
+        self.targets.iter().map(|t| t.eval(p)).collect()
+    }
+
+    /// The array axes *not* used by any template axis (collapsed by the
+    /// alignment).
+    pub fn unused_array_axes(&self, array_rank: usize) -> Vec<usize> {
+        let mut used = vec![false; array_rank];
+        for t in &self.targets {
+            if let AlignTarget::Axis { array_dim, .. } = t {
+                used[*array_dim] = true;
+            }
+        }
+        (0..array_rank).filter(|&d| !used[d]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_image() {
+        let a = Alignment::identity(TemplateId(0), 2);
+        assert_eq!(a.image(&[3, 5]), vec![Some(3), Some(5)]);
+        a.validate(2).unwrap();
+    }
+
+    #[test]
+    fn transpose_image() {
+        let a = Alignment::transpose2(TemplateId(0));
+        assert_eq!(a.image(&[3, 5]), vec![Some(5), Some(3)]);
+        a.validate(2).unwrap();
+    }
+
+    #[test]
+    fn affine_image_with_offset_and_stride() {
+        let a = Alignment {
+            template: TemplateId(0),
+            targets: vec![AlignTarget::Axis { array_dim: 0, stride: 2, offset: 1 }],
+        };
+        assert_eq!(a.image(&[4]), vec![Some(9)]);
+    }
+
+    #[test]
+    fn replicate_and_constant() {
+        let a = Alignment {
+            template: TemplateId(0),
+            targets: vec![AlignTarget::Replicate, AlignTarget::Constant(7)],
+        };
+        assert_eq!(a.image(&[0]), vec![None, Some(7)]);
+        assert_eq!(a.unused_array_axes(1), vec![0]);
+    }
+
+    #[test]
+    fn validate_rejects_double_use() {
+        let a = Alignment {
+            template: TemplateId(0),
+            targets: vec![AlignTarget::identity(0), AlignTarget::identity(0)],
+        };
+        assert!(a.validate(1).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_stride_and_bad_axis() {
+        let z = Alignment {
+            template: TemplateId(0),
+            targets: vec![AlignTarget::Axis { array_dim: 0, stride: 0, offset: 0 }],
+        };
+        assert!(z.validate(1).is_err());
+        let oob = Alignment {
+            template: TemplateId(0),
+            targets: vec![AlignTarget::Axis { array_dim: 3, stride: 1, offset: 0 }],
+        };
+        assert!(oob.validate(1).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Distribution formats: how template axes are partitioned over a
+//! processor grid (`!HPF$ DISTRIBUTE T(BLOCK, CYCLIC(3), *) ONTO P`).
+
+use crate::geometry::ceil_div;
+use crate::GridId;
+
+/// Per-template-dimension distribution format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimFormat {
+    /// `BLOCK(b)`; `None` means the HPF default `⌈extent/nprocs⌉`.
+    Block(Option<u64>),
+    /// `CYCLIC(b)`; `None` means `CYCLIC(1)`.
+    Cyclic(Option<u64>),
+    /// `*` — the dimension is collapsed (kept whole on every processor
+    /// along it; it consumes no processor-grid axis).
+    Collapsed,
+}
+
+impl DimFormat {
+    /// Whether this format consumes a processor-grid axis.
+    pub fn is_distributed(&self) -> bool {
+        !matches!(self, DimFormat::Collapsed)
+    }
+
+    /// The effective block size once extents are known.
+    ///
+    /// * `Block(None)`  → `⌈extent/nprocs⌉`
+    /// * `Block(Some(b))` / `Cyclic(Some(b))` → `b`
+    /// * `Cyclic(None)` → `1`
+    ///
+    /// Returns `None` for [`DimFormat::Collapsed`].
+    pub fn effective_block(&self, extent: u64, nprocs: u64) -> Option<u64> {
+        match self {
+            DimFormat::Block(Some(b)) | DimFormat::Cyclic(Some(b)) => Some(*b),
+            DimFormat::Block(None) => Some(ceil_div(extent, nprocs.max(1))),
+            DimFormat::Cyclic(None) => Some(1),
+            DimFormat::Collapsed => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DimFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimFormat::Block(None) => write!(f, "BLOCK"),
+            DimFormat::Block(Some(b)) => write!(f, "BLOCK({b})"),
+            DimFormat::Cyclic(None) => write!(f, "CYCLIC"),
+            DimFormat::Cyclic(Some(b)) => write!(f, "CYCLIC({b})"),
+            DimFormat::Collapsed => write!(f, "*"),
+        }
+    }
+}
+
+/// A full `DISTRIBUTE` directive body: one format per template dimension,
+/// onto a processor grid.
+///
+/// The i-th *distributed* (non-`*`) format is assigned to the i-th axis
+/// of the grid, per the HPF rules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Distribution {
+    /// Target processor grid.
+    pub grid: GridId,
+    /// One format per template dimension.
+    pub formats: Vec<DimFormat>,
+}
+
+impl Distribution {
+    /// Construct a distribution; no validation (see
+    /// [`crate::env::MappingEnv`] for validated declaration).
+    pub fn new(grid: GridId, formats: Vec<DimFormat>) -> Self {
+        Distribution { grid, formats }
+    }
+
+    /// Number of template dims that consume a processor-grid axis.
+    pub fn distributed_rank(&self) -> usize {
+        self.formats.iter().filter(|f| f.is_distributed()).count()
+    }
+
+    /// For each template dimension, the processor-grid axis it is
+    /// distributed onto (`None` for collapsed dims).
+    pub fn proc_axis_of_dim(&self) -> Vec<Option<usize>> {
+        let mut next = 0usize;
+        self.formats
+            .iter()
+            .map(|f| {
+                if f.is_distributed() {
+                    let a = next;
+                    next += 1;
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, fm) in self.formats.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{fm}")?;
+        }
+        write!(f, ") ONTO P{}", self.grid.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_blocks() {
+        assert_eq!(DimFormat::Block(None).effective_block(100, 4), Some(25));
+        assert_eq!(DimFormat::Block(None).effective_block(101, 4), Some(26));
+        assert_eq!(DimFormat::Block(Some(30)).effective_block(100, 4), Some(30));
+        assert_eq!(DimFormat::Cyclic(None).effective_block(100, 4), Some(1));
+        assert_eq!(DimFormat::Cyclic(Some(7)).effective_block(100, 4), Some(7));
+        assert_eq!(DimFormat::Collapsed.effective_block(100, 4), None);
+    }
+
+    #[test]
+    fn proc_axis_assignment_skips_collapsed() {
+        let d = Distribution::new(
+            GridId(0),
+            vec![DimFormat::Collapsed, DimFormat::Block(None), DimFormat::Cyclic(None)],
+        );
+        assert_eq!(d.proc_axis_of_dim(), vec![None, Some(0), Some(1)]);
+        assert_eq!(d.distributed_rank(), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! Program-level mapping environment: the registry of grids, templates
+//! and arrays, the `impact` semantics of remapping directives (App. B),
+//! and the version-interning table that realizes the paper's `A_0, A_1,
+//! …` static copies.
+
+use std::collections::BTreeMap;
+
+use crate::align::Alignment;
+use crate::dist::Distribution;
+use crate::error::MappingError;
+use crate::geometry::Extents;
+use crate::grid::{ProcGrid, Template};
+use crate::mapping::{Mapping, NormalizedMapping};
+use crate::{ArrayId, GridId, TemplateId, VersionId};
+
+/// Static facts about one source array.
+#[derive(Debug, Clone)]
+pub struct ArrayInfo {
+    /// Identity.
+    pub id: ArrayId,
+    /// Source name.
+    pub name: String,
+    /// Shape (zero-based extents).
+    pub extents: Extents,
+    /// Element size in bytes (8 for `real*8`).
+    pub elem_size: u64,
+    /// Whether the array was declared `!HPF$ DYNAMIC` (or is a dummy
+    /// argument, which the paper treats as remappable by the caller).
+    pub dynamic: bool,
+    /// Mapping on entry (the paper's version 0).
+    pub initial: Mapping,
+}
+
+/// The immutable mapping registry of one compilation unit.
+///
+/// `DISTRIBUTE A(BLOCK)` on an *array* is modelled, as in HPF, by an
+/// implicit template the array is identity-aligned with; `ALIGN WITH A`
+/// then targets that implicit template, which is how a redistribution of
+/// `A` *impacts* every array aligned with `A` (paper Fig. 3).
+#[derive(Debug, Clone, Default)]
+pub struct MappingEnv {
+    grids: Vec<ProcGrid>,
+    templates: Vec<Template>,
+    arrays: Vec<ArrayInfo>,
+    /// Initial distribution of each template.
+    initial_dists: BTreeMap<TemplateId, Distribution>,
+    /// Implicit template of arrays used as alignment/distribution targets.
+    implicit: BTreeMap<ArrayId, TemplateId>,
+}
+
+impl MappingEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a processor grid.
+    pub fn add_grid(&mut self, name: &str, shape: &[u64]) -> GridId {
+        let id = GridId(self.grids.len() as u32);
+        self.grids.push(ProcGrid { id, name: name.to_string(), shape: Extents::new(shape) });
+        id
+    }
+
+    /// Declare a template.
+    pub fn add_template(&mut self, name: &str, shape: &[u64]) -> TemplateId {
+        let id = TemplateId(self.templates.len() as u32);
+        self.templates.push(Template { id, name: name.to_string(), shape: Extents::new(shape) });
+        id
+    }
+
+    /// Declare an array. The initial mapping must be set before use via
+    /// [`MappingEnv::set_initial`].
+    pub fn add_array(&mut self, name: &str, extents: &[u64], elem_size: u64) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        // Placeholder initial mapping: identity onto an implicit template
+        // fixed up by `set_initial` / `ensure_implicit_template`.
+        let t = self.add_template(&format!("__T_{name}"), extents);
+        self.implicit.insert(id, t);
+        self.arrays.push(ArrayInfo {
+            id,
+            name: name.to_string(),
+            extents: Extents::new(extents),
+            elem_size,
+            dynamic: false,
+            initial: Mapping {
+                align: Alignment::identity(t, extents.len()),
+                dist: Distribution::new(GridId(0), vec![]),
+            },
+        });
+        id
+    }
+
+    /// The implicit template an array carries for `ALIGN WITH A` /
+    /// `DISTRIBUTE A` directives.
+    pub fn implicit_template(&self, a: ArrayId) -> TemplateId {
+        self.implicit[&a]
+    }
+
+    /// Mark an array `DYNAMIC`.
+    pub fn set_dynamic(&mut self, a: ArrayId, dynamic: bool) {
+        self.arrays[a.0 as usize].dynamic = dynamic;
+    }
+
+    /// Set the entry mapping of an array.
+    pub fn set_initial(&mut self, a: ArrayId, m: Mapping) {
+        self.arrays[a.0 as usize].initial = m;
+    }
+
+    /// Set (or overwrite) the initial distribution of a template.
+    pub fn set_initial_distribution(&mut self, t: TemplateId, d: Distribution) {
+        self.initial_dists.insert(t, d);
+    }
+
+    /// Initial distribution of a template, if declared.
+    pub fn initial_distribution(&self, t: TemplateId) -> Option<&Distribution> {
+        self.initial_dists.get(&t)
+    }
+
+    /// Accessors.
+    pub fn grid(&self, g: GridId) -> &ProcGrid {
+        &self.grids[g.0 as usize]
+    }
+    /// Template by id.
+    pub fn template(&self, t: TemplateId) -> &Template {
+        &self.templates[t.0 as usize]
+    }
+    /// Array facts by id.
+    pub fn array(&self, a: ArrayId) -> &ArrayInfo {
+        &self.arrays[a.0 as usize]
+    }
+    /// All arrays in declaration order.
+    pub fn arrays(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+    /// All grids in declaration order.
+    pub fn grids(&self) -> &[ProcGrid] {
+        &self.grids
+    }
+    /// All templates in declaration order (includes implicit ones).
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+    /// Number of declared arrays.
+    pub fn n_arrays(&self) -> usize {
+        self.arrays.len()
+    }
+    /// Look an array up by source name.
+    pub fn array_by_name(&self, name: &str) -> Option<&ArrayInfo> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Compose and canonicalize `m` for array `a`.
+    pub fn normalize(&self, a: ArrayId, m: &Mapping) -> Result<NormalizedMapping, MappingError> {
+        let info = self.array(a);
+        let template = self.template(m.align.template);
+        let grid = self.grid(m.dist.grid);
+        m.normalize(&info.extents, template, grid)
+    }
+
+    /// Apply a `REALIGN` to one mapping of array `a`: the distribution
+    /// part becomes that of the *new* template (`template_dist`), the
+    /// alignment is replaced. This is `impact` for realignment (App. B).
+    pub fn realign(&self, _a: ArrayId, new_align: Alignment, template_dist: Distribution) -> Mapping {
+        Mapping { align: new_align, dist: template_dist }
+    }
+
+    /// Apply a `REDISTRIBUTE` of template `t` to one mapping of array
+    /// `a`. Returns `None` when the array is not aligned with `t` (the
+    /// directive does not impact it). This is `impact` for
+    /// redistribution (App. B; Fig. 3 semantics).
+    pub fn redistribute(&self, m: &Mapping, t: TemplateId, new_dist: &Distribution) -> Option<Mapping> {
+        if m.align.template == t {
+            Some(Mapping { align: m.align.clone(), dist: new_dist.clone() })
+        } else {
+            None
+        }
+    }
+}
+
+/// Interns distinct normalized placements of each array, handing out the
+/// paper's dense version subscripts (`A_0`, `A_1`, …) in discovery order.
+#[derive(Debug, Clone, Default)]
+pub struct VersionTable {
+    /// Per-array list of distinct placements; index = version subscript.
+    versions: BTreeMap<ArrayId, Vec<NormalizedMapping>>,
+}
+
+impl VersionTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a placement; returns the stable version id, allocating the
+    /// next subscript if it is new.
+    pub fn intern(&mut self, a: ArrayId, nm: &NormalizedMapping) -> VersionId {
+        let list = self.versions.entry(a).or_default();
+        if let Some(i) = list.iter().position(|x| x == nm) {
+            VersionId { array: a, index: i as u32 }
+        } else {
+            list.push(nm.clone());
+            VersionId { array: a, index: (list.len() - 1) as u32 }
+        }
+    }
+
+    /// Lookup without interning.
+    pub fn find(&self, a: ArrayId, nm: &NormalizedMapping) -> Option<VersionId> {
+        self.versions
+            .get(&a)?
+            .iter()
+            .position(|x| x == nm)
+            .map(|i| VersionId { array: a, index: i as u32 })
+    }
+
+    /// The placement of a version.
+    pub fn mapping_of(&self, v: VersionId) -> &NormalizedMapping {
+        &self.versions[&v.array][v.index as usize]
+    }
+
+    /// Number of versions known for `a` (the paper's per-array copy count).
+    pub fn n_versions(&self, a: ArrayId) -> usize {
+        self.versions.get(&a).map_or(0, |v| v.len())
+    }
+
+    /// All version ids of array `a`.
+    pub fn versions_of(&self, a: ArrayId) -> Vec<VersionId> {
+        (0..self.n_versions(a) as u32).map(|i| VersionId { array: a, index: i }).collect()
+    }
+
+    /// All (array, version-count) pairs.
+    pub fn summary(&self) -> Vec<(ArrayId, usize)> {
+        self.versions.iter().map(|(a, v)| (*a, v.len())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DimFormat;
+
+    fn env_1d() -> (MappingEnv, ArrayId, GridId) {
+        let mut env = MappingEnv::new();
+        let g = env.add_grid("P", &[4]);
+        let a = env.add_array("A", &[16], 8);
+        let t = env.implicit_template(a);
+        let m = Mapping {
+            align: Alignment::identity(t, 1),
+            dist: Distribution::new(g, vec![DimFormat::Block(None)]),
+        };
+        env.set_initial(a, m.clone());
+        env.set_initial_distribution(t, m.dist.clone());
+        (env, a, g)
+    }
+
+    #[test]
+    fn versions_intern_densely_in_discovery_order() {
+        let (env, a, g) = env_1d();
+        let t = env.implicit_template(a);
+        let mut vt = VersionTable::new();
+        let m0 = env.array(a).initial.clone();
+        let n0 = env.normalize(a, &m0).unwrap();
+        let v0 = vt.intern(a, &n0);
+        assert_eq!(v0, VersionId { array: a, index: 0 });
+
+        let m1 = Mapping {
+            align: Alignment::identity(t, 1),
+            dist: Distribution::new(g, vec![DimFormat::Cyclic(None)]),
+        };
+        let n1 = env.normalize(a, &m1).unwrap();
+        let v1 = vt.intern(a, &n1);
+        assert_eq!(v1.index, 1);
+
+        // Re-interning the initial placement returns version 0 again.
+        assert_eq!(vt.intern(a, &n0).index, 0);
+        assert_eq!(vt.n_versions(a), 2);
+    }
+
+    #[test]
+    fn redistribute_impacts_only_aligned_arrays() {
+        let (env, a, g) = env_1d();
+        let t = env.implicit_template(a);
+        let other_t = TemplateId(999);
+        let m = env.array(a).initial.clone();
+        let new_d = Distribution::new(g, vec![DimFormat::Cyclic(None)]);
+        assert!(env.redistribute(&m, t, &new_d).is_some());
+        assert!(env.redistribute(&m, other_t, &new_d).is_none());
+    }
+
+    #[test]
+    fn redistribute_keeps_alignment() {
+        let (env, a, g) = env_1d();
+        let t = env.implicit_template(a);
+        let m = env.array(a).initial.clone();
+        let new_d = Distribution::new(g, vec![DimFormat::Cyclic(Some(2))]);
+        let m2 = env.redistribute(&m, t, &new_d).unwrap();
+        assert_eq!(m2.align, m.align);
+        assert_eq!(m2.dist, new_d);
+    }
+
+    #[test]
+    fn array_lookup_by_name() {
+        let (env, a, _) = env_1d();
+        assert_eq!(env.array_by_name("A").unwrap().id, a);
+        assert!(env.array_by_name("Z").is_none());
+    }
+}

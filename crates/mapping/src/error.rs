@@ -1,0 +1,98 @@
+//! Errors raised by the mapping algebra.
+
+use crate::{ArrayId, GridId, TemplateId};
+
+/// Everything that can go wrong while declaring or composing mappings.
+///
+/// These are *user-program* errors (bad directives), not compiler bugs;
+/// the front-end converts them into source diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// An `ALIGN` whose rank bookkeeping does not match the template:
+    /// e.g. a template axis referenced twice, or an array axis used in
+    /// two alignment subscripts.
+    MalformedAlignment {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A `DISTRIBUTE` with more non-collapsed formats than the target
+    /// grid has dimensions, or a zero block size.
+    MalformedDistribution {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An aligned element would fall outside the template.
+    AlignmentOutOfTemplate {
+        /// The offending array.
+        array: ArrayId,
+        /// The alignment target.
+        template: TemplateId,
+        /// Human-readable explanation (which axis, which bound).
+        reason: String,
+    },
+    /// HPF requires `BLOCK(b)` to cover the whole dimension in one
+    /// cycle: `b * nprocs >= extent`.
+    BlockTooSmall {
+        /// Declared block size.
+        block: u64,
+        /// Dimension extent that must be covered.
+        extent: u64,
+        /// Processors available along the distributed axis.
+        nprocs: u64,
+    },
+    /// Unknown entity referenced by a directive.
+    UnknownEntity {
+        /// Name as written in the source.
+        name: String,
+    },
+    /// A `REDISTRIBUTE`/`REALIGN` names an object that was not declared
+    /// `DYNAMIC` (the paper requires explicit dynamicity).
+    NotDynamic {
+        /// Name as written in the source.
+        name: String,
+    },
+    /// Distribution targets a grid whose rank does not match the number
+    /// of distributed (non-collapsed) template dimensions.
+    GridRankMismatch {
+        /// The target grid.
+        grid: GridId,
+        /// Non-collapsed formats in the directive.
+        distributed_dims: usize,
+        /// Rank of the grid.
+        grid_rank: usize,
+    },
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::MalformedAlignment { reason } => {
+                write!(f, "malformed alignment: {reason}")
+            }
+            MappingError::MalformedDistribution { reason } => {
+                write!(f, "malformed distribution: {reason}")
+            }
+            MappingError::AlignmentOutOfTemplate { array, template, reason } => write!(
+                f,
+                "alignment of array #{} overflows template #{}: {reason}",
+                array.0, template.0
+            ),
+            MappingError::BlockTooSmall { block, extent, nprocs } => write!(
+                f,
+                "BLOCK({block}) over {nprocs} processors cannot cover extent {extent} \
+                 (needs block*nprocs >= extent)"
+            ),
+            MappingError::UnknownEntity { name } => write!(f, "unknown mapping entity `{name}`"),
+            MappingError::NotDynamic { name } => {
+                write!(f, "`{name}` is remapped but was not declared DYNAMIC")
+            }
+            MappingError::GridRankMismatch { grid, distributed_dims, grid_rank } => write!(
+                f,
+                "distribution has {distributed_dims} distributed dims but grid #{} has rank {}",
+                grid.0, grid_rank
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}

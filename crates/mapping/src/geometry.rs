@@ -1,0 +1,138 @@
+//! Small multi-dimensional index-space helpers shared by the whole stack.
+//!
+//! Arrays, templates and processor grids are all rectangular index
+//! spaces; [`Extents`] is their shape and [`Point`] an index into one.
+//! Indices are zero-based throughout the compiler (the front-end shifts
+//! Fortran's one-based declarations when lowering).
+
+/// The shape of a rectangular index space: one extent per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Extents(pub Vec<u64>);
+
+/// A point in a rectangular index space (zero-based).
+pub type Point = Vec<u64>;
+
+impl Extents {
+    /// Shape with the given per-dimension sizes.
+    pub fn new(dims: &[u64]) -> Self {
+        Extents(dims.to_vec())
+    }
+
+    /// Number of dimensions (the *rank*).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of points (product of extents). Saturates on overflow.
+    pub fn volume(&self) -> u64 {
+        self.0.iter().copied().fold(1u64, |a, b| a.saturating_mul(b))
+    }
+
+    /// Extent of dimension `d`. Panics if out of range.
+    pub fn extent(&self, d: usize) -> u64 {
+        self.0[d]
+    }
+
+    /// Whether `p` lies inside this space (correct rank, all coords in range).
+    pub fn contains(&self, p: &[u64]) -> bool {
+        p.len() == self.rank() && p.iter().zip(&self.0).all(|(&i, &n)| i < n)
+    }
+
+    /// Row-major linearization of `p`. Panics if `p` is out of range.
+    pub fn linearize(&self, p: &[u64]) -> u64 {
+        assert!(self.contains(p), "point {p:?} outside extents {:?}", self.0);
+        let mut idx = 0u64;
+        for (d, &i) in p.iter().enumerate() {
+            idx = idx * self.0[d] + i;
+        }
+        idx
+    }
+
+    /// Inverse of [`Extents::linearize`].
+    pub fn delinearize(&self, mut idx: u64) -> Point {
+        let mut p = vec![0u64; self.rank()];
+        for d in (0..self.rank()).rev() {
+            p[d] = idx % self.0[d];
+            idx /= self.0[d];
+        }
+        p
+    }
+
+    /// Iterate over every point in row-major order.
+    ///
+    /// Intended for tests and oracles; production code uses closed-form
+    /// index math from [`crate::layout`].
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.volume()).map(move |i| self.delinearize(i))
+    }
+}
+
+impl std::fmt::Display for Extents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Ceiling division on `u64`, the default HPF `BLOCK` size formula
+/// `⌈n/p⌉`.
+pub fn ceil_div(n: u64, d: u64) -> u64 {
+    assert!(d > 0, "division by zero extent");
+    n.div_ceil(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearize_roundtrip() {
+        let e = Extents::new(&[3, 4, 5]);
+        for i in 0..e.volume() {
+            assert_eq!(e.linearize(&e.delinearize(i)), i);
+        }
+    }
+
+    #[test]
+    fn volume_and_rank() {
+        let e = Extents::new(&[7, 9]);
+        assert_eq!(e.volume(), 63);
+        assert_eq!(e.rank(), 2);
+        assert_eq!(e.extent(1), 9);
+    }
+
+    #[test]
+    fn points_enumerates_in_row_major_order() {
+        let e = Extents::new(&[2, 2]);
+        let pts: Vec<_> = e.points().collect();
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn contains_checks_rank_and_range() {
+        let e = Extents::new(&[2, 3]);
+        assert!(e.contains(&[1, 2]));
+        assert!(!e.contains(&[2, 0]));
+        assert!(!e.contains(&[0]));
+    }
+
+    #[test]
+    fn ceil_div_edges() {
+        assert_eq!(ceil_div(0, 4), 0);
+        assert_eq!(ceil_div(1, 4), 1);
+        assert_eq!(ceil_div(4, 4), 1);
+        assert_eq!(ceil_div(5, 4), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn linearize_out_of_range_panics() {
+        Extents::new(&[2, 2]).linearize(&[2, 0]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Processor grids (`!HPF$ PROCESSORS`) and templates (`!HPF$ TEMPLATE`).
+
+use crate::geometry::Extents;
+use crate::{GridId, TemplateId};
+
+/// An abstract rectangular grid of processors, the target of
+/// `DISTRIBUTE … ONTO`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProcGrid {
+    /// Identity within a [`crate::env::MappingEnv`].
+    pub id: GridId,
+    /// Source-level name (`P` in `!HPF$ PROCESSORS P(4,2)`).
+    pub name: String,
+    /// Grid shape; `volume()` is the number of processors.
+    pub shape: Extents,
+}
+
+impl ProcGrid {
+    /// Total number of processors in the grid.
+    pub fn nprocs(&self) -> u64 {
+        self.shape.volume()
+    }
+
+    /// Row-major rank of the processor at grid coordinates `coords`.
+    pub fn rank_of(&self, coords: &[u64]) -> u64 {
+        self.shape.linearize(coords)
+    }
+
+    /// Grid coordinates of the processor with row-major rank `rank`.
+    pub fn coords_of(&self, rank: u64) -> Vec<u64> {
+        self.shape.delinearize(rank)
+    }
+}
+
+/// An alignment target: a named rectangular index space that arrays are
+/// aligned to and that distributions partition over a [`ProcGrid`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Template {
+    /// Identity within a [`crate::env::MappingEnv`].
+    pub id: TemplateId,
+    /// Source-level name (`T` in `!HPF$ TEMPLATE T(100,100)`).
+    pub name: String,
+    /// Template shape.
+    pub shape: Extents,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_roundtrip() {
+        let g = ProcGrid {
+            id: GridId(0),
+            name: "P".into(),
+            shape: Extents::new(&[2, 3]),
+        };
+        assert_eq!(g.nprocs(), 6);
+        for r in 0..6 {
+            assert_eq!(g.rank_of(&g.coords_of(r)), r);
+        }
+    }
+}

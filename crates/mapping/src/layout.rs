@@ -1,0 +1,243 @@
+//! One-dimensional block-cyclic ownership math.
+//!
+//! Every HPF distribution format of a single dimension reduces to
+//! *block-cyclic(b) over P processors*: `BLOCK(b)` is the special case
+//! that never wraps (HPF mandates `b*P >= extent`), `CYCLIC` is
+//! `CYCLIC(1)`. [`DimLayout`] is that canonical descriptor, and is the
+//! unit the redistribution engine (crate `hpfc-runtime`) reasons about.
+
+use serde::{Deserialize, Serialize};
+
+/// Canonical layout of one distributed dimension: block-cyclic(`block`)
+/// over `nprocs` processors, covering `extent` cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimLayout {
+    /// Number of cells along the dimension.
+    pub extent: u64,
+    /// Block size `b` (>= 1).
+    pub block: u64,
+    /// Number of processors along the matching grid axis (>= 1).
+    pub nprocs: u64,
+}
+
+impl DimLayout {
+    /// New layout; panics on zero block or zero processors (these are
+    /// rejected earlier with proper diagnostics).
+    pub fn new(extent: u64, block: u64, nprocs: u64) -> Self {
+        assert!(block >= 1, "block size must be >= 1");
+        assert!(nprocs >= 1, "processor count must be >= 1");
+        DimLayout { extent, block, nprocs }
+    }
+
+    /// Owner coordinate of cell `t`: `(t / b) mod P`.
+    pub fn owner(&self, t: u64) -> u64 {
+        (t / self.block) % self.nprocs
+    }
+
+    /// Which wrap-around cycle cell `t` falls in: `t / (b*P)`.
+    pub fn cycle(&self, t: u64) -> u64 {
+        t / (self.block * self.nprocs)
+    }
+
+    /// Local cell index on the owner: `cycle*b + t mod b`.
+    ///
+    /// This is the standard dense block-cyclic local addressing: the
+    /// owner stores its cells in global order with no holes.
+    pub fn local(&self, t: u64) -> u64 {
+        self.cycle(t) * self.block + t % self.block
+    }
+
+    /// Inverse of [`DimLayout::local`]: the global cell stored at local
+    /// index `l` on processor coordinate `p` (may exceed `extent` for
+    /// padding slots; callers check).
+    pub fn global(&self, p: u64, l: u64) -> u64 {
+        let cycle = l / self.block;
+        cycle * self.block * self.nprocs + p * self.block + l % self.block
+    }
+
+    /// Number of cells owned by processor coordinate `p`.
+    pub fn local_count(&self, p: u64) -> u64 {
+        // Full cycles before the tail, then the partial cycle.
+        let period = self.block * self.nprocs;
+        let full_cycles = self.extent / period;
+        let tail = self.extent % period;
+        let tail_owned = tail.saturating_sub(p * self.block).min(self.block);
+        full_cycles * self.block + tail_owned
+    }
+
+    /// Whether the layout wraps (more than one cycle). A `BLOCK`
+    /// distribution never wraps; a wrapped layout is genuinely cyclic.
+    pub fn wraps(&self) -> bool {
+        self.extent > self.block * self.nprocs
+    }
+
+    /// Whether every cell lives on processor coordinate 0 (degenerate
+    /// layout, e.g. `BLOCK(100)` over a 50-cell dimension on one cycle).
+    pub fn degenerate(&self) -> bool {
+        self.extent <= self.block
+    }
+
+    /// Cells owned by processor coordinate `p`, in increasing order.
+    pub fn owned_cells(&self, p: u64) -> impl Iterator<Item = u64> + '_ {
+        let period = self.block * self.nprocs;
+        let extent = self.extent;
+        let block = self.block;
+        (0..)
+            .map(move |cycle| cycle * period + p * block)
+            .take_while(move |&start| start < extent)
+            .flat_map(move |start| start..(start + block).min(extent))
+    }
+
+    /// The owned cells of `p` as half-open intervals `[lo, hi)`, one per
+    /// cycle — the closed form the redistribution engine intersects.
+    pub fn owned_intervals(&self, p: u64) -> Vec<(u64, u64)> {
+        let period = self.block * self.nprocs;
+        let mut v = Vec::new();
+        let mut start = p * self.block;
+        while start < self.extent {
+            v.push((start, (start + self.block).min(self.extent)));
+            start += period;
+        }
+        v
+    }
+}
+
+impl std::fmt::Display for DimLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.wraps() {
+            write!(f, "CYCLIC({})x{}[{}]", self.block, self.nprocs, self.extent)
+        } else {
+            write!(f, "BLOCK({})x{}[{}]", self.block, self.nprocs, self.extent)
+        }
+    }
+}
+
+/// The placement of a single array element under a normalized mapping:
+/// the owning processor's grid coordinates and the element's local
+/// per-dimension indices (see [`crate::mapping::NormalizedMapping`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Locus {
+    /// Owner grid coordinates, one per processor-grid axis. Replicated
+    /// axes are represented by `None` (the element lives at *every*
+    /// coordinate of that axis).
+    pub proc: Vec<Option<u64>>,
+}
+
+impl Locus {
+    /// Enumerate the row-major processor ranks owning the element,
+    /// expanding replicated axes over `grid_shape`.
+    pub fn owner_ranks(&self, grid_shape: &crate::geometry::Extents) -> Vec<u64> {
+        let mut ranks = vec![0u64];
+        for (axis, coord) in self.proc.iter().enumerate() {
+            let n = grid_shape.extent(axis);
+            let mut next = Vec::with_capacity(ranks.len());
+            match coord {
+                Some(c) => {
+                    for r in &ranks {
+                        next.push(r * n + c);
+                    }
+                }
+                None => {
+                    for r in &ranks {
+                        for c in 0..n {
+                            next.push(r * n + c);
+                        }
+                    }
+                }
+            }
+            ranks = next;
+        }
+        ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_layout_owner_local() {
+        // BLOCK(25) over 4 procs, extent 100.
+        let l = DimLayout::new(100, 25, 4);
+        assert!(!l.wraps());
+        assert_eq!(l.owner(0), 0);
+        assert_eq!(l.owner(24), 0);
+        assert_eq!(l.owner(25), 1);
+        assert_eq!(l.owner(99), 3);
+        assert_eq!(l.local(26), 1);
+        assert_eq!(l.local_count(2), 25);
+    }
+
+    #[test]
+    fn cyclic_layout_owner_local() {
+        // CYCLIC(1) over 4 procs, extent 10.
+        let l = DimLayout::new(10, 1, 4);
+        assert!(l.wraps());
+        assert_eq!(l.owner(0), 0);
+        assert_eq!(l.owner(5), 1);
+        assert_eq!(l.owner(7), 3);
+        assert_eq!(l.local(8), 2); // cells 0,4,8 on proc 0
+        assert_eq!(l.local_count(0), 3);
+        assert_eq!(l.local_count(1), 3);
+        assert_eq!(l.local_count(2), 2);
+        assert_eq!(l.local_count(3), 2);
+    }
+
+    #[test]
+    fn block_cyclic_wraps() {
+        // CYCLIC(3) over 2 procs, extent 14: blocks 0-2|3-5|6-8|9-11|12-13
+        let l = DimLayout::new(14, 3, 2);
+        assert_eq!(l.owner(4), 1);
+        assert_eq!(l.owner(6), 0);
+        assert_eq!(l.owner(13), 0); // cell 13 in block starting 12, block idx 4 -> 4%2=0
+        assert_eq!(l.local(7), 4); // proc0 cells: 0,1,2,6,7,8,12,13
+        assert_eq!(l.local_count(0), 8);
+        assert_eq!(l.local_count(1), 6);
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        for &(n, b, p) in &[(100u64, 25u64, 4u64), (10, 1, 4), (14, 3, 2), (17, 5, 3)] {
+            let l = DimLayout::new(n, b, p);
+            for t in 0..n {
+                let owner = l.owner(t);
+                let loc = l.local(t);
+                assert_eq!(l.global(owner, loc), t, "layout {l} cell {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn owned_cells_matches_owner_predicate() {
+        let l = DimLayout::new(23, 4, 3);
+        for p in 0..3 {
+            let from_iter: Vec<u64> = l.owned_cells(p).collect();
+            let from_pred: Vec<u64> = (0..23).filter(|&t| l.owner(t) == p).collect();
+            assert_eq!(from_iter, from_pred);
+            assert_eq!(from_iter.len() as u64, l.local_count(p));
+        }
+    }
+
+    #[test]
+    fn owned_intervals_cover_owned_cells() {
+        let l = DimLayout::new(29, 3, 4);
+        for p in 0..4 {
+            let cells: Vec<u64> = l.owned_cells(p).collect();
+            let expanded: Vec<u64> =
+                l.owned_intervals(p).iter().flat_map(|&(a, b)| a..b).collect();
+            assert_eq!(cells, expanded);
+        }
+    }
+
+    #[test]
+    fn locus_owner_ranks_expand_replication() {
+        use crate::geometry::Extents;
+        let shape = Extents::new(&[2, 3]);
+        let pinned = Locus { proc: vec![Some(1), Some(2)] };
+        assert_eq!(pinned.owner_ranks(&shape), vec![5]);
+        let repl = Locus { proc: vec![None, Some(1)] };
+        assert_eq!(repl.owner_ranks(&shape), vec![1, 4]);
+        let all = Locus { proc: vec![None, None] };
+        assert_eq!(all.owner_ranks(&shape).len(), 6);
+    }
+}

@@ -1,0 +1,808 @@
+//! Remapping-graph construction — the dataflow formulation of App. B.
+//!
+//! Four passes over the CFG, each a standard may-problem solved with
+//! the shared worklist solver:
+//!
+//! 1. **Reaching/leaving mappings** (may-forward): per-array sets of raw
+//!    `(alignment, distribution)` pairs, updated by the `impact` of each
+//!    remapping statement. Distribution state is tracked per template so
+//!    a `REALIGN` picks up the target template's current distribution.
+//! 2. **Use summarization** (may-backward): folds per-node accesses into
+//!    the `N < D < R < W` qualifiers between remapping vertices.
+//! 3. **Remapped-after** (may-backward): which remapping vertex comes
+//!    next for each array — the edges of `G_R`.
+//! 4. **Live values** (may-forward): `KILL` support — whether the
+//!    array's *values* may still be live when they reach a vertex.
+//!
+//! Along the way every array reference is re-pointed at its statically
+//! known version (the paper's Sec. 2 translation) and the two
+//! flow-level restrictions are enforced (ambiguous references, several
+//! leaving mappings).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use hpfc_cfg::dataflow::{solve, Dataflow, Direction};
+use hpfc_cfg::effects::node_effects;
+use hpfc_cfg::graph::{build_cfg, Cfg, NodeId, NodeKind};
+use hpfc_lang::ast::Intent;
+use hpfc_lang::diag::{codes, Diagnostic};
+use hpfc_lang::sema::RoutineUnit;
+use hpfc_mapping::{
+    ArrayId, DimFormat, Distribution, Mapping, TemplateId, VersionId, VersionTable,
+};
+
+use crate::label::{Label, Leaving, UseInfo};
+
+/// Index of a vertex within [`Rg::vertices`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// As usize for indexing.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The remapping graph of one routine, plus the reference-version
+/// tagging the code generator consumes.
+#[derive(Debug, Clone)]
+pub struct Rg {
+    /// The underlying CFG (owned: later phases need node kinds/spans).
+    pub cfg: Cfg,
+    /// `V_R` in reverse-postorder (so `v_c` is first, `v_e` last or
+    /// close to it); `VertexId` indexes into this.
+    pub vertices: Vec<NodeId>,
+    /// Per-vertex, per-array labels (the paper's `S(v)` is the key set).
+    pub labels: Vec<BTreeMap<ArrayId, Label>>,
+    /// Edges `v → w` with the arrays remapped at both ends and untouched
+    /// in between.
+    pub edges: BTreeMap<VertexId, BTreeMap<VertexId, BTreeSet<ArrayId>>>,
+    /// Reverse edges (same labels).
+    pub redges: BTreeMap<VertexId, BTreeMap<VertexId, BTreeSet<ArrayId>>>,
+    /// The interned array versions (the paper's `A_0, A_1, …`).
+    pub versions: VersionTable,
+    /// For every referencing CFG node: the statically known version of
+    /// each array it touches.
+    pub ref_versions: BTreeMap<(NodeId, ArrayId), VersionId>,
+}
+
+impl Rg {
+    /// Vertex index of a CFG node, if it is a remapping vertex.
+    pub fn vertex_of(&self, n: NodeId) -> Option<VertexId> {
+        self.vertices.iter().position(|&x| x == n).map(|i| VertexId(i as u32))
+    }
+
+    /// CFG node of a vertex.
+    pub fn node_of(&self, v: VertexId) -> NodeId {
+        self.vertices[v.idx()]
+    }
+
+    /// The label of array `a` at vertex `v`, if `a ∈ S(v)`.
+    pub fn label(&self, v: VertexId, a: ArrayId) -> Option<&Label> {
+        self.labels[v.idx()].get(&a)
+    }
+
+    /// Vertex ids in order.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Predecessor vertices of `v` for array `a` (edges labelled `a`).
+    pub fn preds_for(&self, v: VertexId, a: ArrayId) -> Vec<VertexId> {
+        self.redges
+            .get(&v)
+            .map(|m| {
+                m.iter().filter(|(_, arrays)| arrays.contains(&a)).map(|(p, _)| *p).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Successor vertices of `v` for array `a`.
+    pub fn succs_for(&self, v: VertexId, a: ArrayId) -> Vec<VertexId> {
+        self.edges
+            .get(&v)
+            .map(|m| {
+                m.iter().filter(|(_, arrays)| arrays.contains(&a)).map(|(s, _)| *s).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total number of (vertex, array) remapping slots, before any
+    /// optimization (the paper's per-array remapping count).
+    pub fn remapping_count(&self) -> usize {
+        self.labels.iter().map(|m| m.len()).sum()
+    }
+}
+
+/// Fig. 22 — use qualifiers attached to dummy arguments at `v_c` / `v_e`
+/// from the `INTENT` attribute.
+pub fn intent_use_labels(intent: Intent) -> (UseInfo, UseInfo) {
+    match intent {
+        Intent::In => (UseInfo::D, UseInfo::N),
+        Intent::InOut => (UseInfo::D, UseInfo::W),
+        Intent::Out => (UseInfo::N, UseInfo::W),
+    }
+}
+
+/// Build the remapping graph of a routine (constructs the CFG first).
+pub fn build(unit: &RoutineUnit) -> Result<Rg, Vec<Diagnostic>> {
+    let cfg = build_cfg(unit)?;
+    build_from_cfg(unit, cfg)
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: reaching/leaving mapping propagation.
+// ---------------------------------------------------------------------
+
+type Key = u32;
+
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct MapState {
+    arrays: BTreeMap<ArrayId, BTreeSet<Key>>,
+    templates: BTreeMap<TemplateId, BTreeSet<Key>>,
+}
+
+#[derive(Default)]
+struct Interners {
+    maps: Vec<Mapping>,
+    map_idx: HashMap<Mapping, Key>,
+    dists: Vec<Distribution>,
+    dist_idx: HashMap<Distribution, Key>,
+}
+
+impl Interners {
+    fn map(&mut self, m: &Mapping) -> Key {
+        if let Some(&k) = self.map_idx.get(m) {
+            return k;
+        }
+        let k = self.maps.len() as Key;
+        self.maps.push(m.clone());
+        self.map_idx.insert(m.clone(), k);
+        k
+    }
+    fn dist(&mut self, d: &Distribution) -> Key {
+        if let Some(&k) = self.dist_idx.get(d) {
+            return k;
+        }
+        let k = self.dists.len() as Key;
+        self.dists.push(d.clone());
+        self.dist_idx.insert(d.clone(), k);
+        k
+    }
+}
+
+struct MapFlow<'a> {
+    unit: &'a RoutineUnit,
+    cfg: &'a Cfg,
+    interners: RefCell<Interners>,
+    dummies: BTreeSet<ArrayId>,
+}
+
+impl<'a> MapFlow<'a> {
+    fn initial_key(&self, a: ArrayId) -> Key {
+        self.interners.borrow_mut().map(&self.unit.initial[&a])
+    }
+
+    fn template_initial(&self, t: TemplateId) -> Distribution {
+        self.unit.template_dist.get(&t).cloned().unwrap_or_else(|| {
+            Distribution::new(
+                self.unit.default_grid,
+                vec![DimFormat::Collapsed; self.unit.env.template(t).shape.rank()],
+            )
+        })
+    }
+}
+
+impl<'a> Dataflow for MapFlow<'a> {
+    type Fact = MapState;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self) -> MapState {
+        MapState::default()
+    }
+
+    fn join(&self, a: &mut MapState, b: &MapState) -> bool {
+        let mut changed = false;
+        for (k, s) in &b.arrays {
+            let e = a.arrays.entry(*k).or_default();
+            for x in s {
+                changed |= e.insert(*x);
+            }
+        }
+        for (k, s) in &b.templates {
+            let e = a.templates.entry(*k).or_default();
+            for x in s {
+                changed |= e.insert(*x);
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, node: NodeId, input: &MapState, outs: &[MapState]) -> MapState {
+        let mut st = input.clone();
+        match &self.cfg.node(node).kind {
+            NodeKind::CallCtx => {
+                // Seed every template's current distribution and the
+                // dummies' initial mappings.
+                let mut int = self.interners.borrow_mut();
+                for t in self.unit.env.templates() {
+                    let d = self.template_initial(t.id);
+                    st.templates.insert(t.id, [int.dist(&d)].into());
+                }
+                drop(int);
+                for &a in &self.dummies {
+                    let k = self.initial_key(a);
+                    st.arrays.insert(a, [k].into());
+                }
+            }
+            NodeKind::Entry => {
+                for info in self.unit.env.arrays() {
+                    if !self.dummies.contains(&info.id) {
+                        let k = self.initial_key(info.id);
+                        st.arrays.insert(info.id, [k].into());
+                    }
+                }
+            }
+            NodeKind::Exit => {
+                // Dummies are restored to their declared mapping.
+                for &a in &self.dummies {
+                    let k = self.initial_key(a);
+                    st.arrays.insert(a, [k].into());
+                }
+            }
+            NodeKind::Realign { pairs } => {
+                let mut int = self.interners.borrow_mut();
+                for (a, al) in pairs {
+                    let dists: Vec<Distribution> = st
+                        .templates
+                        .get(&al.template)
+                        .map(|s| s.iter().map(|&k| int.dists[k as usize].clone()).collect())
+                        .unwrap_or_else(|| vec![self.template_initial(al.template)]);
+                    let keys: BTreeSet<Key> = dists
+                        .iter()
+                        .map(|d| int.map(&Mapping { align: al.clone(), dist: d.clone() }))
+                        .collect();
+                    st.arrays.insert(*a, keys);
+                }
+            }
+            NodeKind::Redistribute { template, dist } => {
+                let mut int = self.interners.borrow_mut();
+                let dk = int.dist(dist);
+                st.templates.insert(*template, [dk].into());
+                let arrays: Vec<ArrayId> = st.arrays.keys().copied().collect();
+                for a in arrays {
+                    let old = st.arrays[&a].clone();
+                    let mut new = BTreeSet::new();
+                    for k in old {
+                        let m = int.maps[k as usize].clone();
+                        if m.align.template == *template {
+                            let nk = int.map(&Mapping { align: m.align, dist: dist.clone() });
+                            new.insert(nk);
+                        } else {
+                            new.insert(k);
+                        }
+                    }
+                    st.arrays.insert(a, new);
+                }
+            }
+            NodeKind::ArgIn { array, mapping, .. } => {
+                let k = self.interners.borrow_mut().map(mapping);
+                st.arrays.insert(*array, [k].into());
+            }
+            NodeKind::ArgOut { array, arg_in, .. } => {
+                // Restore the mappings that reached the paired ArgIn:
+                // monotone read of the current out-facts of its preds.
+                let mut restored = BTreeSet::new();
+                for p in &self.cfg.preds[arg_in.idx()] {
+                    if let Some(s) = outs[p.idx()].arrays.get(array) {
+                        restored.extend(s.iter().copied());
+                    }
+                }
+                if !restored.is_empty() {
+                    st.arrays.insert(*array, restored);
+                }
+            }
+            _ => {}
+        }
+        st
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: use summarization.
+// ---------------------------------------------------------------------
+
+struct UseFlow<'a> {
+    unit: &'a RoutineUnit,
+    cfg: &'a Cfg,
+    /// Precomputed `S(v)` for remap vertices.
+    s_sets: &'a BTreeMap<NodeId, BTreeSet<ArrayId>>,
+    dummies: &'a BTreeSet<ArrayId>,
+}
+
+type UseFact = BTreeMap<ArrayId, UseInfo>;
+
+impl<'a> Dataflow for UseFlow<'a> {
+    type Fact = UseFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self) -> UseFact {
+        UseFact::new()
+    }
+
+    fn join(&self, a: &mut UseFact, b: &UseFact) -> bool {
+        let mut changed = false;
+        for (k, v) in b {
+            let e = a.entry(*k).or_default();
+            let j = e.join(*v);
+            if j != *e {
+                *e = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn seed(&self, node: NodeId, input: &mut UseFact) {
+        if matches!(self.cfg.node(node).kind, NodeKind::Exit) {
+            // Fig. 22: exported values are uses after exit.
+            for &a in self.dummies {
+                let name = &self.unit.env.array(a).name;
+                let intent =
+                    self.unit.param_intents.get(name).copied().unwrap_or(Intent::InOut);
+                let (_, at_exit) = intent_use_labels(intent);
+                let e = input.entry(a).or_default();
+                *e = e.join(at_exit);
+            }
+        }
+    }
+
+    fn transfer(&self, node: NodeId, input: &UseFact, _outs: &[UseFact]) -> UseFact {
+        let mut out = input.clone();
+        if let Some(s) = self.s_sets.get(&node) {
+            // Remapping vertex: the summarized region ends here.
+            for a in s {
+                out.remove(a);
+            }
+            return out;
+        }
+        for (a, acc) in node_effects(self.unit, self.cfg, node) {
+            let of = if acc.read && acc.write {
+                Some(UseInfo::W)
+            } else if acc.read {
+                Some(UseInfo::R)
+            } else if acc.write_full {
+                Some(UseInfo::D)
+            } else if acc.write {
+                Some(UseInfo::W)
+            } else {
+                None
+            };
+            let after = out.get(&a).copied().unwrap_or_default();
+            let v = UseInfo::seq(of, after);
+            out.insert(a, v);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: remapped-after (G_R edges).
+// ---------------------------------------------------------------------
+
+struct NextRemapFlow<'a> {
+    s_sets: &'a BTreeMap<NodeId, BTreeSet<ArrayId>>,
+}
+
+type NextFact = BTreeSet<(ArrayId, u32)>;
+
+impl<'a> Dataflow for NextRemapFlow<'a> {
+    type Fact = NextFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self) -> NextFact {
+        NextFact::new()
+    }
+
+    fn join(&self, a: &mut NextFact, b: &NextFact) -> bool {
+        let before = a.len();
+        a.extend(b.iter().copied());
+        a.len() != before
+    }
+
+    fn transfer(&self, node: NodeId, input: &NextFact, _outs: &[NextFact]) -> NextFact {
+        match self.s_sets.get(&node) {
+            Some(s) => {
+                let mut out: NextFact =
+                    input.iter().filter(|(a, _)| !s.contains(a)).copied().collect();
+                for a in s {
+                    out.insert((*a, node.0));
+                }
+                out
+            }
+            None => input.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 4: live values (KILL support).
+// ---------------------------------------------------------------------
+
+struct LiveValuesFlow<'a> {
+    unit: &'a RoutineUnit,
+    cfg: &'a Cfg,
+    dummies: &'a BTreeSet<ArrayId>,
+}
+
+type LiveFact = BTreeSet<ArrayId>;
+
+impl<'a> Dataflow for LiveValuesFlow<'a> {
+    type Fact = LiveFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self) -> LiveFact {
+        LiveFact::new()
+    }
+
+    fn join(&self, a: &mut LiveFact, b: &LiveFact) -> bool {
+        let before = a.len();
+        a.extend(b.iter().copied());
+        a.len() != before
+    }
+
+    fn transfer(&self, node: NodeId, input: &LiveFact, _outs: &[LiveFact]) -> LiveFact {
+        let mut out = input.clone();
+        match &self.cfg.node(node).kind {
+            NodeKind::CallCtx => {
+                // Imported values are live; OUT dummies arrive dead;
+                // locals are uninitialized (dead) until first written.
+                for &a in self.dummies {
+                    let name = &self.unit.env.array(a).name;
+                    let intent =
+                        self.unit.param_intents.get(name).copied().unwrap_or(Intent::InOut);
+                    if intent != Intent::Out {
+                        out.insert(a);
+                    }
+                }
+            }
+            NodeKind::Kill { arrays } => {
+                for a in arrays {
+                    out.remove(a);
+                }
+            }
+            _ => {
+                for (a, acc) in node_effects(self.unit, self.cfg, node) {
+                    if acc.write {
+                        out.insert(a);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Assembly.
+// ---------------------------------------------------------------------
+
+/// Build `G_R` from an already-built CFG.
+pub fn build_from_cfg(unit: &RoutineUnit, cfg: Cfg) -> Result<Rg, Vec<Diagnostic>> {
+    let mut errs: Vec<Diagnostic> = Vec::new();
+
+    let dummies: BTreeSet<ArrayId> =
+        unit.ast.params.iter().filter_map(|p| unit.array(p)).collect();
+
+    // --- Pass 1: mapping propagation.
+    let flow = MapFlow { unit, cfg: &cfg, interners: RefCell::new(Interners::default()), dummies: dummies.clone() };
+    let outs = solve(&cfg, &flow);
+    let interners = flow.interners.into_inner();
+
+    let input_at = |n: NodeId| -> MapState {
+        let mut st = MapState::default();
+        for p in &cfg.preds[n.idx()] {
+            for (k, s) in &outs[p.idx()].arrays {
+                st.arrays.entry(*k).or_default().extend(s.iter().copied());
+            }
+            for (k, s) in &outs[p.idx()].templates {
+                st.templates.entry(*k).or_default().extend(s.iter().copied());
+            }
+        }
+        st
+    };
+
+    // --- S(v): which arrays are remapped at each vertex.
+    let rpo = cfg.reverse_postorder();
+    let remap_vertices: Vec<NodeId> =
+        rpo.iter().copied().filter(|&n| cfg.node(n).kind.is_remap_vertex()).collect();
+
+    let mut s_sets: BTreeMap<NodeId, BTreeSet<ArrayId>> = BTreeMap::new();
+    for &v in &remap_vertices {
+        let set: BTreeSet<ArrayId> = match &cfg.node(v).kind {
+            NodeKind::CallCtx | NodeKind::Exit => dummies.clone(),
+            NodeKind::Entry => unit
+                .env
+                .arrays()
+                .iter()
+                .map(|i| i.id)
+                .filter(|a| !dummies.contains(a))
+                .collect(),
+            NodeKind::ArgIn { array, .. } | NodeKind::ArgOut { array, .. } => {
+                [*array].into()
+            }
+            NodeKind::Realign { .. } | NodeKind::Redistribute { .. } => {
+                let before = input_at(v);
+                let after = &outs[v.idx()];
+                unit.env
+                    .arrays()
+                    .iter()
+                    .map(|i| i.id)
+                    .filter(|a| {
+                        before.arrays.contains_key(a)
+                            && before.arrays.get(a) != after.arrays.get(a)
+                    })
+                    .collect()
+            }
+            _ => unreachable!("not a remap vertex"),
+        };
+        s_sets.insert(v, set);
+    }
+
+    // --- Version interning, leaving/reaching labels (RPO order gives
+    // the paper's discovery-order subscripts: the entry mapping is 0).
+    let mut versions = VersionTable::new();
+    let mut labels_by_node: BTreeMap<NodeId, BTreeMap<ArrayId, Label>> = BTreeMap::new();
+
+    let normalize_keys = |keys: &BTreeSet<Key>,
+                          a: ArrayId,
+                          versions: &mut VersionTable,
+                          errs: &mut Vec<Diagnostic>,
+                          span: hpfc_lang::Span|
+     -> BTreeSet<VersionId> {
+        let mut out = BTreeSet::new();
+        for &k in keys {
+            match unit.env.normalize(a, &interners.maps[k as usize]) {
+                Ok(nm) => {
+                    out.insert(versions.intern(a, &nm));
+                }
+                Err(e) => {
+                    errs.push(Diagnostic::error(
+                        codes::MAPPING,
+                        span,
+                        format!("mapping of `{}` is invalid: {e}", unit.env.array(a).name),
+                    ));
+                }
+            }
+        }
+        out
+    };
+
+    for &v in &remap_vertices {
+        let span = cfg.node(v).span;
+        let before = input_at(v);
+        let after = &outs[v.idx()];
+        let mut labels: BTreeMap<ArrayId, Label> = BTreeMap::new();
+        for &a in &s_sets[&v] {
+            // Split the conceptual mappings into *remapped* (the
+            // directive's impact changes them) and *pass-through* (a
+            // partial-impact redistribution leaves them alone — the
+            // Fig. 5 situation where the alignment is flow-dependent).
+            // The split applies `impact` per reaching key: for a
+            // REDISTRIBUTE, a key is unaffected iff its alignment does
+            // not target the redistributed template; every other vertex
+            // kind maps all keys to the full after-set.
+            let before_keys = before.arrays.get(&a).cloned().unwrap_or_default();
+            let after_keys = after.arrays.get(&a).cloned().unwrap_or_default();
+            let mut passthrough_keys: BTreeSet<Key> = BTreeSet::new();
+            let mut affected_before: BTreeSet<Key> = BTreeSet::new();
+            let mut affected_after: BTreeSet<Key> = BTreeSet::new();
+            for &k in &before_keys {
+                let s_k: BTreeSet<Key> = match &cfg.node(v).kind {
+                    NodeKind::Redistribute { template, dist } => {
+                        let m = &interners.maps[k as usize];
+                        if m.align.template == *template {
+                            let m2 = Mapping { align: m.align.clone(), dist: dist.clone() };
+                            [*interners
+                                .map_idx
+                                .get(&m2)
+                                .expect("impact result was interned by the flow")]
+                            .into()
+                        } else {
+                            [k].into()
+                        }
+                    }
+                    _ => after_keys.clone(),
+                };
+                if s_k.len() == 1 && s_k.contains(&k) {
+                    passthrough_keys.insert(k);
+                } else {
+                    affected_before.insert(k);
+                    affected_after.extend(s_k);
+                }
+            }
+            if before_keys.is_empty() {
+                // Entry-side vertices: everything they leave is new.
+                affected_after = after_keys.clone();
+            }
+
+            let reaching = normalize_keys(&affected_before, a, &mut versions, &mut errs, span);
+            let passthrough =
+                normalize_keys(&passthrough_keys, a, &mut versions, &mut errs, span);
+            let leaving_set = normalize_keys(&affected_after, a, &mut versions, &mut errs, span);
+            let leaving = if leaving_set.is_empty() {
+                None
+            } else if leaving_set.len() == 1 {
+                Some(Leaving::One(*leaving_set.iter().next().unwrap()))
+            } else if matches!(cfg.node(v).kind, NodeKind::ArgOut { .. }) {
+                // Fig. 18: restore whichever mapping reached the call —
+                // legal, realized by a runtime status save/restore.
+                Some(Leaving::Restore(leaving_set.clone()))
+            } else {
+                errs.push(Diagnostic::error(
+                    codes::MULTI_LEAVING,
+                    span,
+                    format!(
+                        "`{}` has {} possible leaving mappings at this remapping \
+                         (paper App. A assumes one; Fig. 21 case is rejected)",
+                        unit.env.array(a).name,
+                        leaving_set.len()
+                    ),
+                ));
+                None
+            };
+            let mut label = Label::new(leaving, reaching);
+            label.passthrough = passthrough;
+            labels.insert(a, label);
+        }
+        labels_by_node.insert(v, labels);
+    }
+
+    // --- Reference tagging + restriction 1 (ambiguous references).
+    let mut ref_versions: BTreeMap<(NodeId, ArrayId), VersionId> = BTreeMap::new();
+    for n in cfg.node_ids() {
+        if cfg.node(n).kind.is_remap_vertex() {
+            continue;
+        }
+        let effects = node_effects(unit, &cfg, n);
+        if effects.is_empty() {
+            continue;
+        }
+        let st = input_at(n);
+        for (a, _acc) in effects {
+            let span = cfg.node(n).span;
+            let Some(keys) = st.arrays.get(&a) else {
+                errs.push(Diagnostic::error(
+                    codes::AMBIGUOUS_REF,
+                    span,
+                    format!("`{}` referenced before any mapping", unit.env.array(a).name),
+                ));
+                continue;
+            };
+            let vset = normalize_keys(keys, a, &mut versions, &mut errs, span);
+            match vset.len() {
+                1 => {
+                    ref_versions.insert((n, a), *vset.iter().next().unwrap());
+                }
+                0 => {}
+                _ => {
+                    errs.push(Diagnostic::error(
+                        codes::AMBIGUOUS_REF,
+                        span,
+                        format!(
+                            "`{}` is referenced with an ambiguous mapping \
+                             ({} possible placements reach this statement); \
+                             the paper's restriction 1 forbids this (Fig. 5)",
+                            unit.env.array(a).name,
+                            vset.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Pass 2: use qualifiers.
+    let use_flow = UseFlow { unit, cfg: &cfg, s_sets: &s_sets, dummies: &dummies };
+    let use_outs = solve(&cfg, &use_flow);
+    for &v in &remap_vertices {
+        // U_A(v) = join of successor facts (+ exit seed).
+        let mut input = UseFact::new();
+        for s_n in &cfg.succs[v.idx()] {
+            use_flow.join(&mut input, &use_outs[s_n.idx()]);
+        }
+        use_flow.seed(v, &mut input);
+        let labels = labels_by_node.get_mut(&v).unwrap();
+        match &cfg.node(v).kind {
+            NodeKind::CallCtx => {
+                // Fig. 22 import side.
+                for (a, l) in labels.iter_mut() {
+                    let name = &unit.env.array(*a).name;
+                    let intent = unit.param_intents.get(name).copied().unwrap_or(Intent::InOut);
+                    l.use_info = intent_use_labels(intent).0;
+                }
+            }
+            _ => {
+                // ArgIn vertices need no special case: the callee's
+                // Fig. 25 intent effect is the Call node's proper
+                // effect, which the backward summarization already
+                // folded into `input`.
+                for (a, l) in labels.iter_mut() {
+                    l.use_info = input.get(a).copied().unwrap_or_default();
+                }
+            }
+        }
+    }
+
+    // --- Pass 3: edges.
+    let next_flow = NextRemapFlow { s_sets: &s_sets };
+    let next_outs = solve(&cfg, &next_flow);
+    let vindex: BTreeMap<NodeId, VertexId> = remap_vertices
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, VertexId(i as u32)))
+        .collect();
+    let mut edges: BTreeMap<VertexId, BTreeMap<VertexId, BTreeSet<ArrayId>>> = BTreeMap::new();
+    let mut redges: BTreeMap<VertexId, BTreeMap<VertexId, BTreeSet<ArrayId>>> = BTreeMap::new();
+    for &v in &remap_vertices {
+        let mut input = NextFact::new();
+        for s_n in &cfg.succs[v.idx()] {
+            next_flow.join(&mut input, &next_outs[s_n.idx()]);
+        }
+        let from = vindex[&v];
+        for (a, w) in input {
+            if s_sets[&v].contains(&a) {
+                let to = vindex[&NodeId(w)];
+                edges.entry(from).or_default().entry(to).or_default().insert(a);
+                redges.entry(to).or_default().entry(from).or_default().insert(a);
+            }
+        }
+    }
+
+    // --- Pass 4: live values (KILL).
+    let live_flow = LiveValuesFlow { unit, cfg: &cfg, dummies: &dummies };
+    let live_outs = solve(&cfg, &live_flow);
+    for &v in &remap_vertices {
+        let mut input = LiveFact::new();
+        for p in &cfg.preds[v.idx()] {
+            live_flow.join(&mut input, &live_outs[p.idx()]);
+        }
+        let labels = labels_by_node.get_mut(&v).unwrap();
+        for (a, l) in labels.iter_mut() {
+            // Entry-side vertices have no incoming values by definition.
+            let has_preds = !cfg.preds[v.idx()].is_empty();
+            l.values_dead = has_preds && !input.contains(a);
+        }
+    }
+
+    if !errs.is_empty() {
+        return Err(errs);
+    }
+
+    let labels: Vec<BTreeMap<ArrayId, Label>> =
+        remap_vertices.iter().map(|n| labels_by_node.remove(n).unwrap()).collect();
+
+    Ok(Rg {
+        cfg,
+        vertices: remap_vertices,
+        labels,
+        edges,
+        redges,
+        versions,
+        ref_versions,
+    })
+}

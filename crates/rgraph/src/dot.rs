@@ -1,0 +1,91 @@
+//! Rendering of the remapping graph: a text summary in the style of the
+//! paper's Fig. 9/11 labels (`A: {1,2} -> 3, R`) and a graphviz export.
+
+use hpfc_cfg::graph::NodeKind;
+use hpfc_lang::sema::RoutineUnit;
+
+use crate::build::{Rg, VertexId};
+use crate::label::Leaving;
+
+/// Short display name of a vertex (`C`, `0`, `E` for the synthetic
+/// vertices, the vertex number otherwise — matching the paper's
+/// figures).
+pub fn vertex_name(rg: &Rg, v: VertexId) -> String {
+    match rg.cfg.node(rg.node_of(v)).kind {
+        NodeKind::CallCtx => "C".into(),
+        NodeKind::Entry => "0".into(),
+        NodeKind::Exit => "E".into(),
+        _ => format!("{}", v.0),
+    }
+}
+
+/// One-line label of an array at a vertex, Fig. 9 style.
+pub fn label_line(rg: &Rg, unit: &RoutineUnit, v: VertexId, a: hpfc_mapping::ArrayId) -> String {
+    let l = &rg.labels[v.idx()][&a];
+    let name = &unit.env.array(a).name;
+    let reaching: Vec<String> = l.reaching.iter().map(|x| x.index.to_string()).collect();
+    let leaving = match &l.leaving {
+        None => "·".to_string(),
+        Some(Leaving::One(x)) => x.index.to_string(),
+        Some(Leaving::Restore(s)) => format!(
+            "restore{{{}}}",
+            s.iter().map(|x| x.index.to_string()).collect::<Vec<_>>().join(",")
+        ),
+    };
+    let mut line = format!("{name}: {{{}}} -> {leaving}, {}", reaching.join(","), l.use_info);
+    if l.values_dead {
+        line.push_str(" dead");
+    }
+    if l.is_removed() {
+        line.push_str(" (removed)");
+    } else if l.is_trivial() {
+        line.push_str(" (trivial)");
+    }
+    line
+}
+
+/// Multi-line text summary of the whole graph (tests and the
+/// experiment harness print this).
+pub fn to_text(rg: &Rg, unit: &RoutineUnit) -> String {
+    let mut s = String::new();
+    for v in rg.vertex_ids() {
+        s.push_str(&format!("vertex {}:\n", vertex_name(rg, v)));
+        for a in rg.labels[v.idx()].keys() {
+            s.push_str(&format!("  {}\n", label_line(rg, unit, v, *a)));
+        }
+        if let Some(out) = rg.edges.get(&v) {
+            for (w, arrays) in out {
+                let names: Vec<String> =
+                    arrays.iter().map(|a| unit.env.array(*a).name.clone()).collect();
+                s.push_str(&format!(
+                    "  -> {} [{}]\n",
+                    vertex_name(rg, *w),
+                    names.join(",")
+                ));
+            }
+        }
+    }
+    s
+}
+
+/// Graphviz dot export.
+pub fn to_dot(rg: &Rg, unit: &RoutineUnit) -> String {
+    let mut s = String::from("digraph remapping {\n  node [shape=box];\n");
+    for v in rg.vertex_ids() {
+        let mut label = vertex_name(rg, v);
+        for a in rg.labels[v.idx()].keys() {
+            label.push_str("\\n");
+            label.push_str(&label_line(rg, unit, v, *a));
+        }
+        s.push_str(&format!("  v{} [label=\"{label}\"];\n", v.0));
+    }
+    for (v, out) in &rg.edges {
+        for (w, arrays) in out {
+            let names: Vec<String> =
+                arrays.iter().map(|a| unit.env.array(*a).name.clone()).collect();
+            s.push_str(&format!("  v{} -> v{} [label=\"{}\"];\n", v.0, w.0, names.join(",")));
+        }
+    }
+    s.push_str("}\n");
+    s
+}

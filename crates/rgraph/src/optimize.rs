@@ -1,0 +1,234 @@
+//! Dataflow optimizations on the remapping graph (paper Sec. 4,
+//! App. C/D).
+
+use std::collections::BTreeSet;
+
+use hpfc_mapping::{ArrayId, VersionId};
+
+use crate::build::{Rg, VertexId};
+use crate::label::UseInfo;
+
+/// Which optimizations to run — the ablation switchboard of the
+/// experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// App. C: delete leaving copies tagged `N` and recompute reaching
+    /// sets by transitive closure.
+    pub remove_useless: bool,
+    /// App. D: compute the bounded may-live sets `M_A(v)` enabling
+    /// communication-free reuse of read-only copies. When disabled,
+    /// `M_A(v)` is just `{L_A(v)}` — every other copy is dropped at
+    /// each vertex (no reuse).
+    pub live_copies: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig { remove_useless: true, live_copies: true }
+    }
+}
+
+impl OptConfig {
+    /// Everything off — the naive compilation baseline.
+    pub fn none() -> Self {
+        OptConfig { remove_useless: false, live_copies: false }
+    }
+}
+
+/// What the optimizer did (per-routine accounting used by the
+/// experiment harness).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// (vertex, array) remapping slots before optimization.
+    pub total: usize,
+    /// Slots removed by App. C (`U = N`).
+    pub removed: usize,
+    /// Slots that became statically trivial (single reaching copy equal
+    /// to the leaving copy): kept in place, but a runtime status check
+    /// skips them (Sec. 5.1).
+    pub trivial: usize,
+    /// Slots whose values are dead (`KILL`): copy allocated, no data
+    /// moved.
+    pub dead_values: usize,
+}
+
+/// Run the configured optimizations; always (re)computes may-live sets
+/// so the runtime has consistent liveness information.
+pub fn optimize(rg: &mut Rg, config: OptConfig) -> OptStats {
+    let mut stats = OptStats { total: rg.remapping_count(), ..Default::default() };
+    if config.remove_useless {
+        stats.removed = remove_useless(rg);
+    }
+    compute_may_live(rg, config.live_copies);
+    for v in rg.vertex_ids() {
+        for l in rg.labels[v.idx()].values() {
+            if l.leaving.is_some() && l.is_trivial() {
+                stats.trivial += 1;
+            }
+            if l.leaving.is_some() && l.values_dead {
+                stats.dead_values += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// App. C — remove useless remappings (`U_A(v) = N`) and recompute the
+/// reaching sets by a may-forward transitive closure over `G_R`.
+/// Returns the number of removed (vertex, array) slots.
+pub fn remove_useless(rg: &mut Rg) -> usize {
+    let mut removed = 0;
+    // Step 1: delete leaving mappings of unused slots.
+    for v in rg.vertex_ids() {
+        for l in rg.labels[v.idx()].values_mut() {
+            if l.use_info == UseInfo::N && l.leaving.is_some() {
+                l.leaving = None;
+                removed += 1;
+            }
+        }
+    }
+    recompute_reaching(rg);
+    removed
+}
+
+/// The reaching-set recomputation of App. C: initialize from the
+/// leaving mappings of predecessors that are actually referenced
+/// (`U ≠ N`), then propagate transitively through removed (`U = N`)
+/// vertices.
+pub fn recompute_reaching(rg: &mut Rg) {
+    // Collect per (vertex, array): the contribution each vertex makes to
+    // its successors — either its own leaving versions (if kept) or its
+    // (current) reaching set (if removed). Iterate to fixpoint.
+    let vs: Vec<VertexId> = rg.vertex_ids().collect();
+
+    // Reset reaching sets.
+    for v in &vs {
+        for l in rg.labels[v.idx()].values_mut() {
+            l.reaching.clear();
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in &vs {
+            let arrays: Vec<ArrayId> = rg.labels[v.idx()].keys().copied().collect();
+            for a in arrays {
+                let mut incoming: BTreeSet<VersionId> = BTreeSet::new();
+                for p in rg.preds_for(v, a) {
+                    let pl = &rg.labels[p.idx()][&a];
+                    match &pl.leaving {
+                        // Removed (or never-leaving) vertex: transitive.
+                        None => incoming.extend(pl.reaching.iter().copied()),
+                        // Kept vertex: its leaving copies arrive.
+                        Some(l) => incoming.extend(l.versions()),
+                    }
+                    // A partial-impact vertex forwards whatever *data*
+                    // versions arrive on its unaffected executions —
+                    // conservatively, everything that reaches it.
+                    if !pl.passthrough.is_empty() {
+                        incoming.extend(pl.reaching.iter().copied());
+                    }
+                }
+                let lab = rg.labels[v.idx()].get_mut(&a).unwrap();
+                let before = lab.reaching.len();
+                lab.reaching.extend(incoming);
+                if lab.reaching.len() != before {
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+/// App. D — compute the may-live sets `M_A(v)`: the copies worth keeping
+/// past `v` because some later remapping may reuse them without
+/// communication (they are only read in between).
+///
+/// With `enabled = false` the sets collapse to the leaving copy alone —
+/// the runtime then frees every other copy at each vertex (the paper's
+/// unbounded-memory concern, used as an ablation).
+pub fn compute_may_live(rg: &mut Rg, enabled: bool) {
+    let vs: Vec<VertexId> = rg.vertex_ids().collect();
+    // Init: directly useful mappings — the leaving copies, plus
+    // pass-through copies (they may be the current copy on unaffected
+    // executions and must survive the vertex's cleaning).
+    for v in &vs {
+        for l in rg.labels[v.idx()].values_mut() {
+            l.may_live =
+                l.leaving.as_ref().map(|x| x.versions().into_iter().collect()).unwrap_or_default();
+            l.may_live.extend(l.passthrough.iter().copied());
+        }
+    }
+    if !enabled {
+        return;
+    }
+    // Propagate backward while the array is only read (U ∈ {N, R}).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in &vs {
+            let arrays: Vec<ArrayId> = rg.labels[v.idx()].keys().copied().collect();
+            for a in arrays {
+                let u = rg.labels[v.idx()][&a].use_info;
+                if !matches!(u, UseInfo::N | UseInfo::R) {
+                    continue;
+                }
+                let mut add: BTreeSet<VersionId> = BTreeSet::new();
+                for s in rg.succs_for(v, a) {
+                    add.extend(rg.labels[s.idx()][&a].may_live.iter().copied());
+                }
+                let lab = rg.labels[v.idx()].get_mut(&a).unwrap();
+                let before = lab.may_live.len();
+                lab.may_live.extend(add);
+                if lab.may_live.len() != before {
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 1 sanity-checker (used by tests): every version in a
+/// recomputed reaching set must be producible along a `G_R` path from a
+/// kept vertex that leaves it, through removed/unreferenced vertices
+/// only.
+pub fn verify_reaching_paths(rg: &Rg) -> Result<(), String> {
+    for v in rg.vertex_ids() {
+        for (a, l) in &rg.labels[v.idx()] {
+            for r in &l.reaching {
+                if !reachable_from_producer(rg, v, *a, *r) {
+                    return Err(format!(
+                        "vertex {} array {:?}: reaching version {} has no producing path",
+                        v.0, a, r
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reachable_from_producer(rg: &Rg, v: VertexId, a: ArrayId, want: VersionId) -> bool {
+    // Backward DFS from v through predecessors; a predecessor *produces*
+    // `want` if it keeps a leaving copy equal to it; traversal continues
+    // through predecessors with no leaving copy (removed).
+    let mut stack = vec![v];
+    let mut seen = BTreeSet::new();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        for p in rg.preds_for(x, a) {
+            let pl = &rg.labels[p.idx()][&a];
+            match &pl.leaving {
+                Some(leave) if leave.versions().contains(&want) => return true,
+                // Partial-impact vertices forward arriving data versions.
+                Some(_) if !pl.passthrough.is_empty() => stack.push(p),
+                Some(_) => {}
+                None => stack.push(p),
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,37 @@
+//! Simulated distributed-memory runtime — the paper's target machine.
+//!
+//! The paper compiles HPF remappings into message-passing SPMD code for
+//! distributed-memory machines; its claims are about **which remapping
+//! communications happen** (message and byte counts, who talks to
+//! whom), not wire-level timing. This crate provides a deterministic
+//! substitute for that environment (Rust MPI bindings being thin — see
+//! DESIGN.md §2):
+//!
+//! * [`machine::Machine`] — `P` logical processors, a latency/bandwidth
+//!   cost model, exact message/byte/time accounting, and per-processor
+//!   memory tracking (allocation peaks matter for the live-copy
+//!   ablation);
+//! * [`redist::plan_redistribution`] — the block-cyclic redistribution
+//!   engine (the ref. [19] substrate): closed-form communication sets
+//!   between any two composed mappings, with a brute-force enumeration
+//!   oracle for property testing;
+//! * [`store::VersionData`] — actual per-processor storage of array
+//!   versions, so kernels can be executed end-to-end and checked for
+//!   distribution-independent results;
+//! * [`status::ArrayRt`] — the per-array runtime descriptor of Sec. 5.1:
+//!   current-version *status*, per-version *live* flags, lazy
+//!   instantiation, guarded copies, liveness cleaning, and
+//!   memory-pressure eviction with later regeneration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod redist;
+pub mod status;
+pub mod store;
+
+pub use machine::{CostModel, Machine, NetStats};
+pub use redist::{plan_by_enumeration, plan_redistribution, RedistPlan, Transfer};
+pub use status::ArrayRt;
+pub use store::VersionData;

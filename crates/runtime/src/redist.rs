@@ -1,0 +1,525 @@
+//! The redistribution engine: exact communication sets between two
+//! composed mappings of the same array.
+//!
+//! This is the substrate the paper delegates to its SPMD code
+//! generation phase (and that refs like Prylli & Tourancheau's
+//! block-cyclic redistribution library provide): given source and
+//! target [`NormalizedMapping`]s, compute, in closed form, how many
+//! elements every processor pair exchanges.
+//!
+//! The closed form exploits the product structure of composed HPF
+//! mappings: ownership factorizes per array dimension (each dimension
+//! feeds at most one grid axis on each side through an affine map into
+//! a block-cyclic layout), so per-dimension owned index sets are unions
+//! of intervals and the (sender, receiver) element count is a product
+//! of per-dimension interval-intersection sizes.
+//!
+//! Replication is handled by a **canonical source** rule: the replica
+//! at coordinate 0 of every replicated source axis sends (deterministic
+//! and factorizable); every replica on the destination side receives.
+//! [`plan_by_enumeration`] is the O(n·P) brute-force oracle used by the
+//! property tests.
+
+use std::collections::BTreeMap;
+
+use hpfc_mapping::{DimSource, NormalizedMapping};
+
+/// One processor-pair transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sender rank (row-major in the source grid).
+    pub from: u64,
+    /// Receiver rank (row-major in the destination grid).
+    pub to: u64,
+    /// Number of elements.
+    pub elements: u64,
+}
+
+/// A complete redistribution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedistPlan {
+    /// Remote transfers (`from != to`), sorted by (from, to).
+    pub transfers: Vec<Transfer>,
+    /// Elements that stay on their processor.
+    pub local_elements: u64,
+    /// Element size in bytes.
+    pub elem_size: u64,
+}
+
+impl RedistPlan {
+    /// Total bytes crossing the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.elements * self.elem_size).sum()
+    }
+
+    /// Number of point-to-point messages (one per communicating pair,
+    /// as a packing redistribution library would send).
+    pub fn total_messages(&self) -> u64 {
+        self.transfers.len() as u64
+    }
+
+    /// Total elements moved remotely.
+    pub fn remote_elements(&self) -> u64 {
+        self.transfers.iter().map(|t| t.elements).sum()
+    }
+
+    /// As (from, to, bytes) triples for [`crate::Machine::account_phase`].
+    pub fn phase_triples(&self) -> Vec<(u64, u64, u64)> {
+        self.transfers.iter().map(|t| (t.from, t.to, t.elements * self.elem_size)).collect()
+    }
+}
+
+/// The canonical owner of a point under a mapping: its owner with
+/// coordinate 0 substituted on replicated axes.
+pub fn canonical_owner(nm: &NormalizedMapping, point: &[u64]) -> u64 {
+    let locus = nm.locus(point);
+    let coords: Vec<u64> = locus.proc.iter().map(|c| c.unwrap_or(0)).collect();
+    nm.grid_shape.linearize(&coords)
+}
+
+/// The source a receiver actually reads a point from: itself if it
+/// holds the point under `src`, else the canonical owner.
+pub fn source_for(src: &NormalizedMapping, receiver: u64, point: &[u64]) -> u64 {
+    if receiver < src.grid_shape.volume() && src.is_owned(point, receiver) {
+        receiver
+    } else {
+        canonical_owner(src, point)
+    }
+}
+
+/// Whether rank `to`, interpreted in the source grid, matches the
+/// per-axis source-owner coordinates `s_coords` (replicated axes match
+/// anything).
+fn receiver_holds_under_src(
+    src: &NormalizedMapping,
+    to: u64,
+    s_coords: &[Option<u64>],
+) -> bool {
+    if to >= src.grid_shape.volume() {
+        return false;
+    }
+    let tc = src.grid_shape.delinearize(to);
+    src.axes.iter().enumerate().all(|(axis, ax)| match ax.source {
+        DimSource::Replicated => true,
+        _ => s_coords[axis] == Some(tc[axis]),
+    })
+}
+
+/// All owners of a point (replicas expanded).
+pub fn all_owners(nm: &NormalizedMapping, point: &[u64]) -> Vec<u64> {
+    nm.owners(point)
+}
+
+// --- interval math ----------------------------------------------------
+
+fn floor_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Array-index intervals (sorted, disjoint, half-open) owned along one
+/// dimension by grid coordinate `coord`, for an `ArrayAxis` dim-map.
+fn owned_array_intervals(
+    stride: i64,
+    offset: i64,
+    layout: hpfc_mapping::DimLayout,
+    coord: u64,
+    extent: u64,
+) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for (lo, hi) in layout.owned_intervals(coord) {
+        // { a : lo <= stride*a + offset < hi, 0 <= a < extent }
+        let (lo_i, hi_i) = (lo as i64, hi as i64);
+        let (a_lo, a_hi) = if stride > 0 {
+            (ceil_div(lo_i - offset, stride), ceil_div(hi_i - offset, stride))
+        } else {
+            (floor_div(hi_i - offset, stride) + 1, floor_div(lo_i - offset, stride) + 1)
+        };
+        let a_lo = a_lo.max(0) as u64;
+        let a_hi = a_hi.max(0) as u64;
+        let a_hi = a_hi.min(extent);
+        if a_lo < a_hi {
+            out.push((a_lo, a_hi));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Size of the intersection of two sorted disjoint interval lists.
+fn intersect_count(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+// --- the planner -------------------------------------------------------
+
+/// Which grid axis (if any) each array dimension drives, with the
+/// interval generator.
+fn axis_driven_by_dim(nm: &NormalizedMapping, d: usize) -> Option<(usize, i64, i64, hpfc_mapping::DimLayout)> {
+    for (axis, ax) in nm.axes.iter().enumerate() {
+        if let DimSource::ArrayAxis { dim, stride, offset } = ax.source {
+            if dim == d {
+                return Some((axis, stride, offset, ax.layout.expect("axis source has layout")));
+            }
+        }
+    }
+    None
+}
+
+/// Closed-form redistribution plan between two mappings of one array.
+///
+/// Panics if the mappings disagree on the array extents (they are
+/// versions of the same array by construction).
+pub fn plan_redistribution(
+    src: &NormalizedMapping,
+    dst: &NormalizedMapping,
+    elem_size: u64,
+) -> RedistPlan {
+    assert_eq!(
+        src.array_extents, dst.array_extents,
+        "redistribution between different arrays"
+    );
+    let rank = src.array_extents.rank();
+
+    // Per-dimension contribution table: (src axis coord, dst axis coord,
+    // count) triples with None = this dim does not drive that side.
+    #[allow(clippy::type_complexity)]
+    let mut per_dim: Vec<Vec<(Option<(usize, u64)>, Option<(usize, u64)>, u64)>> =
+        Vec::with_capacity(rank);
+
+    for d in 0..rank {
+        let n = src.array_extents.extent(d);
+        let s_axis = axis_driven_by_dim(src, d);
+        let d_axis = axis_driven_by_dim(dst, d);
+        let mut entries = Vec::new();
+        match (&s_axis, &d_axis) {
+            (None, None) => entries.push((None, None, n)),
+            (Some((ax, st, of, lay)), None) => {
+                for c in 0..lay.nprocs {
+                    let iv = owned_array_intervals(*st, *of, *lay, c, n);
+                    let count: u64 = iv.iter().map(|(a, b)| b - a).sum();
+                    if count > 0 {
+                        entries.push((Some((*ax, c)), None, count));
+                    }
+                }
+            }
+            (None, Some((ax, st, of, lay))) => {
+                for c in 0..lay.nprocs {
+                    let iv = owned_array_intervals(*st, *of, *lay, c, n);
+                    let count: u64 = iv.iter().map(|(a, b)| b - a).sum();
+                    if count > 0 {
+                        entries.push((None, Some((*ax, c)), count));
+                    }
+                }
+            }
+            (Some((sax, sst, sof, slay)), Some((dax, dst_, dof, dlay))) => {
+                for cs in 0..slay.nprocs {
+                    let siv = owned_array_intervals(*sst, *sof, *slay, cs, n);
+                    if siv.is_empty() {
+                        continue;
+                    }
+                    for cd in 0..dlay.nprocs {
+                        let div = owned_array_intervals(*dst_, *dof, *dlay, cd, n);
+                        let count = intersect_count(&siv, &div);
+                        if count > 0 {
+                            entries.push((Some((*sax, cs)), Some((*dax, cd)), count));
+                        }
+                    }
+                }
+            }
+        }
+        per_dim.push(entries);
+    }
+
+    // Assemble (sender, receiver) counts: cartesian product over
+    // per-dim entries, then fill undriven axes (FixedCoord, canonical
+    // replicas) and expand destination replication.
+    let mut pairs: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut idx = vec![0usize; rank];
+    loop {
+        // Current combination.
+        let mut count: u64 = 1;
+        let mut s_coords: Vec<Option<u64>> = vec![None; src.grid_shape.rank()];
+        let mut d_coords: Vec<Option<u64>> = vec![None; dst.grid_shape.rank()];
+        for d in 0..rank {
+            let (s, t, c) = per_dim[d][idx[d]];
+            count *= c;
+            if let Some((ax, coord)) = s {
+                s_coords[ax] = Some(coord);
+            }
+            if let Some((ax, coord)) = t {
+                d_coords[ax] = Some(coord);
+            }
+        }
+        if count > 0 {
+            // Fill source axes not driven by any dim.
+            for (axis, ax) in src.axes.iter().enumerate() {
+                if s_coords[axis].is_none() {
+                    s_coords[axis] = Some(match ax.source {
+                        DimSource::FixedCoord(q) => q,
+                        // Canonical replica sends.
+                        DimSource::Replicated => 0,
+                        DimSource::ArrayAxis { .. } => 0, // driven; unreachable
+                    });
+                }
+            }
+            let canonical =
+                src.grid_shape.linearize(&s_coords.iter().map(|c| c.unwrap()).collect::<Vec<_>>());
+            // Destination: expand replicated axes (broadcast).
+            let mut receivers: Vec<Vec<u64>> = vec![Vec::new()];
+            for (axis, ax) in dst.axes.iter().enumerate() {
+                let choices: Vec<u64> = match (d_coords[axis], ax.source) {
+                    (Some(c), _) => vec![c],
+                    (None, DimSource::FixedCoord(q)) => vec![q],
+                    (None, DimSource::Replicated) => (0..dst.grid_shape.extent(axis)).collect(),
+                    (None, DimSource::ArrayAxis { .. }) => vec![0], // driven; unreachable
+                };
+                let mut next = Vec::with_capacity(receivers.len() * choices.len());
+                for r in &receivers {
+                    for &c in &choices {
+                        let mut rr = r.clone();
+                        rr.push(c);
+                        next.push(rr);
+                    }
+                }
+                receivers = next;
+            }
+            for r in receivers {
+                let to = dst.grid_shape.linearize(&r);
+                // Receiver self-preference: if the receiver already
+                // holds these elements under the source mapping, the
+                // copy is local. All elements of this combination share
+                // the same source-owner coordinates, so the check is
+                // per-combination.
+                let from = if receiver_holds_under_src(src, to, &s_coords) {
+                    to
+                } else {
+                    canonical
+                };
+                *pairs.entry((from, to)).or_insert(0) += count;
+            }
+        }
+        // Advance the odometer.
+        let mut d = 0;
+        loop {
+            if d == rank {
+                // Done.
+                let mut transfers = Vec::new();
+                let mut local = 0u64;
+                for ((from, to), elements) in pairs {
+                    if from == to {
+                        local += elements;
+                    } else {
+                        transfers.push(Transfer { from, to, elements });
+                    }
+                }
+                return RedistPlan { transfers, local_elements: local, elem_size };
+            }
+            idx[d] += 1;
+            if idx[d] < per_dim[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+        if rank == 0 {
+            unreachable!("rank-0 arrays are scalars, not distributed");
+        }
+    }
+}
+
+/// Brute-force oracle: enumerate every element, canonical source, all
+/// destination replicas. O(n · replicas).
+pub fn plan_by_enumeration(
+    src: &NormalizedMapping,
+    dst: &NormalizedMapping,
+    elem_size: u64,
+) -> RedistPlan {
+    let mut pairs: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for p in src.array_extents.points() {
+        for to in all_owners(dst, &p) {
+            let from = source_for(src, to, &p);
+            *pairs.entry((from, to)).or_insert(0) += 1;
+        }
+    }
+    let mut transfers = Vec::new();
+    let mut local = 0u64;
+    for ((from, to), elements) in pairs {
+        if from == to {
+            local += elements;
+        } else {
+            transfers.push(Transfer { from, to, elements });
+        }
+    }
+    RedistPlan { transfers, local_elements: local, elem_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpfc_mapping::{
+        Alignment, DimFormat, Distribution, Extents, GridId, Mapping, ProcGrid, Template,
+        TemplateId,
+    };
+
+    fn mk(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
+        let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n]) };
+        let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p]) };
+        Mapping {
+            align: Alignment::identity(TemplateId(0), 1),
+            dist: Distribution::new(GridId(0), vec![fmt]),
+        }
+        .normalize(&Extents::new(&[n]), &t, &g)
+        .unwrap()
+    }
+
+    #[test]
+    fn block_to_cyclic_1d() {
+        let src = mk(16, 4, DimFormat::Block(None)); // blocks of 4
+        let dst = mk(16, 4, DimFormat::Cyclic(None));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let oracle = plan_by_enumeration(&src, &dst, 8);
+        assert_eq!(plan, oracle);
+        // Each proc keeps exactly 1 of its 4 elements (the one whose
+        // cyclic owner == block owner).
+        assert_eq!(plan.local_elements, 4);
+        assert_eq!(plan.remote_elements(), 12);
+        // All-to-all among 4 procs minus diagonal: 12 messages.
+        assert_eq!(plan.total_messages(), 12);
+        assert_eq!(plan.total_bytes(), 12 * 8);
+    }
+
+    #[test]
+    fn identity_redistribution_is_all_local() {
+        let src = mk(20, 4, DimFormat::Cyclic(Some(2)));
+        let plan = plan_redistribution(&src, &src, 8);
+        assert_eq!(plan.total_messages(), 0);
+        assert_eq!(plan.local_elements, 20);
+    }
+
+    #[test]
+    fn replication_broadcast() {
+        // src: block over 4; dst: fully replicated.
+        let src = mk(8, 4, DimFormat::Block(None));
+        let dst = mk(8, 4, DimFormat::Collapsed);
+        let plan = plan_redistribution(&src, &dst, 8);
+        let oracle = plan_by_enumeration(&src, &dst, 8);
+        assert_eq!(plan, oracle);
+        // Every proc must receive the 6 elements it does not own, and
+        // keeps its own 2: 8 local, 24 remote.
+        assert_eq!(plan.local_elements, 8);
+        assert_eq!(plan.remote_elements(), 24);
+    }
+
+    #[test]
+    fn replicated_source_needs_no_communication() {
+        let src = mk(8, 4, DimFormat::Collapsed); // replicated everywhere
+        let dst = mk(8, 4, DimFormat::Block(None));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let oracle = plan_by_enumeration(&src, &dst, 8);
+        assert_eq!(plan, oracle);
+        // Every receiver already holds everything under the replicated
+        // source: all copies are local.
+        assert_eq!(plan.local_elements, 8);
+        assert_eq!(plan.total_messages(), 0);
+    }
+
+    #[test]
+    fn two_dim_transpose_style() {
+        // (BLOCK, *) -> (*, BLOCK) on a 2-D array: the classic FFT
+        // transpose-by-redistribution.
+        let n = 12u64;
+        let p = 3u64;
+        let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n, n]) };
+        let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p]) };
+        let e = Extents::new(&[n, n]);
+        let row = Mapping {
+            align: Alignment::identity(TemplateId(0), 2),
+            dist: Distribution::new(GridId(0), vec![DimFormat::Block(None), DimFormat::Collapsed]),
+        }
+        .normalize(&e, &t, &g)
+        .unwrap();
+        let col = Mapping {
+            align: Alignment::identity(TemplateId(0), 2),
+            dist: Distribution::new(GridId(0), vec![DimFormat::Collapsed, DimFormat::Block(None)]),
+        }
+        .normalize(&e, &t, &g)
+        .unwrap();
+        let plan = plan_redistribution(&row, &col, 8);
+        let oracle = plan_by_enumeration(&row, &col, 8);
+        assert_eq!(plan, oracle);
+        // Each proc keeps its diagonal tile (n/p × n/p) and sends the
+        // rest of its rows.
+        assert_eq!(plan.local_elements, p * (n / p) * (n / p));
+        assert_eq!(plan.total_messages(), (p * (p - 1)) as u64);
+    }
+
+    #[test]
+    fn strided_alignment_plan_matches_oracle() {
+        // ALIGN A(i) WITH T(2*i+1): stride-2 alignment into a template
+        // twice as large, BLOCK vs CYCLIC(3).
+        let n = 10u64;
+        let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[24]) };
+        let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[4]) };
+        let e = Extents::new(&[n]);
+        let al = Alignment {
+            template: TemplateId(0),
+            targets: vec![hpfc_mapping::AlignTarget::Axis { array_dim: 0, stride: 2, offset: 1 }],
+        };
+        let src = Mapping {
+            align: al.clone(),
+            dist: Distribution::new(GridId(0), vec![DimFormat::Block(None)]),
+        }
+        .normalize(&e, &t, &g)
+        .unwrap();
+        let dst = Mapping {
+            align: al,
+            dist: Distribution::new(GridId(0), vec![DimFormat::Cyclic(Some(3))]),
+        }
+        .normalize(&e, &t, &g)
+        .unwrap();
+        let plan = plan_redistribution(&src, &dst, 8);
+        let oracle = plan_by_enumeration(&src, &dst, 8);
+        assert_eq!(plan, oracle);
+        // Conservation: every element lands somewhere exactly once.
+        assert_eq!(plan.local_elements + plan.remote_elements(), n);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        assert_eq!(floor_div(-3, 2), -2);
+        assert_eq!(floor_div(3, 2), 1);
+        assert_eq!(ceil_div(-3, 2), -1);
+        assert_eq!(ceil_div(3, 2), 2);
+        assert_eq!(
+            intersect_count(&[(0, 5), (10, 15)], &[(3, 12)]),
+            2 + 2 // [3,5) and [10,12)
+        );
+    }
+}

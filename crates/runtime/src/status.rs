@@ -1,0 +1,367 @@
+//! The per-array runtime descriptor of Sec. 5.1 and the executable
+//! semantics of the generated copy code (Fig. 19/20).
+//!
+//! Each dynamic array carries:
+//! * a **status** — which version is current (may be referenced);
+//! * per-version **live** flags — which copies hold the current values;
+//!
+//! [`ArrayRt::remap`] is Fig. 20 executed: skip if already mapped as
+//! required; allocate the target lazily; if the target copy is not
+//! live, copy from the status copy (real communication, through the
+//! redistribution engine) unless the values are dead; then clean every
+//! copy outside the may-live set. [`ArrayRt::evict`] models the
+//! memory-pressure path: a live non-current copy may be dropped at any
+//! time and is regenerated (with communication) if needed again.
+
+use std::collections::BTreeSet;
+
+use hpfc_mapping::NormalizedMapping;
+
+use crate::machine::Machine;
+use crate::redist::plan_redistribution;
+use crate::store::VersionData;
+
+/// Runtime state of one dynamic array.
+#[derive(Debug, Clone)]
+pub struct ArrayRt {
+    /// Display name (diagnostics).
+    pub name: String,
+    /// The statically known placements (index = version subscript).
+    pub mappings: Vec<NormalizedMapping>,
+    /// Allocated copies (lazy).
+    pub copies: Vec<Option<VersionData>>,
+    /// Which copies hold the current values.
+    pub live: Vec<bool>,
+    /// The current version, if any ("no initial mapping is imposed from
+    /// entry" — instantiation is delayed to first use or remapping).
+    pub status: Option<u32>,
+    /// Element size in bytes.
+    pub elem_size: u64,
+}
+
+impl ArrayRt {
+    /// New descriptor over the known versions.
+    pub fn new(name: impl Into<String>, mappings: Vec<NormalizedMapping>, elem_size: u64) -> Self {
+        let n = mappings.len();
+        ArrayRt {
+            name: name.into(),
+            mappings,
+            copies: vec![None; n],
+            live: vec![false; n],
+            status: None,
+            elem_size,
+        }
+    }
+
+    /// Ensure version `v` has storage (lazy allocation, with memory
+    /// accounting).
+    pub fn ensure_allocated(&mut self, machine: &mut Machine, v: u32) {
+        if self.copies[v as usize].is_none() {
+            let data = VersionData::new(self.mappings[v as usize].clone(), self.elem_size);
+            for r in 0..machine.nprocs {
+                machine.mem.alloc(r as usize, data.bytes_on(r));
+            }
+            self.copies[v as usize] = Some(data);
+        }
+    }
+
+    /// Free version `v`'s storage and clear its live flag.
+    pub fn free_copy(&mut self, machine: &mut Machine, v: u32) {
+        if let Some(data) = self.copies[v as usize].take() {
+            for r in 0..machine.nprocs {
+                machine.mem.free(r as usize, data.bytes_on(r));
+            }
+        }
+        self.live[v as usize] = false;
+    }
+
+    /// Memory-pressure eviction (Sec. 5.2 end): drop a live, non-current
+    /// copy; it will be regenerated with communication if needed later.
+    /// Returns whether anything was evicted.
+    pub fn evict(&mut self, machine: &mut Machine, v: u32) -> bool {
+        if Some(v) == self.status || self.copies[v as usize].is_none() {
+            return false;
+        }
+        self.free_copy(machine, v);
+        true
+    }
+
+    /// Fig. 20, executed: remap to `target`.
+    ///
+    /// * `may_live` — the compiler's `M_A(v)`: copies to keep; all other
+    ///   copies are cleaned afterwards.
+    /// * `values_dead` — the compiler proved the values need not move
+    ///   (`U = D` downstream, or a `KILL` upstream).
+    pub fn remap(
+        &mut self,
+        machine: &mut Machine,
+        target: u32,
+        may_live: &BTreeSet<u32>,
+        values_dead: bool,
+    ) {
+        self.remap_guarded(machine, target, may_live, values_dead, &BTreeSet::new())
+    }
+
+    /// [`ArrayRt::remap`] with a partial-impact guard: when the current
+    /// status is in `skip_if_current`, this execution is unaffected by
+    /// the directive (Fig. 5/6 flow-dependent alignment) — only the
+    /// liveness cleaning runs.
+    pub fn remap_guarded(
+        &mut self,
+        machine: &mut Machine,
+        target: u32,
+        may_live: &BTreeSet<u32>,
+        values_dead: bool,
+        skip_if_current: &BTreeSet<u32>,
+    ) {
+        if self.status.is_some_and(|c| skip_if_current.contains(&c)) {
+            machine.stats.remaps_skipped_noop += 1;
+        } else if self.status == Some(target) {
+            // "The runtime will notice that the array is already mapped
+            // as required just by an inexpensive check of its status."
+            machine.stats.remaps_skipped_noop += 1;
+        } else {
+            self.ensure_allocated(machine, target);
+            if self.live[target as usize] {
+                // Live-copy reuse: no communication at all (App. D).
+                machine.stats.remaps_reused_live += 1;
+            } else {
+                match (self.status, values_dead) {
+                    (Some(src), false) => {
+                        // The actual remapping communication.
+                        let plan = plan_redistribution(
+                            &self.mappings[src as usize],
+                            &self.mappings[target as usize],
+                            self.elem_size,
+                        );
+                        machine.account_phase(&plan.phase_triples());
+                        machine.stats.remaps_performed += 1;
+                        let src_data = self.copies[src as usize]
+                            .clone()
+                            .expect("status copy is allocated");
+                        self.copies[target as usize]
+                            .as_mut()
+                            .unwrap()
+                            .copy_values_from(&src_data);
+                    }
+                    (Some(_), true) => {
+                        // KILL: copy allocated, values dead — no data.
+                        machine.stats.remaps_dead_values += 1;
+                    }
+                    (None, _) => {
+                        // First instantiation: nothing to copy from.
+                    }
+                }
+                self.live[target as usize] = true;
+            }
+            self.status = Some(target);
+        }
+        // Cleaning: free copies that are live but not worth keeping.
+        // The status copy is never cleaned — on pass-through executions
+        // of a partial-impact vertex it differs from `target` and is
+        // still the current data.
+        for v in 0..self.live.len() as u32 {
+            if v != target
+                && Some(v) != self.status
+                && self.live[v as usize]
+                && !may_live.contains(&v)
+            {
+                self.free_copy(machine, v);
+            }
+        }
+    }
+
+    /// Current copy for reading, instantiating version `v_default`
+    /// lazily if the array was never touched.
+    pub fn current(&mut self, machine: &mut Machine, v_default: u32) -> &mut VersionData {
+        let v = match self.status {
+            Some(v) => v,
+            None => {
+                self.ensure_allocated(machine, v_default);
+                self.live[v_default as usize] = true;
+                self.status = Some(v_default);
+                v_default
+            }
+        };
+        self.copies[v as usize].as_mut().expect("status copy allocated")
+    }
+
+    /// Read one element through the current copy.
+    pub fn get(&self, point: &[u64]) -> f64 {
+        let v = self.status.expect("read of an array that was never defined");
+        self.copies[v as usize].as_ref().expect("status copy allocated").get(point)
+    }
+
+    /// Write one element through the current copy. Any other live copy
+    /// becomes stale and is invalidated — the defensive counterpart of
+    /// the compiler's liveness reasoning (a correct compilation never
+    /// reuses a copy this invalidates).
+    pub fn set(&mut self, point: &[u64], value: f64) {
+        let v = self.status.expect("write to an array with no current version");
+        self.copies[v as usize].as_mut().expect("status copy allocated").set(point, value);
+        for w in 0..self.live.len() {
+            if w as u32 != v {
+                self.live[w] = false;
+            }
+        }
+    }
+
+    /// Invalidate all non-status copies (bulk-write entry point used by
+    /// the interpreter for whole-array assignments).
+    pub fn invalidate_others(&mut self) {
+        if let Some(v) = self.status {
+            for w in 0..self.live.len() {
+                if w as u32 != v {
+                    self.live[w] = false;
+                }
+            }
+        }
+    }
+
+    /// Allocated bytes across copies (one processor's view is
+    /// `bytes / nprocs` only for perfectly balanced mappings; this is
+    /// the global figure).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.copies.iter().flatten().map(|c| c.total_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpfc_mapping::{
+        Alignment, DimFormat, Distribution, Extents, GridId, Mapping, ProcGrid, Template,
+        TemplateId,
+    };
+
+    fn mk(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
+        let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n]) };
+        let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p]) };
+        Mapping {
+            align: Alignment::identity(TemplateId(0), 1),
+            dist: Distribution::new(GridId(0), vec![fmt]),
+        }
+        .normalize(&Extents::new(&[n]), &t, &g)
+        .unwrap()
+    }
+
+    fn rt() -> (Machine, ArrayRt) {
+        let m = Machine::new(4);
+        let a = ArrayRt::new(
+            "a",
+            vec![
+                mk(16, 4, DimFormat::Block(None)),  // 0
+                mk(16, 4, DimFormat::Cyclic(None)), // 1
+                mk(16, 4, DimFormat::Cyclic(Some(2))), // 2
+            ],
+            8,
+        );
+        (m, a)
+    }
+
+    #[test]
+    fn lazy_instantiation_and_first_remap_moves_no_data() {
+        let (mut m, mut a) = rt();
+        // First remapping of a never-touched array: allocation only.
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
+        assert_eq!(a.status, Some(1));
+        assert_eq!(m.stats.messages, 0);
+        assert_eq!(m.stats.remaps_performed, 0);
+    }
+
+    #[test]
+    fn remap_moves_data_and_preserves_values() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| p[0] as f64);
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
+        assert_eq!(m.stats.remaps_performed, 1);
+        assert!(m.stats.bytes > 0);
+        // Values survived the remapping.
+        for i in 0..16u64 {
+            assert_eq!(a.get(&[i]), i as f64);
+        }
+    }
+
+    #[test]
+    fn status_check_skips_noop_remaps() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0);
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
+        let bytes = m.stats.bytes;
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
+        assert_eq!(m.stats.remaps_skipped_noop, 1);
+        assert_eq!(m.stats.bytes, bytes, "no extra traffic");
+    }
+
+    #[test]
+    fn live_copy_reuse_avoids_communication() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| p[0] as f64);
+        // Keep version 0 alive across the remapping (M = {0, 1}).
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        a.remap(&mut m, 1, &keep, false);
+        let bytes_after_first = m.stats.bytes;
+        assert!(a.live[0], "copy 0 kept live");
+        // Remap back: version 0 is still live — zero communication.
+        a.remap(&mut m, 0, &keep, false);
+        assert_eq!(m.stats.remaps_reused_live, 1);
+        assert_eq!(m.stats.bytes, bytes_after_first);
+        assert_eq!(a.get(&[5]), 5.0);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| p[0] as f64);
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        a.remap(&mut m, 1, &keep, false);
+        // Writing through the current (cyclic) copy kills copy 0.
+        a.set(&[3], 99.0);
+        assert!(!a.live[0]);
+        // Remapping back now needs real communication again.
+        a.remap(&mut m, 0, &keep, false);
+        assert_eq!(m.stats.remaps_performed, 2);
+        assert_eq!(a.get(&[3]), 99.0);
+    }
+
+    #[test]
+    fn cleaning_frees_copies_outside_may_live() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0);
+        // M = {1}: version 0 must be freed by the remapping.
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
+        assert!(a.copies[0].is_none());
+        assert!(!a.live[0]);
+        // Memory accounting went down to one copy.
+        let one_copy: u64 = a.allocated_bytes();
+        assert_eq!(one_copy, 16 * 8);
+    }
+
+    #[test]
+    fn eviction_and_regeneration() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| 2.0 * p[0] as f64);
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        a.remap(&mut m, 1, &keep, false);
+        // Pressure: drop the live copy 0.
+        assert!(a.evict(&mut m, 0));
+        assert!(!a.live[0]);
+        // Status copy cannot be evicted.
+        assert!(!a.evict(&mut m, 1));
+        // Going back to 0 regenerates it with communication.
+        let performed = m.stats.remaps_performed;
+        a.remap(&mut m, 0, &keep, false);
+        assert_eq!(m.stats.remaps_performed, performed + 1);
+        assert_eq!(a.get(&[7]), 14.0);
+    }
+
+    #[test]
+    fn dead_values_move_no_data() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| p[0] as f64);
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), true);
+        assert_eq!(m.stats.remaps_dead_values, 1);
+        assert_eq!(m.stats.bytes, 0);
+        assert_eq!(a.status, Some(1));
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-processor storage of one array version.
+//!
+//! A version's local block on processor `p` holds, for each array
+//! dimension, the sorted list of global indices `p` owns along it; the
+//! elements are stored row-major over those lists. Replicated mappings
+//! store a full projection on every replica. This matches the local
+//! addressing scheme the mapping layer's structural equality guarantees
+//! (see `hpfc-mapping`), so two equal mappings have byte-identical
+//! local layouts — the property live-copy reuse relies on.
+
+use hpfc_mapping::NormalizedMapping;
+
+/// One processor's slice of a version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalBlock {
+    /// Owned global indices per dimension (sorted).
+    pub dims: Vec<Vec<u64>>,
+    /// Row-major element data over `dims`.
+    pub data: Vec<f64>,
+}
+
+impl LocalBlock {
+    fn position(&self, point: &[u64]) -> Option<usize> {
+        let mut idx = 0usize;
+        for (d, list) in self.dims.iter().enumerate() {
+            let k = list.binary_search(&point[d]).ok()?;
+            idx = idx * list.len() + k;
+        }
+        Some(idx)
+    }
+}
+
+/// The distributed storage of one array version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionData {
+    /// The placement this storage realizes.
+    pub mapping: NormalizedMapping,
+    /// One optional block per processor rank (None = holds nothing).
+    pub blocks: Vec<Option<LocalBlock>>,
+    /// Element size in bytes (for accounting; data is simulated as f64).
+    pub elem_size: u64,
+}
+
+impl VersionData {
+    /// Allocate (zero-filled) storage for `mapping`.
+    pub fn new(mapping: NormalizedMapping, elem_size: u64) -> Self {
+        let nprocs = mapping.grid_shape.volume();
+        let rank = mapping.array_extents.rank();
+        let mut blocks = Vec::with_capacity(nprocs as usize);
+        for r in 0..nprocs {
+            let coords = mapping.grid_shape.delinearize(r);
+            if !mapping.holds_anything(&coords) {
+                blocks.push(None);
+                continue;
+            }
+            let dims: Vec<Vec<u64>> =
+                (0..rank).map(|d| mapping.owned_indices_along(d, &coords)).collect();
+            let len: usize = dims.iter().map(|l| l.len()).product();
+            blocks.push(Some(LocalBlock { dims, data: vec![0.0; len] }));
+        }
+        VersionData { mapping, blocks, elem_size }
+    }
+
+    /// Bytes allocated on processor `rank`.
+    pub fn bytes_on(&self, rank: u64) -> u64 {
+        self.blocks[rank as usize]
+            .as_ref()
+            .map(|b| b.data.len() as u64 * self.elem_size)
+            .unwrap_or(0)
+    }
+
+    /// Total bytes across all processors (replicas count).
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.blocks.len() as u64).map(|r| self.bytes_on(r)).sum()
+    }
+
+    /// Read an element (from its canonical owner).
+    pub fn get(&self, point: &[u64]) -> f64 {
+        let owner = crate::redist::canonical_owner(&self.mapping, point);
+        let block = self.blocks[owner as usize].as_ref().expect("owner holds the element");
+        block.data[block.position(point).expect("owned element")]
+    }
+
+    /// Write an element (to every replica).
+    pub fn set(&mut self, point: &[u64], value: f64) {
+        for owner in self.mapping.owners(point) {
+            let block = self.blocks[owner as usize].as_mut().expect("owner holds the element");
+            let pos = block.position(point).expect("owned element");
+            block.data[pos] = value;
+        }
+    }
+
+    /// Fill from a function of the global point.
+    pub fn fill(&mut self, mut f: impl FnMut(&[u64]) -> f64) {
+        let extents = self.mapping.array_extents.clone();
+        for p in extents.points() {
+            let v = f(&p);
+            self.set(&p, v);
+        }
+    }
+
+    /// Copy all values from another version of the same array (the data
+    /// movement a redistribution performs; traffic is accounted
+    /// separately from the plan).
+    pub fn copy_values_from(&mut self, other: &VersionData) {
+        assert_eq!(self.mapping.array_extents, other.mapping.array_extents);
+        let extents = self.mapping.array_extents.clone();
+        for p in extents.points() {
+            let v = other.get(&p);
+            self.set(&p, v);
+        }
+    }
+
+    /// Gather the full array into a dense row-major vector (verification
+    /// helper).
+    pub fn to_dense(&self) -> Vec<f64> {
+        self.mapping.array_extents.points().map(|p| self.get(&p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpfc_mapping::{
+        Alignment, DimFormat, Distribution, Extents, GridId, Mapping, ProcGrid, Template,
+        TemplateId,
+    };
+
+    fn mk2d(n: u64, p: u64, fmts: Vec<DimFormat>) -> NormalizedMapping {
+        let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n, n]) };
+        let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p]) };
+        Mapping {
+            align: Alignment::identity(TemplateId(0), 2),
+            dist: Distribution::new(GridId(0), fmts),
+        }
+        .normalize(&Extents::new(&[n, n]), &t, &g)
+        .unwrap()
+    }
+
+    #[test]
+    fn get_set_roundtrip_rowblock() {
+        let nm = mk2d(8, 4, vec![DimFormat::Block(None), DimFormat::Collapsed]);
+        let mut v = VersionData::new(nm, 8);
+        v.set(&[3, 5], 42.0);
+        assert_eq!(v.get(&[3, 5]), 42.0);
+        assert_eq!(v.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn fill_and_dense_are_consistent_across_mappings() {
+        let row = mk2d(8, 4, vec![DimFormat::Block(None), DimFormat::Collapsed]);
+        let col = mk2d(8, 4, vec![DimFormat::Collapsed, DimFormat::Cyclic(None)]);
+        let f = |p: &[u64]| (p[0] * 8 + p[1]) as f64;
+        let mut a = VersionData::new(row, 8);
+        let mut b = VersionData::new(col, 8);
+        a.fill(f);
+        b.fill(f);
+        assert_eq!(a.to_dense(), b.to_dense());
+    }
+
+    #[test]
+    fn copy_values_preserves_content() {
+        let row = mk2d(6, 3, vec![DimFormat::Block(None), DimFormat::Collapsed]);
+        let col = mk2d(6, 3, vec![DimFormat::Collapsed, DimFormat::Block(None)]);
+        let mut a = VersionData::new(row, 8);
+        a.fill(|p| (p[0] * 100 + p[1]) as f64);
+        let mut b = VersionData::new(col, 8);
+        b.copy_values_from(&a);
+        assert_eq!(a.to_dense(), b.to_dense());
+    }
+
+    #[test]
+    fn replicated_version_stores_everywhere() {
+        let repl = mk2d(4, 4, vec![DimFormat::Collapsed, DimFormat::Collapsed]);
+        let mut v = VersionData::new(repl.clone(), 8);
+        v.set(&[1, 1], 7.0);
+        // All four processors hold the element.
+        let full = 4 * 4 * 8;
+        assert_eq!(v.total_bytes(), 4 * full);
+        assert_eq!(v.get(&[1, 1]), 7.0);
+    }
+
+    #[test]
+    fn bytes_accounting_partition() {
+        let nm = mk2d(8, 4, vec![DimFormat::Cyclic(None), DimFormat::Collapsed]);
+        let v = VersionData::new(nm, 8);
+        assert_eq!(v.total_bytes(), 8 * 8 * 8);
+        assert_eq!(v.bytes_on(0), 2 * 8 * 8);
+    }
+}

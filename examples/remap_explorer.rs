@@ -1,0 +1,64 @@
+//! Remap explorer: run every paper figure through the pipeline and
+//! print a one-line verdict — a tour of the whole reproduction.
+//!
+//! Run with: `cargo run --example remap_explorer`
+//! Add a figure name to dump its remapping graph:
+//! `cargo run --example remap_explorer -- fig10`
+
+use hpfc::{compile, compile_and_run, figures, CompileOptions, ExecConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    if let Some(name) = arg {
+        dump(&name);
+        return;
+    }
+    println!(
+        "{:<8} {:>7} {:>8} {:>8} {:>9} | {:>11} {:>11}",
+        "figure", "slots", "removed", "trivial", "restores", "naive B", "opt B"
+    );
+    for (name, src) in figures::all() {
+        let naive = compile(src, &CompileOptions::naive()).expect(name);
+        let opt = compile(src, &CompileOptions::default()).expect(name);
+        let exec = ExecConfig::default().with_scalar("m", 1.0).with_scalar("t", 3.0)
+            .with_scalar("s", 1.0);
+        let (_, rn) = compile_and_run(src, &CompileOptions::naive(), exec.clone()).unwrap();
+        let (_, ro) = compile_and_run(src, &CompileOptions::default(), exec).unwrap();
+        assert_eq!(rn.arrays, ro.arrays, "{name}: optimization changed results");
+        let u = opt.main();
+        println!(
+            "{:<8} {:>7} {:>8} {:>8} {:>9} | {:>11} {:>11}",
+            name,
+            u.opt_stats.total,
+            u.opt_stats.removed,
+            u.opt_stats.trivial,
+            naive.main().codegen_stats.save_restores,
+            rn.stats.bytes,
+            ro.stats.bytes,
+        );
+    }
+    println!();
+    println!("Flow-level rejections (expected errors):");
+    for (name, src) in
+        [("fig5", figures::FIG5_AMBIGUOUS), ("fig21", figures::FIG21_MULTI_LEAVING)]
+    {
+        match compile(src, &CompileOptions::default()) {
+            Err(errs) => println!("  {name}: {}", errs[0]),
+            Ok(_) => println!("  {name}: UNEXPECTEDLY compiled"),
+        }
+    }
+}
+
+fn dump(name: &str) {
+    let src = figures::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| s)
+        .unwrap_or_else(|| panic!("unknown figure `{name}`"));
+    let opt = compile(src, &CompileOptions::default()).expect("compiles");
+    let u = opt.main();
+    println!("=== {name}: optimized remapping graph ===");
+    println!("{}", hpfc::rgraph::dot::to_text(&u.rg, &u.unit));
+    println!("=== {name}: generated program ===");
+    println!("{}", hpfc::codegen::render::program_text(&u.program));
+}
