@@ -1,8 +1,9 @@
 //! E23 — the redistribution-engine substrate (ref. [19]): closed-form
-//! communication-set computation must be cheap and essentially
-//! independent of the array size (it works on interval lists), while
-//! the enumeration oracle is O(n). Also measures the full data
-//! movement.
+//! communication-set computation works on periodic interval
+//! descriptors, so plan wall time must be near-constant from n = 1024
+//! to n = 4194304 (the enumeration oracle is O(n) for contrast). Also
+//! measures the full data movement, which is O(n) by nature but moves
+//! block-level runs, not elements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpfc::mapping::{
@@ -24,9 +25,24 @@ fn mk(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
 
 fn bench_plan_closed_form(c: &mut Criterion) {
     let mut g = c.benchmark_group("redist/plan_closed_form");
-    for n in [1024u64, 16384, 262144] {
+    for n in [1024u64, 16384, 262144, 4194304] {
         let src = mk(n, 16, DimFormat::Block(None));
         let dst = mk(n, 16, DimFormat::Cyclic(Some(4)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(src, dst), |b, (s, d)| {
+            b.iter(|| std::hint::black_box(plan_redistribution(s, d, 8)))
+        });
+    }
+    g.finish();
+}
+
+/// Extent-independence under wrapping layouts on both sides: the
+/// hyper-period (lcm of the two block-cyclic periods) is what planning
+/// iterates, never the extent.
+fn bench_plan_hyperperiod(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist/plan_hyperperiod");
+    for n in [1024u64, 16384, 262144, 4194304] {
+        let src = mk(n, 16, DimFormat::Cyclic(Some(3)));
+        let dst = mk(n, 16, DimFormat::Cyclic(Some(5)));
         g.bench_with_input(BenchmarkId::from_parameter(n), &(src, dst), |b, (s, d)| {
             b.iter(|| std::hint::black_box(plan_redistribution(s, d, 8)))
         });
@@ -76,5 +92,12 @@ fn bench_procs_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_plan_closed_form, bench_plan_oracle, bench_data_movement, bench_procs_sweep);
+criterion_group!(
+    benches,
+    bench_plan_closed_form,
+    bench_plan_hyperperiod,
+    bench_plan_oracle,
+    bench_data_movement,
+    bench_procs_sweep
+);
 criterion_main!(benches);

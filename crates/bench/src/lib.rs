@@ -72,38 +72,36 @@ impl Row {
 /// Run one figure program under both configurations (the two runs are
 /// independent simulations: execute them concurrently).
 pub fn run_figure(src: &str, label: &str, note: &str, exec: ExecConfig) -> Row {
-    let (naive, opt) = crossbeam::thread::scope(|s| {
+    let (naive, opt) = std::thread::scope(|s| {
         let e1 = exec.clone();
-        let h1 = s.spawn(move |_| {
+        let h1 = s.spawn(move || {
             compile_and_run(src, &CompileOptions::naive(), e1)
                 .unwrap_or_else(|e| panic!("{e:?}"))
                 .1
         });
-        let h2 = s.spawn(move |_| {
+        let h2 = s.spawn(move || {
             compile_and_run(src, &CompileOptions::max(), exec)
                 .unwrap_or_else(|e| panic!("{e:?}"))
                 .1
         });
         (h1.join().expect("naive run"), h2.join().expect("optimized run"))
-    })
-    .unwrap_or_else(|e| panic!("{label}: {e:?}"));
+    });
     Row { label: label.to_string(), naive: naive.stats, opt: opt.stats, note: note.to_string() }
 }
 
 /// Run a batch of (source, label, note, exec) cells concurrently with
-/// crossbeam scoped threads — each cell is an independent deterministic
+/// scoped threads — each cell is an independent deterministic
 /// simulation.
 pub fn run_figures_parallel(cells: Vec<(String, String, String, ExecConfig)>) -> Vec<Row> {
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = cells
             .iter()
             .map(|(src, label, note, exec)| {
-                s.spawn(move |_| run_figure(src, label, note, exec.clone()))
+                s.spawn(move || run_figure(src, label, note, exec.clone()))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("experiment cell")).collect()
     })
-    .expect("experiment scope")
 }
 
 /// Format a table of rows.

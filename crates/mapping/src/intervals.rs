@@ -1,0 +1,469 @@
+//! Periodic interval algebra: the closed form behind size-independent
+//! redistribution planning.
+//!
+//! The index set a processor owns along one array dimension under a
+//! composed HPF mapping — `{ a : ((stride·a + offset) / b) mod P = c }`
+//! — is *periodic in `a`*: the owner of template cell `t` only depends
+//! on `t mod b·P`, so the owned set repeats with period
+//! `b·P / gcd(|stride|, b·P)`. A [`PeriodicSet`] stores one period's
+//! worth of intervals plus the period and the extent window, which is
+//! enough to
+//!
+//! * count its elements in O(|base|) regardless of the extent,
+//! * count an intersection of two such sets over one *hyper-period*
+//!   (`lcm` of the two periods) plus tail — never over the extent,
+//! * lazily enumerate maximal runs (for block-level data movement),
+//!
+//! which is what makes redistribution *planning* O(P_src·P_dst) instead
+//! of O(extent) (the data movement itself is necessarily O(extent), but
+//! walks whole intervals, not elements).
+
+use crate::layout::DimLayout;
+
+/// Greatest common divisor.
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple, saturating on overflow (a saturated period is
+/// larger than any extent, which the window clamping handles).
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).saturating_mul(b)
+}
+
+fn floor_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// A periodic set of array indices restricted to a window `[0, extent)`:
+/// the union over `k ≥ 0` of `base + k·period`, intersected with the
+/// window.
+///
+/// Invariants: `base` is sorted, disjoint, non-adjacent (maximal
+/// intervals), and contained in `[0, min(period, extent))`. When
+/// `period ≥ extent` the set is not really periodic inside the window
+/// and `base` simply lists its intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PeriodicSet {
+    /// Repetition period (≥ 1).
+    pub period: u64,
+    /// Window bound: the set lives in `[0, extent)`.
+    pub extent: u64,
+    /// One period of intervals (half-open, sorted, maximal).
+    pub base: Vec<(u64, u64)>,
+}
+
+impl PeriodicSet {
+    /// The empty set over `[0, extent)`.
+    pub fn empty(extent: u64) -> Self {
+        PeriodicSet { period: 1, extent, base: Vec::new() }
+    }
+
+    /// The full range `[0, extent)`.
+    pub fn full(extent: u64) -> Self {
+        let base = if extent == 0 { Vec::new() } else { vec![(0, 1)] };
+        PeriodicSet { period: 1, extent, base }
+    }
+
+    /// The owned index set of grid coordinate `coord` along a dimension
+    /// mapped by `t = stride·a + offset` into `layout`: in closed form,
+    /// from one period of the layout — O(|stride| / gcd(|stride|, b·P))
+    /// intervals, independent of `extent`.
+    pub fn owned(stride: i64, offset: i64, layout: DimLayout, coord: u64, extent: u64) -> Self {
+        assert!(stride != 0, "alignment stride is non-zero (validated)");
+        let tp = layout.period(); // b·P
+        let period = layout.alignment_period(stride);
+        let window = period.min(extent);
+        if window == 0 {
+            return PeriodicSet { period: period.max(1), extent, base: Vec::new() };
+        }
+        // Template range swept by a ∈ [0, window).
+        let last = stride * (window as i64 - 1) + offset;
+        let (t_lo, t_hi) = (offset.min(last), offset.max(last)); // inclusive
+        // Cycles k whose block [c·b + k·tp, c·b + b + k·tp) can touch it.
+        let b = layout.block as i64;
+        let c = coord as i64;
+        let tp_i = tp as i64;
+        let k_lo = floor_div(t_lo - c * b - (b - 1), tp_i);
+        let k_hi = floor_div(t_hi - c * b, tp_i);
+        let mut base = Vec::new();
+        for k in k_lo..=k_hi {
+            let lo = c * b + k * tp_i;
+            let hi = lo + b;
+            // { a : lo <= stride·a + offset < hi }
+            let (a_lo, a_hi) = if stride > 0 {
+                (ceil_div(lo - offset, stride), ceil_div(hi - offset, stride))
+            } else {
+                (floor_div(hi - offset, stride) + 1, floor_div(lo - offset, stride) + 1)
+            };
+            let a_lo = a_lo.max(0) as u64;
+            let a_hi = (a_hi.max(0) as u64).min(window);
+            if a_lo < a_hi {
+                base.push((a_lo, a_hi));
+            }
+        }
+        // Negative strides produce cycles in reverse a-order.
+        base.sort_unstable();
+        // Merge adjacent/overlapping intervals so runs are maximal.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(base.len());
+        for (lo, hi) in base {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        PeriodicSet { period, extent, base: merged }
+    }
+
+    /// Whether the set covers its whole window.
+    pub fn is_full(&self) -> bool {
+        self.base.len() == 1
+            && self.base[0].0 == 0
+            && self.base[0].1 >= self.period.min(self.extent)
+    }
+
+    /// Elements per period (tail periods excluded).
+    fn per_period(&self) -> u64 {
+        self.base.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Number of elements in `[0, x)` — closed form, O(|base|).
+    pub fn count_below(&self, x: u64) -> u64 {
+        let x = x.min(self.extent);
+        if x == 0 || self.base.is_empty() {
+            return 0;
+        }
+        let (full, rem) = (x / self.period, x % self.period);
+        let partial: u64 =
+            self.base.iter().map(|&(a, b)| b.min(rem).saturating_sub(a).min(b - a)).sum();
+        full * self.per_period() + partial
+    }
+
+    /// Number of elements in `[lo, hi)` — closed form.
+    pub fn count_in(&self, lo: u64, hi: u64) -> u64 {
+        self.count_below(hi) - self.count_below(lo)
+    }
+
+    /// Total number of elements in the window.
+    pub fn count(&self) -> u64 {
+        self.count_below(self.extent)
+    }
+
+    /// Maximal contiguous runs of the set within `[lo, hi)`, in order.
+    /// Runs that span period boundaries are coalesced, so iterating is
+    /// O(number of maximal runs), never O(elements).
+    pub fn runs(&self, lo: u64, hi: u64) -> Runs<'_> {
+        let hi = hi.min(self.extent);
+        Runs { set: self, lo, hi, cursor: lo.min(hi) }
+    }
+
+    /// The first raw (uncoalesced, unclipped) interval whose end lies
+    /// strictly after `x` (internal helper for [`Runs`]).
+    fn next_raw(&self, x: u64) -> Option<(u64, u64)> {
+        if self.base.is_empty() {
+            return None;
+        }
+        let k = x / self.period;
+        for &(a, b) in &self.base {
+            if k * self.period + b > x {
+                return Some((k * self.period + a, k * self.period + b));
+            }
+        }
+        // Next period's first interval.
+        let (a, b) = self.base[0];
+        Some(((k + 1) * self.period + a, (k + 1) * self.period + b))
+    }
+
+    /// The first maximal (coalesced) run whose end lies strictly after
+    /// `x`, unclipped — O(|base|), a closed-form *seek* (callers jump
+    /// straight to an arbitrary position; nothing is stepped through).
+    /// `limit` bounds the full-set shortcut only.
+    fn run_after(&self, x: u64, limit: u64) -> Option<(u64, u64)> {
+        if self.is_full() {
+            let end = limit.min(self.extent);
+            return (x < end).then_some((0, end));
+        }
+        let (lo, mut hi) = self.next_raw(x)?;
+        // Coalesce across the period boundary: base intervals are
+        // maximal within a period, so at most one merge happens.
+        while let Some((nlo, nhi)) = self.next_raw(hi) {
+            if nlo != hi {
+                break;
+            }
+            hi = nhi;
+        }
+        Some((lo, hi))
+    }
+
+    /// Count of `self ∩ other` over the shared window — closed form:
+    /// over one hyper-period plus tail when the hyper-period fits the
+    /// window, else by walking the runs of the sparser-run side and
+    /// counting the other side per run. Never enumerates elements.
+    pub fn intersect_count(&self, other: &PeriodicSet) -> u64 {
+        let n = self.extent.min(other.extent);
+        if n == 0 || self.base.is_empty() || other.base.is_empty() {
+            return 0;
+        }
+        let h = lcm(self.period, other.period);
+        if h > 0 && h <= n {
+            // Periodic path: one hyper-period plus the tail.
+            let c_h = self.runs(0, h).map(|(a, b)| other.count_in(a, b)).sum::<u64>();
+            let tail = n % h;
+            let c_t = if tail == 0 {
+                0
+            } else {
+                self.runs(0, tail).map(|(a, b)| other.count_in(a, b)).sum::<u64>()
+            };
+            (n / h) * c_h + c_t
+        } else {
+            // Hyper-period exceeds the window: iterate whichever side
+            // has fewer runs inside it (a BLOCK side has O(1)).
+            let runs_self = self.runs_within(n);
+            let runs_other = other.runs_within(n);
+            if runs_self <= runs_other {
+                self.runs(0, n).map(|(a, b)| other.count_in(a, b)).sum()
+            } else {
+                other.runs(0, n).map(|(a, b)| self.count_in(a, b)).sum()
+            }
+        }
+    }
+
+    /// Upper bound on the number of maximal runs within `[0, x)`.
+    fn runs_within(&self, x: u64) -> u64 {
+        if self.base.is_empty() {
+            return 0;
+        }
+        (x / self.period + 1).saturating_mul(self.base.len() as u64)
+    }
+}
+
+/// Iterator over the maximal runs of a [`PeriodicSet`] within a range.
+pub struct Runs<'a> {
+    set: &'a PeriodicSet,
+    lo: u64,
+    hi: u64,
+    cursor: u64,
+}
+
+impl Iterator for Runs<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        if self.cursor >= self.hi {
+            return None;
+        }
+        let (lo, hi) = self.set.run_after(self.cursor, self.hi)?;
+        if lo >= self.hi {
+            self.cursor = self.hi;
+            return None;
+        }
+        let run = (lo.max(self.cursor).max(self.lo), hi.min(self.hi));
+        self.cursor = run.1;
+        Some(run)
+    }
+}
+
+/// Maximal runs of the intersection of two periodic sets within
+/// `[lo, hi)` — the block-level copy engine's unit of work.
+///
+/// Seeks instead of stepping: when one side's run ends far before the
+/// other side's next run begins, the cursor jumps straight there
+/// (closed form), so a sparse side never pays for a dense side's runs.
+pub struct IntersectRuns<'a> {
+    a: &'a PeriodicSet,
+    b: &'a PeriodicSet,
+    cursor: u64,
+    hi: u64,
+}
+
+/// Lazy intersection runs of `a ∩ b` over `[lo, hi)`.
+pub fn intersect_runs<'a>(
+    a: &'a PeriodicSet,
+    b: &'a PeriodicSet,
+    lo: u64,
+    hi: u64,
+) -> IntersectRuns<'a> {
+    let hi = hi.min(a.extent).min(b.extent);
+    IntersectRuns { a, b, cursor: lo.min(hi), hi }
+}
+
+impl Iterator for IntersectRuns<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        loop {
+            if self.cursor >= self.hi {
+                return None;
+            }
+            let (alo, ahi) = self.a.run_after(self.cursor, self.hi)?;
+            if alo >= self.hi {
+                return None;
+            }
+            let start = self.cursor.max(alo);
+            let (blo, bhi) = self.b.run_after(start, self.hi)?;
+            if blo >= self.hi {
+                return None;
+            }
+            if blo >= ahi {
+                // `a`'s run ends before `b`'s next run begins: seek `a`
+                // directly to `b`'s position.
+                self.cursor = blo;
+                continue;
+            }
+            let lo = start.max(blo);
+            let hi = ahi.min(bhi).min(self.hi);
+            self.cursor = hi;
+            return Some((lo, hi));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force membership for cross-checking.
+    fn naive(stride: i64, offset: i64, layout: DimLayout, coord: u64, extent: u64) -> Vec<u64> {
+        (0..extent)
+            .filter(|&a| {
+                let t = stride * a as i64 + offset;
+                t >= 0 && layout.owner(t as u64) == coord
+            })
+            .collect()
+    }
+
+    fn expand(s: &PeriodicSet) -> Vec<u64> {
+        s.runs(0, s.extent).flat_map(|(a, b)| a..b).collect()
+    }
+
+    #[test]
+    fn owned_matches_naive_identity() {
+        for &(n, b, p) in &[(100u64, 25u64, 4u64), (10, 1, 4), (14, 3, 2), (17, 5, 3), (64, 4, 16)]
+        {
+            let l = DimLayout::new(n, b, p);
+            for c in 0..p {
+                let s = PeriodicSet::owned(1, 0, l, c, n);
+                assert_eq!(expand(&s), naive(1, 0, l, c, n), "layout {l} coord {c}");
+                assert_eq!(s.count(), naive(1, 0, l, c, n).len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn owned_matches_naive_strided() {
+        // Strides and offsets, including negative strides.
+        for &(stride, offset, text, b, p, n) in &[
+            (2i64, 1i64, 24u64, 3u64, 4u64, 10u64),
+            (3, 0, 30, 2, 5, 10),
+            (-1, 9, 10, 2, 3, 10),
+            (-2, 19, 20, 3, 2, 10),
+            (5, 2, 60, 4, 3, 11),
+        ] {
+            let l = DimLayout::new(text, b, p);
+            for c in 0..p {
+                let s = PeriodicSet::owned(stride, offset, l, c, n);
+                assert_eq!(
+                    expand(&s),
+                    naive(stride, offset, l, c, n),
+                    "stride {stride} offset {offset} layout {l} coord {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn period_is_extent_independent() {
+        let l = DimLayout::new(1 << 20, 4, 8);
+        let s = PeriodicSet::owned(1, 0, l, 3, 1 << 20);
+        assert_eq!(s.period, 32);
+        assert_eq!(s.base, vec![(12, 16)]);
+        assert_eq!(s.count(), (1 << 20) / 8);
+    }
+
+    #[test]
+    fn full_set_yields_one_run() {
+        let s = PeriodicSet::full(1000);
+        assert_eq!(s.runs(0, 1000).collect::<Vec<_>>(), vec![(0, 1000)]);
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.count_in(10, 20), 10);
+    }
+
+    #[test]
+    fn runs_coalesce_across_periods() {
+        // base [(0,1),(2,3)] period 3: 2 and 0-of-next-period are
+        // adjacent, so [2,4) must come out as one run.
+        let s = PeriodicSet { period: 3, extent: 9, base: vec![(0, 1), (2, 3)] };
+        let runs: Vec<_> = s.runs(0, 9).collect();
+        assert_eq!(runs, vec![(0, 1), (2, 4), (5, 7), (8, 9)]);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn intersect_count_matches_naive() {
+        let cases = [
+            (DimLayout::new(64, 4, 4), DimLayout::new(64, 1, 4), 64u64),
+            (DimLayout::new(60, 15, 4), DimLayout::new(60, 2, 3), 60),
+            (DimLayout::new(24, 3, 4), DimLayout::new(24, 5, 2), 23),
+        ];
+        for (ls, ld, n) in cases {
+            for cs in 0..ls.nprocs {
+                for cd in 0..ld.nprocs {
+                    let a = PeriodicSet::owned(1, 0, ls, cs, n);
+                    let b = PeriodicSet::owned(1, 0, ld, cd, n);
+                    let na: std::collections::BTreeSet<u64> =
+                        naive(1, 0, ls, cs, n).into_iter().collect();
+                    let nb: std::collections::BTreeSet<u64> =
+                        naive(1, 0, ld, cd, n).into_iter().collect();
+                    let want = na.intersection(&nb).count() as u64;
+                    assert_eq!(a.intersect_count(&b), want, "{ls} x {ld} ({cs},{cd})");
+                    let got: u64 = intersect_runs(&a, &b, 0, n).map(|(x, y)| y - x).sum();
+                    assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_runs_match_membership() {
+        let ls = DimLayout::new(40, 3, 3);
+        let ld = DimLayout::new(80, 2, 4);
+        let a = PeriodicSet::owned(1, 0, ls, 1, 37);
+        let b = PeriodicSet::owned(2, 3, ld, 2, 37);
+        let want: Vec<u64> = {
+            let na: std::collections::BTreeSet<u64> = naive(1, 0, ls, 1, 37).into_iter().collect();
+            naive(2, 3, ld, 2, 37).into_iter().filter(|x| na.contains(x)).collect()
+        };
+        let got: Vec<u64> = intersect_runs(&a, &b, 0, 37).flat_map(|(x, y)| x..y).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(u64::MAX, 2), u64::MAX); // saturates
+    }
+}

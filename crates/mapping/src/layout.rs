@@ -6,11 +6,9 @@
 //! `CYCLIC(1)`. [`DimLayout`] is that canonical descriptor, and is the
 //! unit the redistribution engine (crate `hpfc-runtime`) reasons about.
 
-use serde::{Deserialize, Serialize};
-
 /// Canonical layout of one distributed dimension: block-cyclic(`block`)
 /// over `nprocs` processors, covering `extent` cells.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DimLayout {
     /// Number of cells along the dimension.
     pub extent: u64,
@@ -37,6 +35,24 @@ impl DimLayout {
     /// Which wrap-around cycle cell `t` falls in: `t / (b*P)`.
     pub fn cycle(&self, t: u64) -> u64 {
         t / (self.block * self.nprocs)
+    }
+
+    /// The ownership period `b·P`: owner and in-cycle position of cell
+    /// `t` depend only on `t mod period()`. This is the hyper-period
+    /// descriptor the periodic interval algebra
+    /// ([`crate::intervals::PeriodicSet`]) builds on; two layouts
+    /// interact over `lcm` of their periods, never over the extent.
+    pub fn period(&self) -> u64 {
+        self.block * self.nprocs
+    }
+
+    /// The period of the owned index set of an array dimension feeding
+    /// this layout through `t = stride·a + offset`: pulling the
+    /// alignment stride inside divides the period by
+    /// `gcd(|stride|, b·P)` (the offset only shifts the phase).
+    pub fn alignment_period(&self, stride: i64) -> u64 {
+        let p = self.period();
+        p / crate::intervals::gcd(stride.unsigned_abs(), p)
     }
 
     /// Local cell index on the owner: `cycle*b + t mod b`.
@@ -126,26 +142,42 @@ pub struct Locus {
 impl Locus {
     /// Enumerate the row-major processor ranks owning the element,
     /// expanding replicated axes over `grid_shape`.
+    ///
+    /// Uses a single buffer sized up front (no per-axis reallocation):
+    /// pinned axes rewrite the ranks in place, replicated axes expand
+    /// them back-to-front inside the same vector.
     pub fn owner_ranks(&self, grid_shape: &crate::geometry::Extents) -> Vec<u64> {
-        let mut ranks = vec![0u64];
+        let replicas: u64 = self
+            .proc
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(axis, _)| grid_shape.extent(axis))
+            .product();
+        let mut ranks = Vec::with_capacity(replicas as usize);
+        ranks.push(0u64);
         for (axis, coord) in self.proc.iter().enumerate() {
             let n = grid_shape.extent(axis);
-            let mut next = Vec::with_capacity(ranks.len());
             match coord {
                 Some(c) => {
-                    for r in &ranks {
-                        next.push(r * n + c);
+                    for r in ranks.iter_mut() {
+                        *r = *r * n + c;
                     }
                 }
                 None => {
-                    for r in &ranks {
-                        for c in 0..n {
-                            next.push(r * n + c);
+                    let old = ranks.len();
+                    ranks.resize(old * n as usize, 0);
+                    // Expand from the back so each source slot is read
+                    // before any of its target slots is written
+                    // (`i*n + j >= i` for all j when n >= 1).
+                    for i in (0..old).rev() {
+                        let base = ranks[i] * n;
+                        for j in (0..n).rev() {
+                            ranks[i * n as usize + j as usize] = base + j;
                         }
                     }
                 }
             }
-            ranks = next;
         }
         ranks
     }

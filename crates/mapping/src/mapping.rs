@@ -269,13 +269,38 @@ impl NormalizedMapping {
             if let DimSource::ArrayAxis { dim, stride, offset } = ax.source {
                 if dim == d {
                     let layout = ax.layout.expect("axis source has layout");
-                    let want = coords[axis];
-                    return (0..n)
-                        .filter(|&a| {
-                            let t = stride * a as i64 + offset;
-                            layout.owner(t as u64) == want
-                        })
-                        .collect();
+                    // Closed form: expand the periodic owned set's runs
+                    // (O(count)) instead of testing the owner of every
+                    // index (O(extent)).
+                    let set = crate::intervals::PeriodicSet::owned(
+                        stride,
+                        offset,
+                        layout,
+                        coords[axis],
+                        n,
+                    );
+                    let mut out = Vec::with_capacity(set.count() as usize);
+                    // Unrolls the base pattern by hand instead of going
+                    // through `set.runs(0, n)`: this is the hot path of
+                    // version allocation, and the run iterator's
+                    // per-run seek costs ~25% of redistribution wall
+                    // time for CYCLIC(1) layouts (adjacent-run
+                    // coalescing does not matter for list building).
+                    let mut start = 0u64;
+                    while start < n {
+                        for &(a, b) in &set.base {
+                            let lo = start + a;
+                            if lo >= n {
+                                break;
+                            }
+                            out.extend(lo..(start + b).min(n));
+                        }
+                        if set.period >= n {
+                            break;
+                        }
+                        start += set.period;
+                    }
+                    return out;
                 }
             }
         }

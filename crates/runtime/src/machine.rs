@@ -136,14 +136,20 @@ impl Machine {
     ///
     /// BSP-style: every processor sends/receives its messages
     /// concurrently; the phase costs the maximum per-processor time.
-    pub fn account_phase(&mut self, transfers: &[(u64, u64, u64)]) -> f64 {
+    /// Takes any `(from, to, bytes)` stream (e.g.
+    /// [`crate::RedistPlan::phase_triples`]) so callers never
+    /// materialize a triple vector.
+    pub fn account_phase(
+        &mut self,
+        transfers: impl IntoIterator<Item = (u64, u64, u64)>,
+    ) -> f64 {
         // (from, to, bytes); from == to entries are local copies.
         let n = self.nprocs as usize;
         let mut send_bytes = vec![0u64; n];
         let mut recv_bytes = vec![0u64; n];
         let mut send_msgs = vec![0u64; n];
         let mut recv_msgs = vec![0u64; n];
-        for &(from, to, bytes) in transfers {
+        for (from, to, bytes) in transfers {
             if from == to {
                 self.stats.local_elements += bytes / 8;
                 continue;
@@ -174,7 +180,7 @@ mod tests {
     fn phase_accounting_takes_per_proc_max() {
         let mut m = Machine::with_cost(4, CostModel { latency_us: 10.0, bandwidth_bytes_per_us: 100.0 });
         // p0 sends 1000B to p1 and p2; p3 idle.
-        let t = m.account_phase(&[(0, 1, 1000), (0, 2, 1000)]);
+        let t = m.account_phase([(0, 1, 1000), (0, 2, 1000)]);
         // p0: 2 msgs * 10 + 2000/100 = 40. p1: 10 + 10 = 20.
         assert!((t - 40.0).abs() < 1e-9);
         assert_eq!(m.stats.messages, 2);
@@ -184,7 +190,7 @@ mod tests {
     #[test]
     fn local_transfers_cost_nothing() {
         let mut m = Machine::new(2);
-        let t = m.account_phase(&[(1, 1, 800)]);
+        let t = m.account_phase([(1, 1, 800)]);
         assert_eq!(t, 0.0);
         assert_eq!(m.stats.messages, 0);
         assert_eq!(m.stats.local_elements, 100);

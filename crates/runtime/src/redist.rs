@@ -5,14 +5,32 @@
 //! generation phase (and that refs like Prylli & Tourancheau's
 //! block-cyclic redistribution library provide): given source and
 //! target [`NormalizedMapping`]s, compute, in closed form, how many
-//! elements every processor pair exchanges.
+//! elements every processor pair exchanges — and *which* index
+//! intervals, so data movement can copy whole runs.
 //!
-//! The closed form exploits the product structure of composed HPF
-//! mappings: ownership factorizes per array dimension (each dimension
-//! feeds at most one grid axis on each side through an affine map into
-//! a block-cyclic layout), so per-dimension owned index sets are unions
-//! of intervals and the (sender, receiver) element count is a product
-//! of per-dimension interval-intersection sizes.
+//! # Cost model
+//!
+//! Ownership factorizes per array dimension (each dimension feeds at
+//! most one grid axis on each side through an affine map into a
+//! block-cyclic layout), so per-dimension owned index sets are
+//! [`PeriodicSet`]s — periodic unions of intervals with period
+//! `b·P / gcd(|stride|, b·P)` — and the (sender, receiver) element
+//! count is a product of per-dimension periodic-intersection sizes.
+//!
+//! A previous incarnation of this planner materialized, for every grid
+//! coordinate, the full `O(extent / (b·P))` interval list and
+//! intersected the lists pairwise (recomputing the destination side
+//! once per source coordinate), making "closed-form" planning scale
+//! with the array: `O(P_s·P_d · extent/(b·P))` per dimension. Planning
+//! now intersects one *hyper-period* (`lcm` of the two sides' periods)
+//! plus tail, so a dimension costs `O(P_s·P_d · runs(hyper-period))`,
+//! independent of the extent; the pair accumulation runs over a dense
+//! `P_s × P_d` count matrix with reusable scratch buffers instead of a
+//! `BTreeMap` keyed by freshly allocated coordinate vectors. The plan
+//! additionally carries the per-dimension [`PeriodicSet`] descriptors
+//! (see [`DimContribution`]), which the storage layer's block-level
+//! copy engine ([`crate::store::VersionData::copy_values_from`])
+//! expands into `copy_from_slice` runs.
 //!
 //! Replication is handled by a **canonical source** rule: the replica
 //! at coordinate 0 of every replicated source axis sends (deterministic
@@ -22,7 +40,7 @@
 
 use std::collections::BTreeMap;
 
-use hpfc_mapping::{DimSource, NormalizedMapping};
+use hpfc_mapping::{DimSource, Extents, NormalizedMapping, PeriodicSet};
 
 /// One processor-pair transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,8 +53,36 @@ pub struct Transfer {
     pub elements: u64,
 }
 
+/// The contribution of one array dimension to the communication set:
+/// the elements owned along it by source grid coordinate `src` and
+/// destination grid coordinate `dst` (`None` = the dimension does not
+/// drive that side, i.e. the whole extent is held).
+///
+/// `src_set ∩ dst_set` is the exact index set moved for any pair built
+/// from this entry; both are compact periodic descriptors whose size is
+/// independent of the extent.
+#[derive(Debug, Clone)]
+pub struct DimContribution {
+    /// Driven source axis and coordinate, if any.
+    pub src: Option<(usize, u64)>,
+    /// Driven destination axis and coordinate, if any.
+    pub dst: Option<(usize, u64)>,
+    /// `|src_set ∩ dst_set|`, closed form.
+    pub count: u64,
+    /// Indices owned on the source side (full range when not driven).
+    pub src_set: PeriodicSet,
+    /// Indices owned on the destination side (full range when not driven).
+    pub dst_set: PeriodicSet,
+}
+
 /// A complete redistribution plan.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the *communication content* (transfers, local
+/// element count, element size); the `dims` descriptor tables are
+/// derived data carried for the block-level copy engine and are
+/// excluded, so a closed-form plan compares equal to the enumeration
+/// oracle (which has no descriptors).
+#[derive(Debug, Clone)]
 pub struct RedistPlan {
     /// Remote transfers (`from != to`), sorted by (from, to).
     pub transfers: Vec<Transfer>,
@@ -44,7 +90,23 @@ pub struct RedistPlan {
     pub local_elements: u64,
     /// Element size in bytes.
     pub elem_size: u64,
+    /// Per-dimension contribution tables (interval descriptors); empty
+    /// for oracle-built plans.
+    pub dims: Vec<Vec<DimContribution>>,
+    /// The (source, destination) mapping pair this plan was computed
+    /// for — the copy engine refuses to apply `dims` to any other pair.
+    pub mappings: Option<Box<(NormalizedMapping, NormalizedMapping)>>,
 }
+
+impl PartialEq for RedistPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.transfers == other.transfers
+            && self.local_elements == other.local_elements
+            && self.elem_size == other.elem_size
+    }
+}
+
+impl Eq for RedistPlan {}
 
 impl RedistPlan {
     /// Total bytes crossing the network.
@@ -63,9 +125,10 @@ impl RedistPlan {
         self.transfers.iter().map(|t| t.elements).sum()
     }
 
-    /// As (from, to, bytes) triples for [`crate::Machine::account_phase`].
-    pub fn phase_triples(&self) -> Vec<(u64, u64, u64)> {
-        self.transfers.iter().map(|t| (t.from, t.to, t.elements * self.elem_size)).collect()
+    /// The (from, to, bytes) triples for
+    /// [`crate::Machine::account_phase`], without materializing them.
+    pub fn phase_triples(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.transfers.iter().map(|t| (t.from, t.to, t.elements * self.elem_size))
     }
 }
 
@@ -87,101 +150,19 @@ pub fn source_for(src: &NormalizedMapping, receiver: u64, point: &[u64]) -> u64 
     }
 }
 
-/// Whether rank `to`, interpreted in the source grid, matches the
-/// per-axis source-owner coordinates `s_coords` (replicated axes match
-/// anything).
-fn receiver_holds_under_src(
-    src: &NormalizedMapping,
-    to: u64,
-    s_coords: &[Option<u64>],
-) -> bool {
-    if to >= src.grid_shape.volume() {
-        return false;
-    }
-    let tc = src.grid_shape.delinearize(to);
-    src.axes.iter().enumerate().all(|(axis, ax)| match ax.source {
-        DimSource::Replicated => true,
-        _ => s_coords[axis] == Some(tc[axis]),
-    })
-}
-
 /// All owners of a point (replicas expanded).
 pub fn all_owners(nm: &NormalizedMapping, point: &[u64]) -> Vec<u64> {
     nm.owners(point)
 }
 
-// --- interval math ----------------------------------------------------
-
-fn floor_div(a: i64, b: i64) -> i64 {
-    let q = a / b;
-    if (a % b != 0) && ((a < 0) != (b < 0)) {
-        q - 1
-    } else {
-        q
-    }
-}
-
-fn ceil_div(a: i64, b: i64) -> i64 {
-    let q = a / b;
-    if (a % b != 0) && ((a < 0) == (b < 0)) {
-        q + 1
-    } else {
-        q
-    }
-}
-
-/// Array-index intervals (sorted, disjoint, half-open) owned along one
-/// dimension by grid coordinate `coord`, for an `ArrayAxis` dim-map.
-fn owned_array_intervals(
-    stride: i64,
-    offset: i64,
-    layout: hpfc_mapping::DimLayout,
-    coord: u64,
-    extent: u64,
-) -> Vec<(u64, u64)> {
-    let mut out = Vec::new();
-    for (lo, hi) in layout.owned_intervals(coord) {
-        // { a : lo <= stride*a + offset < hi, 0 <= a < extent }
-        let (lo_i, hi_i) = (lo as i64, hi as i64);
-        let (a_lo, a_hi) = if stride > 0 {
-            (ceil_div(lo_i - offset, stride), ceil_div(hi_i - offset, stride))
-        } else {
-            (floor_div(hi_i - offset, stride) + 1, floor_div(lo_i - offset, stride) + 1)
-        };
-        let a_lo = a_lo.max(0) as u64;
-        let a_hi = a_hi.max(0) as u64;
-        let a_hi = a_hi.min(extent);
-        if a_lo < a_hi {
-            out.push((a_lo, a_hi));
-        }
-    }
-    out.sort_unstable();
-    out
-}
-
-/// Size of the intersection of two sorted disjoint interval lists.
-fn intersect_count(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
-    let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
-    while i < a.len() && j < b.len() {
-        let lo = a[i].0.max(b[j].0);
-        let hi = a[i].1.min(b[j].1);
-        if lo < hi {
-            total += hi - lo;
-        }
-        if a[i].1 <= b[j].1 {
-            i += 1;
-        } else {
-            j += 1;
-        }
-    }
-    total
-}
-
 // --- the planner -------------------------------------------------------
 
-/// Which grid axis (if any) each array dimension drives, with the
-/// interval generator.
-fn axis_driven_by_dim(nm: &NormalizedMapping, d: usize) -> Option<(usize, i64, i64, hpfc_mapping::DimLayout)> {
+/// Which grid axis (if any) array dimension `d` drives, with the affine
+/// map and layout.
+fn axis_driven_by_dim(
+    nm: &NormalizedMapping,
+    d: usize,
+) -> Option<(usize, i64, i64, hpfc_mapping::DimLayout)> {
     for (axis, ax) in nm.axes.iter().enumerate() {
         if let DimSource::ArrayAxis { dim, stride, offset } = ax.source {
             if dim == d {
@@ -190,6 +171,187 @@ fn axis_driven_by_dim(nm: &NormalizedMapping, d: usize) -> Option<(usize, i64, i
         }
     }
     None
+}
+
+/// Per-dimension contribution tables: for every array dimension, the
+/// non-empty (source coord, destination coord) interval intersections.
+/// The destination side's periodic sets are computed once per
+/// coordinate and shared across all source coordinates.
+pub fn dim_contributions(
+    src: &NormalizedMapping,
+    dst: &NormalizedMapping,
+) -> Vec<Vec<DimContribution>> {
+    let rank = src.array_extents.rank();
+    let mut per_dim = Vec::with_capacity(rank);
+    for d in 0..rank {
+        let n = src.array_extents.extent(d);
+        let s_axis = axis_driven_by_dim(src, d);
+        let d_axis = axis_driven_by_dim(dst, d);
+        let mut entries = Vec::new();
+        match (s_axis, d_axis) {
+            (None, None) => {
+                if n > 0 {
+                    entries.push(DimContribution {
+                        src: None,
+                        dst: None,
+                        count: n,
+                        src_set: PeriodicSet::full(n),
+                        dst_set: PeriodicSet::full(n),
+                    });
+                }
+            }
+            (Some((ax, st, of, lay)), None) => {
+                let full = PeriodicSet::full(n);
+                for c in 0..lay.nprocs {
+                    let set = PeriodicSet::owned(st, of, lay, c, n);
+                    let count = set.count();
+                    if count > 0 {
+                        entries.push(DimContribution {
+                            src: Some((ax, c)),
+                            dst: None,
+                            count,
+                            src_set: set,
+                            dst_set: full.clone(),
+                        });
+                    }
+                }
+            }
+            (None, Some((ax, st, of, lay))) => {
+                let full = PeriodicSet::full(n);
+                for c in 0..lay.nprocs {
+                    let set = PeriodicSet::owned(st, of, lay, c, n);
+                    let count = set.count();
+                    if count > 0 {
+                        entries.push(DimContribution {
+                            src: None,
+                            dst: Some((ax, c)),
+                            count,
+                            src_set: full.clone(),
+                            dst_set: set,
+                        });
+                    }
+                }
+            }
+            (Some((sax, sst, sof, slay)), Some((dax, dst_, dof, dlay))) => {
+                let s_sets: Vec<PeriodicSet> =
+                    (0..slay.nprocs).map(|c| PeriodicSet::owned(sst, sof, slay, c, n)).collect();
+                let d_sets: Vec<PeriodicSet> =
+                    (0..dlay.nprocs).map(|c| PeriodicSet::owned(dst_, dof, dlay, c, n)).collect();
+                for (cs, s_set) in s_sets.iter().enumerate() {
+                    if s_set.base.is_empty() {
+                        continue;
+                    }
+                    for (cd, d_set) in d_sets.iter().enumerate() {
+                        let count = s_set.intersect_count(d_set);
+                        if count > 0 {
+                            entries.push(DimContribution {
+                                src: Some((sax, cs as u64)),
+                                dst: Some((dax, cd as u64)),
+                                count,
+                                src_set: s_set.clone(),
+                                dst_set: d_set.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        per_dim.push(entries);
+    }
+    per_dim
+}
+
+/// Row-major strides of a grid shape (rank contribution of coordinate
+/// `c` on axis `a` is `c * strides[a]`).
+fn rank_strides(shape: &Extents) -> Vec<u64> {
+    let rank = shape.rank();
+    let mut strides = vec![1u64; rank];
+    for a in (0..rank.saturating_sub(1)).rev() {
+        strides[a] = strides[a + 1] * shape.extent(a + 1);
+    }
+    strides
+}
+
+/// Static per-mapping assembly data: which axes are driven by array
+/// dimensions, the rank contribution of undriven axes, and (for the
+/// destination) the precomputed replicated-axis rank offsets. Shared
+/// by the planner and the storage layer's copy engine so the two can
+/// never disagree on rank assembly.
+pub(crate) struct SideInfo {
+    pub(crate) strides: Vec<u64>,
+    /// Rank contribution of all `FixedCoord` axes.
+    pub(crate) fixed_base: u64,
+    /// For the source-holds check: per axis, `Some(coord)` when the
+    /// coordinate is pinned (`FixedCoord`), `None` when the axis is
+    /// replicated (matches anything) or driven (filled per combination).
+    pub(crate) want: Vec<Option<u64>>,
+    /// Whether each axis is replicated (matches any coordinate).
+    pub(crate) replicated: Vec<bool>,
+}
+
+pub(crate) fn side_info(nm: &NormalizedMapping) -> SideInfo {
+    let strides = rank_strides(&nm.grid_shape);
+    let mut fixed_base = 0u64;
+    let mut want = vec![None; nm.axes.len()];
+    let mut replicated = vec![false; nm.axes.len()];
+    for (axis, ax) in nm.axes.iter().enumerate() {
+        match ax.source {
+            DimSource::FixedCoord(q) => {
+                fixed_base += q * strides[axis];
+                want[axis] = Some(q);
+            }
+            DimSource::Replicated => replicated[axis] = true,
+            DimSource::ArrayAxis { .. } => {} // filled per combination
+        }
+    }
+    SideInfo { strides, fixed_base, want, replicated }
+}
+
+/// Rank offsets of every combination of replicated destination axes
+/// (the broadcast fan-out), precomputed once per plan.
+pub(crate) fn replicated_offsets(nm: &NormalizedMapping, strides: &[u64]) -> Vec<u64> {
+    let mut offsets = vec![0u64];
+    for (axis, ax) in nm.axes.iter().enumerate() {
+        if matches!(ax.source, DimSource::Replicated) {
+            let n = nm.grid_shape.extent(axis);
+            let old_len = offsets.len();
+            let mut next = Vec::with_capacity(old_len * n as usize);
+            for &o in &offsets {
+                for c in 0..n {
+                    next.push(o + c * strides[axis]);
+                }
+            }
+            offsets = next;
+        }
+    }
+    offsets
+}
+
+/// Whether rank `to`, interpreted in the source grid, matches the
+/// per-axis source-owner coordinates `want` (axes flagged in
+/// `replicated` match anything). `scratch` receives the delinearized
+/// coordinates — no per-call allocation.
+pub(crate) fn receiver_holds_under_src(
+    src: &NormalizedMapping,
+    replicated: &[bool],
+    want: &[Option<u64>],
+    to: u64,
+    scratch: &mut [u64],
+) -> bool {
+    if to >= src.grid_shape.volume() {
+        return false;
+    }
+    let mut rem = to;
+    for a in (0..scratch.len()).rev() {
+        let n = src.grid_shape.extent(a);
+        scratch[a] = rem % n;
+        rem /= n;
+    }
+    replicated
+        .iter()
+        .zip(want)
+        .zip(scratch.iter())
+        .all(|((&repl, want), &have)| repl || *want == Some(have))
 }
 
 /// Closed-form redistribution plan between two mappings of one array.
@@ -206,140 +368,67 @@ pub fn plan_redistribution(
         "redistribution between different arrays"
     );
     let rank = src.array_extents.rank();
+    let per_dim = dim_contributions(src, dst);
 
-    // Per-dimension contribution table: (src axis coord, dst axis coord,
-    // count) triples with None = this dim does not drive that side.
-    #[allow(clippy::type_complexity)]
-    let mut per_dim: Vec<Vec<(Option<(usize, u64)>, Option<(usize, u64)>, u64)>> =
-        Vec::with_capacity(rank);
+    let vs = src.grid_shape.volume();
+    let vd = dst.grid_shape.volume();
 
-    for d in 0..rank {
-        let n = src.array_extents.extent(d);
-        let s_axis = axis_driven_by_dim(src, d);
-        let d_axis = axis_driven_by_dim(dst, d);
-        let mut entries = Vec::new();
-        match (&s_axis, &d_axis) {
-            (None, None) => entries.push((None, None, n)),
-            (Some((ax, st, of, lay)), None) => {
-                for c in 0..lay.nprocs {
-                    let iv = owned_array_intervals(*st, *of, *lay, c, n);
-                    let count: u64 = iv.iter().map(|(a, b)| b - a).sum();
-                    if count > 0 {
-                        entries.push((Some((*ax, c)), None, count));
-                    }
-                }
-            }
-            (None, Some((ax, st, of, lay))) => {
-                for c in 0..lay.nprocs {
-                    let iv = owned_array_intervals(*st, *of, *lay, c, n);
-                    let count: u64 = iv.iter().map(|(a, b)| b - a).sum();
-                    if count > 0 {
-                        entries.push((None, Some((*ax, c)), count));
-                    }
-                }
-            }
-            (Some((sax, sst, sof, slay)), Some((dax, dst_, dof, dlay))) => {
-                for cs in 0..slay.nprocs {
-                    let siv = owned_array_intervals(*sst, *sof, *slay, cs, n);
-                    if siv.is_empty() {
-                        continue;
-                    }
-                    for cd in 0..dlay.nprocs {
-                        let div = owned_array_intervals(*dst_, *dof, *dlay, cd, n);
-                        let count = intersect_count(&siv, &div);
-                        if count > 0 {
-                            entries.push((Some((*sax, cs)), Some((*dax, cd)), count));
-                        }
-                    }
-                }
-            }
-        }
-        per_dim.push(entries);
+    if per_dim.iter().any(|e| e.is_empty()) {
+        // Some dimension contributes nothing: the array is empty.
+        return RedistPlan {
+            transfers: Vec::new(),
+            local_elements: 0,
+            elem_size,
+            dims: per_dim,
+            mappings: Some(Box::new((src.clone(), dst.clone()))),
+        };
     }
 
-    // Assemble (sender, receiver) counts: cartesian product over
-    // per-dim entries, then fill undriven axes (FixedCoord, canonical
-    // replicas) and expand destination replication.
-    let mut pairs: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let src_info = side_info(src);
+    let dst_info = side_info(dst);
+    let repl_offsets = replicated_offsets(dst, &dst_info.strides);
+
+    // Dense (sender, receiver) count matrix; compacted at the end.
+    let mut matrix = vec![0u64; (vs * vd) as usize];
+    // Reusable scratch: the per-combination driven source coordinates
+    // (for the receiver-holds check) and the delinearization buffer.
+    let mut s_want = src_info.want.clone();
+    let mut delin = vec![0u64; src.grid_shape.rank()];
+
     let mut idx = vec![0usize; rank];
     loop {
         // Current combination.
-        let mut count: u64 = 1;
-        let mut s_coords: Vec<Option<u64>> = vec![None; src.grid_shape.rank()];
-        let mut d_coords: Vec<Option<u64>> = vec![None; dst.grid_shape.rank()];
+        let mut count = 1u64;
+        let mut from_base = src_info.fixed_base;
+        let mut to_base = dst_info.fixed_base;
         for d in 0..rank {
-            let (s, t, c) = per_dim[d][idx[d]];
-            count *= c;
-            if let Some((ax, coord)) = s {
-                s_coords[ax] = Some(coord);
+            let e = &per_dim[d][idx[d]];
+            count *= e.count;
+            if let Some((ax, c)) = e.src {
+                from_base += c * src_info.strides[ax];
+                s_want[ax] = Some(c);
             }
-            if let Some((ax, coord)) = t {
-                d_coords[ax] = Some(coord);
-            }
-        }
-        if count > 0 {
-            // Fill source axes not driven by any dim.
-            for (axis, ax) in src.axes.iter().enumerate() {
-                if s_coords[axis].is_none() {
-                    s_coords[axis] = Some(match ax.source {
-                        DimSource::FixedCoord(q) => q,
-                        // Canonical replica sends.
-                        DimSource::Replicated => 0,
-                        DimSource::ArrayAxis { .. } => 0, // driven; unreachable
-                    });
-                }
-            }
-            let canonical =
-                src.grid_shape.linearize(&s_coords.iter().map(|c| c.unwrap()).collect::<Vec<_>>());
-            // Destination: expand replicated axes (broadcast).
-            let mut receivers: Vec<Vec<u64>> = vec![Vec::new()];
-            for (axis, ax) in dst.axes.iter().enumerate() {
-                let choices: Vec<u64> = match (d_coords[axis], ax.source) {
-                    (Some(c), _) => vec![c],
-                    (None, DimSource::FixedCoord(q)) => vec![q],
-                    (None, DimSource::Replicated) => (0..dst.grid_shape.extent(axis)).collect(),
-                    (None, DimSource::ArrayAxis { .. }) => vec![0], // driven; unreachable
-                };
-                let mut next = Vec::with_capacity(receivers.len() * choices.len());
-                for r in &receivers {
-                    for &c in &choices {
-                        let mut rr = r.clone();
-                        rr.push(c);
-                        next.push(rr);
-                    }
-                }
-                receivers = next;
-            }
-            for r in receivers {
-                let to = dst.grid_shape.linearize(&r);
-                // Receiver self-preference: if the receiver already
-                // holds these elements under the source mapping, the
-                // copy is local. All elements of this combination share
-                // the same source-owner coordinates, so the check is
-                // per-combination.
-                let from = if receiver_holds_under_src(src, to, &s_coords) {
-                    to
-                } else {
-                    canonical
-                };
-                *pairs.entry((from, to)).or_insert(0) += count;
+            if let Some((ax, c)) = e.dst {
+                to_base += c * dst_info.strides[ax];
             }
         }
-        // Advance the odometer.
+        for &off in &repl_offsets {
+            let to = to_base + off;
+            // Receiver self-preference: if the receiver already holds
+            // these elements under the source mapping, the copy is
+            // local. All elements of a combination share their
+            // source-owner coordinates, so one check covers them all.
+            let holds =
+                receiver_holds_under_src(src, &src_info.replicated, &s_want, to, &mut delin);
+            let from = if holds { to } else { from_base };
+            matrix[(from * vd + to) as usize] += count;
+        }
+        // Advance the odometer (at least one combination always runs,
+        // which is what makes rank-0 scalars work).
         let mut d = 0;
         loop {
             if d == rank {
-                // Done.
-                let mut transfers = Vec::new();
-                let mut local = 0u64;
-                for ((from, to), elements) in pairs {
-                    if from == to {
-                        local += elements;
-                    } else {
-                        transfers.push(Transfer { from, to, elements });
-                    }
-                }
-                return RedistPlan { transfers, local_elements: local, elem_size };
+                return compact(matrix, vd, elem_size, per_dim, src, dst);
             }
             idx[d] += 1;
             if idx[d] < per_dim[d].len() {
@@ -348,9 +437,38 @@ pub fn plan_redistribution(
             idx[d] = 0;
             d += 1;
         }
-        if rank == 0 {
-            unreachable!("rank-0 arrays are scalars, not distributed");
+    }
+}
+
+/// Compact the dense count matrix into sorted transfers.
+fn compact(
+    matrix: Vec<u64>,
+    vd: u64,
+    elem_size: u64,
+    dims: Vec<Vec<DimContribution>>,
+    src: &NormalizedMapping,
+    dst: &NormalizedMapping,
+) -> RedistPlan {
+    let mut transfers = Vec::new();
+    let mut local = 0u64;
+    for (i, &elements) in matrix.iter().enumerate() {
+        if elements == 0 {
+            continue;
         }
+        let from = i as u64 / vd;
+        let to = i as u64 % vd;
+        if from == to {
+            local += elements;
+        } else {
+            transfers.push(Transfer { from, to, elements });
+        }
+    }
+    RedistPlan {
+        transfers,
+        local_elements: local,
+        elem_size,
+        dims,
+        mappings: Some(Box::new((src.clone(), dst.clone()))),
     }
 }
 
@@ -377,7 +495,7 @@ pub fn plan_by_enumeration(
             transfers.push(Transfer { from, to, elements });
         }
     }
-    RedistPlan { transfers, local_elements: local, elem_size }
+    RedistPlan { transfers, local_elements: local, elem_size, dims: Vec::new(), mappings: None }
 }
 
 #[cfg(test)]
@@ -512,14 +630,23 @@ mod tests {
     }
 
     #[test]
-    fn interval_helpers() {
-        assert_eq!(floor_div(-3, 2), -2);
-        assert_eq!(floor_div(3, 2), 1);
-        assert_eq!(ceil_div(-3, 2), -1);
-        assert_eq!(ceil_div(3, 2), 2);
-        assert_eq!(
-            intersect_count(&[(0, 5), (10, 15)], &[(3, 12)]),
-            2 + 2 // [3,5) and [10,12)
-        );
+    fn plan_carries_interval_descriptors() {
+        let src = mk(16, 4, DimFormat::Block(None));
+        let dst = mk(16, 4, DimFormat::Cyclic(None));
+        let plan = plan_redistribution(&src, &dst, 8);
+        assert_eq!(plan.dims.len(), 1);
+        // 4x4 coordinate pairs, all non-empty for block->cyclic on 16.
+        assert_eq!(plan.dims[0].len(), 16);
+        for e in &plan.dims[0] {
+            assert_eq!(e.src_set.intersect_count(&e.dst_set), e.count);
+        }
+        // Descriptor sizes depend on the layouts, not the extent.
+        let big_src = mk(1 << 22, 4, DimFormat::Block(None));
+        let big_dst = mk(1 << 22, 4, DimFormat::Cyclic(None));
+        let big = plan_redistribution(&big_src, &big_dst, 8);
+        for e in &big.dims[0] {
+            assert!(e.src_set.base.len() <= 2, "src descriptor stays O(1)");
+            assert!(e.dst_set.base.len() <= 2, "dst descriptor stays O(1)");
+        }
     }
 }

@@ -134,15 +134,21 @@ impl ArrayRt {
                             &self.mappings[target as usize],
                             self.elem_size,
                         );
-                        machine.account_phase(&plan.phase_triples());
+                        machine.account_phase(plan.phase_triples());
                         machine.stats.remaps_performed += 1;
+                        // Take the source copy out instead of cloning
+                        // it (src != target here: the status==target
+                        // case was handled above), then put it back.
                         let src_data = self.copies[src as usize]
-                            .clone()
+                            .take()
                             .expect("status copy is allocated");
+                        // The plan already carries the interval
+                        // descriptors; the copy engine reuses them.
                         self.copies[target as usize]
                             .as_mut()
                             .unwrap()
-                            .copy_values_from(&src_data);
+                            .copy_values_from_plan(&src_data, &plan);
+                        self.copies[src as usize] = Some(src_data);
                     }
                     (Some(_), true) => {
                         // KILL: copy allocated, values dead — no data.

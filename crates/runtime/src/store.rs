@@ -7,8 +7,14 @@
 //! addressing scheme the mapping layer's structural equality guarantees
 //! (see `hpfc-mapping`), so two equal mappings have byte-identical
 //! local layouts — the property live-copy reuse relies on.
+//!
+//! Data movement ([`VersionData::copy_values_from`]) is block-level: it
+//! walks the planner's per-dimension periodic interval descriptors
+//! ([`crate::redist::dim_contributions`]) and copies whole contiguous
+//! runs with `copy_from_slice`, instead of routing every element
+//! through a heap-allocated point and per-dimension binary searches.
 
-use hpfc_mapping::NormalizedMapping;
+use hpfc_mapping::{intervals::intersect_runs, NormalizedMapping};
 
 /// One processor's slice of a version.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,23 +97,175 @@ impl VersionData {
     }
 
     /// Fill from a function of the global point.
-    pub fn fill(&mut self, mut f: impl FnMut(&[u64]) -> f64) {
-        let extents = self.mapping.array_extents.clone();
-        for p in extents.points() {
-            let v = f(&p);
-            self.set(&p, v);
+    ///
+    /// Walks every block's local storage in order (sequential data
+    /// index, no per-element owner computation or position search).
+    /// Replicated blocks are each filled from the same function, so it
+    /// must be a pure function of the point — `impl Fn` (not `FnMut`)
+    /// makes stateful closures a compile error rather than a silent
+    /// replica-coherence bug.
+    pub fn fill(&mut self, f: impl Fn(&[u64]) -> f64) {
+        let rank = self.mapping.array_extents.rank();
+        let mut point = vec![0u64; rank];
+        let mut pos = vec![0usize; rank];
+        for block in self.blocks.iter_mut().flatten() {
+            if block.data.is_empty() {
+                continue;
+            }
+            if rank == 0 {
+                block.data[0] = f(&point);
+                continue;
+            }
+            pos.iter_mut().for_each(|p| *p = 0);
+            for d in 0..rank {
+                point[d] = block.dims[d][0];
+            }
+            let len = block.data.len();
+            for i in 0..len {
+                block.data[i] = f(&point);
+                // Row-major advance, last dimension fastest.
+                let mut d = rank;
+                while d > 0 {
+                    d -= 1;
+                    pos[d] += 1;
+                    if pos[d] < block.dims[d].len() {
+                        point[d] = block.dims[d][pos[d]];
+                        break;
+                    }
+                    pos[d] = 0;
+                    point[d] = block.dims[d][0];
+                }
+            }
         }
     }
 
-    /// Copy all values from another version of the same array (the data
-    /// movement a redistribution performs; traffic is accounted
-    /// separately from the plan).
+    /// Copy all values from another version of the same array — the
+    /// data movement a redistribution performs (traffic is accounted
+    /// separately, from the plan).
+    ///
+    /// Computes the per-dimension descriptor tables itself; when a
+    /// [`crate::RedistPlan`] for this pair is already at hand, use
+    /// [`VersionData::copy_values_from_plan`] to reuse its tables.
     pub fn copy_values_from(&mut self, other: &VersionData) {
+        let per_dim = crate::redist::dim_contributions(&other.mapping, &self.mapping);
+        self.copy_with_tables(other, &per_dim);
+    }
+
+    /// [`VersionData::copy_values_from`] driven by the interval
+    /// descriptors a [`crate::RedistPlan`] already carries (the remap
+    /// path plans and then moves; the tables are computed once).
+    ///
+    /// Falls back to recomputing when the plan was not computed for
+    /// exactly this (source, destination) mapping pair — a plan with no
+    /// descriptors (e.g. one built by [`crate::plan_by_enumeration`])
+    /// or one planned for different mappings.
+    pub fn copy_values_from_plan(&mut self, other: &VersionData, plan: &crate::RedistPlan) {
+        let descriptors_match = plan.dims.len() == self.mapping.array_extents.rank()
+            && plan
+                .mappings
+                .as_ref()
+                .is_some_and(|m| m.0 == other.mapping && m.1 == self.mapping);
+        if descriptors_match {
+            self.copy_with_tables(other, &plan.dims);
+        } else {
+            self.copy_values_from(other);
+        }
+    }
+
+    /// The block-level copy engine: for every combination of
+    /// per-dimension periodic interval descriptors, contiguous index
+    /// runs shared by the provider and the receiver are moved with
+    /// `copy_from_slice`; elements are never routed through per-point
+    /// owner computation.
+    fn copy_with_tables(
+        &mut self,
+        other: &VersionData,
+        per_dim: &[Vec<crate::redist::DimContribution>],
+    ) {
         assert_eq!(self.mapping.array_extents, other.mapping.array_extents);
-        let extents = self.mapping.array_extents.clone();
-        for p in extents.points() {
-            let v = other.get(&p);
-            self.set(&p, v);
+        let src = &other.mapping;
+        let dst = &self.mapping;
+        let rank = src.array_extents.rank();
+        if rank == 0 {
+            // Scalars: one element, every destination replica.
+            let v = other.get(&[]);
+            self.set(&[], v);
+            return;
+        }
+        if per_dim.iter().any(|e| e.is_empty()) {
+            return; // empty array
+        }
+
+        // Static per-side assembly data, shared with the planner.
+        let src_info = crate::redist::side_info(src);
+        let dst_info = crate::redist::side_info(dst);
+        let repl_offsets = crate::redist::replicated_offsets(dst, &dst_info.strides);
+        let (s_strides, s_fixed, s_repl) =
+            (&src_info.strides, src_info.fixed_base, &src_info.replicated);
+        let (d_strides, d_fixed) = (&dst_info.strides, dst_info.fixed_base);
+        let mut s_want = src_info.want.clone();
+
+        // Materialize every entry's runs once, up front — the odometer
+        // below revisits each (dimension, entry) pair many times.
+        let entry_runs: Vec<Vec<Vec<(u64, u64)>>> = per_dim
+            .iter()
+            .enumerate()
+            .map(|(d, entries)| {
+                let n = src.array_extents.extent(d);
+                entries
+                    .iter()
+                    .map(|e| intersect_runs(&e.src_set, &e.dst_set, 0, n).collect())
+                    .collect()
+            })
+            .collect();
+
+        let mut delin = vec![0u64; src.grid_shape.rank()];
+        let mut runs: Vec<&[(u64, u64)]> = vec![&[]; rank];
+        let mut idx = vec![0usize; rank];
+        loop {
+            // Current combination: rank assembly plus this
+            // combination's per-dimension run slices.
+            let mut from_base = s_fixed;
+            let mut to_base = d_fixed;
+            for d in 0..rank {
+                let e = &per_dim[d][idx[d]];
+                runs[d] = &entry_runs[d][idx[d]];
+                if let Some((ax, c)) = e.src {
+                    from_base += c * s_strides[ax];
+                    s_want[ax] = Some(c);
+                }
+                if let Some((ax, c)) = e.dst {
+                    to_base += c * d_strides[ax];
+                }
+            }
+            for &off in &repl_offsets {
+                let to = to_base + off;
+                let provider = if crate::redist::receiver_holds_under_src(
+                    src, s_repl, &s_want, to, &mut delin,
+                ) {
+                    to
+                } else {
+                    from_base
+                };
+                let src_block =
+                    other.blocks[provider as usize].as_ref().expect("provider holds the data");
+                let dst_block =
+                    self.blocks[to as usize].as_mut().expect("receiver allocates the data");
+                copy_runs(dst_block, src_block, &runs, per_dim, &idx);
+            }
+            // Advance the odometer.
+            let mut d = 0;
+            loop {
+                if d == rank {
+                    return;
+                }
+                idx[d] += 1;
+                if idx[d] < per_dim[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+            }
         }
     }
 
@@ -115,6 +273,81 @@ impl VersionData {
     /// helper).
     pub fn to_dense(&self) -> Vec<f64> {
         self.mapping.array_extents.points().map(|p| self.get(&p)).collect()
+    }
+}
+
+/// Copy every element of the cartesian product of `runs` from
+/// `src_block` into `dst_block`: outer dimensions are walked index by
+/// index, the innermost dimension is moved run by run with
+/// `copy_from_slice` (both sides hold each run contiguously, because a
+/// run lies inside one owned interval on either side).
+///
+/// Local positions come from the periodic descriptors in closed form:
+/// the position of global index `g` in an owned-index list is the
+/// number of owned indices below `g` (`PeriodicSet::count_below`), so
+/// no per-run binary search is needed.
+fn copy_runs(
+    dst_block: &mut LocalBlock,
+    src_block: &LocalBlock,
+    runs: &[&[(u64, u64)]],
+    per_dim: &[Vec<crate::redist::DimContribution>],
+    idx: &[usize],
+) {
+    let rank = runs.len();
+    let last = rank - 1;
+    let LocalBlock { dims: d_dims, data: d_data } = dst_block;
+    let (s_dims, s_data) = (&src_block.dims, &src_block.data);
+    let d_last_len = d_dims[last].len();
+    let s_last_len = s_dims[last].len();
+    let e_last = &per_dim[last][idx[last]];
+
+    // Odometer over the outer dimensions, one global index at a time:
+    // per dimension, (run index, offset inside the run).
+    let mut cur = vec![(0usize, 0u64); last];
+    loop {
+        // Row-major position prefixes of the current outer coordinates.
+        let mut d_pref = 0usize;
+        let mut s_pref = 0usize;
+        for d in 0..last {
+            let (ri, off) = cur[d];
+            let g = runs[d][ri].0 + off;
+            let e = &per_dim[d][idx[d]];
+            d_pref = d_pref * d_dims[d].len() + e.dst_set.count_below(g) as usize;
+            s_pref = s_pref * s_dims[d].len() + e.src_set.count_below(g) as usize;
+        }
+        for &(lo, hi) in runs[last] {
+            let dp = e_last.dst_set.count_below(lo) as usize;
+            let sp = e_last.src_set.count_below(lo) as usize;
+            let len = (hi - lo) as usize;
+            let d_at = d_pref * d_last_len + dp;
+            let s_at = s_pref * s_last_len + sp;
+            if len == 1 {
+                // Cyclic(1)-style destinations degrade every run to a
+                // single element; skip the slice machinery for those.
+                d_data[d_at] = s_data[s_at];
+            } else {
+                d_data[d_at..d_at + len].copy_from_slice(&s_data[s_at..s_at + len]);
+            }
+        }
+        // Advance the outer odometer (innermost outer dim fastest).
+        let mut d = last;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            let (ref mut ri, ref mut off) = cur[d];
+            *off += 1;
+            if runs[d][*ri].0 + *off < runs[d][*ri].1 {
+                break;
+            }
+            *off = 0;
+            *ri += 1;
+            if *ri < runs[d].len() {
+                break;
+            }
+            *ri = 0;
+        }
     }
 }
 

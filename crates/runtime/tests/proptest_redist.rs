@@ -100,7 +100,7 @@ proptest! {
     ) {
         let plan = plan_redistribution(&src, &dst, 8);
         let mut m = Machine::new(8);
-        let t = m.account_phase(&plan.phase_triples());
+        let t = m.account_phase(plan.phase_triples());
         prop_assert!(t >= 0.0);
         prop_assert_eq!(t == 0.0, plan.total_messages() == 0);
         prop_assert_eq!(m.stats.bytes, plan.total_bytes());
@@ -111,6 +111,117 @@ proptest! {
     fn identity_is_free(src in mapping_strategy(9, 7)) {
         let plan = plan_redistribution(&src, &src, 8);
         prop_assert_eq!(plan.total_messages(), 0);
+    }
+}
+
+/// A random mapping drawn from the *full* space the planner supports:
+/// strided/offset/negative affine alignments, constant and replicated
+/// alignment targets, 1-D and 2-D processor grids, and every
+/// distribution format. The template is sized so any drawn affine
+/// image fits.
+fn rich_mapping_strategy(n0: u64, n1: u64) -> impl Strategy<Value = NormalizedMapping> {
+    (
+        (1u64..4, 1u64..4),              // grid extents (2-D, possibly 1 wide)
+        (0usize..5, 0usize..5),          // per-template-dim alignment selector
+        (1i64..4, prop::bool::ANY),      // |stride|, negate?
+        0i64..3,                         // offset slack
+        (0usize..4, 0usize..4),          // per-template-dim format selector
+        1u64..4,                         // cyclic block size
+    )
+        .prop_map(move |((p0, p1), (al0, al1), (s_abs, neg), oslack, (f0, f1), b)| {
+            let stride = if neg { -s_abs } else { s_abs };
+            // Template dim sized to hold the worst-case affine image of
+            // either array dim plus slack.
+            let nmax = n0.max(n1);
+            let text = 3 * nmax + 8;
+            let mk_target = |sel: usize, dim: usize| match sel {
+                0 => AlignTarget::identity(dim),
+                1 => {
+                    // Strided/offset affine image inside [0, text).
+                    let n = if dim == 0 { n0 } else { n1 };
+                    let offset = if stride < 0 {
+                        (-stride) * (n as i64 - 1) + oslack
+                    } else {
+                        oslack
+                    };
+                    AlignTarget::Axis { array_dim: dim, stride, offset }
+                }
+                2 => AlignTarget::Replicate,
+                3 => AlignTarget::Constant(oslack),
+                _ => AlignTarget::Axis { array_dim: dim, stride: 2, offset: 1 },
+            };
+            // Each array dim may be used at most once: template dim 0
+            // draws from array dim 0, template dim 1 from array dim 1.
+            let align = Alignment {
+                template: TemplateId(0),
+                targets: vec![mk_target(al0, 0), mk_target(al1, 1)],
+            };
+            let mk_fmt = |sel: usize| match sel {
+                0 => DimFormat::Block(None),
+                1 => DimFormat::Cyclic(None),
+                2 => DimFormat::Cyclic(Some(b)),
+                _ => DimFormat::Collapsed,
+            };
+            let template = Template {
+                id: TemplateId(0),
+                name: "T".into(),
+                shape: Extents::new(&[text, text]),
+            };
+            let grid =
+                ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p0, p1]) };
+            Mapping { align, dist: Distribution::new(GridId(0), vec![mk_fmt(f0), mk_fmt(f1)]) }
+                .normalize(&Extents::new(&[n0, n1]), &template, &grid)
+                .expect("constructed mapping is well-formed")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Closed form == oracle over the full mapping space: strides,
+    /// offsets, negative strides, constants, replication, 2-D grids.
+    #[test]
+    fn rich_plan_matches_oracle(
+        src in rich_mapping_strategy(9, 7),
+        dst in rich_mapping_strategy(9, 7),
+    ) {
+        let plan = plan_redistribution(&src, &dst, 8);
+        let oracle = plan_by_enumeration(&src, &dst, 8);
+        prop_assert_eq!(plan, oracle);
+    }
+
+    /// Conservation over the full mapping space: every element is
+    /// delivered exactly once per destination replica
+    /// (`local + remote == n × replicas`).
+    #[test]
+    fn rich_plan_conserves_elements(
+        src in rich_mapping_strategy(9, 7),
+        dst in rich_mapping_strategy(9, 7),
+    ) {
+        let plan = plan_redistribution(&src, &dst, 8);
+        let replicas: u64 = dst
+            .axes
+            .iter()
+            .enumerate()
+            .filter(|(_, ax)| matches!(ax.source, hpfc_mapping::DimSource::Replicated))
+            .map(|(axis, _)| dst.grid_shape.extent(axis))
+            .product();
+        let n = src.array_extents.volume();
+        prop_assert_eq!(plan.local_elements + plan.remote_elements(), n * replicas);
+    }
+
+    /// The block-level copy engine preserves contents over the full
+    /// mapping space (strided alignments, replication, 2-D grids).
+    #[test]
+    fn rich_data_movement_preserves_values(
+        src in rich_mapping_strategy(6, 5),
+        dst in rich_mapping_strategy(6, 5),
+    ) {
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| (p[0] * 31 + p[1] * 7 + 1) as f64);
+        let mut b = VersionData::new(dst, 8);
+        b.copy_values_from(&a);
+        prop_assert_eq!(a.to_dense(), b.to_dense());
     }
 }
 

@@ -4,7 +4,7 @@
 //! semantics-preserving — and (b) the communication savings the paper
 //! claims.
 
-use hpfc::{compile, compile_and_run, execute, figures, CompileOptions, ExecConfig};
+use hpfc::{compile, compile_and_run, figures, CompileOptions, ExecConfig};
 
 fn run_both(src: &str, exec: ExecConfig) -> (hpfc::ExecResult, hpfc::ExecResult) {
     let (_, naive) = compile_and_run(src, &CompileOptions::naive(), exec.clone()).unwrap();
