@@ -10,7 +10,7 @@ use hpfc::mapping::{
     Alignment, DimFormat, Distribution, Extents, GridId, Mapping, NormalizedMapping, ProcGrid,
     Template, TemplateId,
 };
-use hpfc::runtime::{plan_by_enumeration, plan_redistribution, VersionData};
+use hpfc::runtime::{plan_by_enumeration, plan_redistribution, ArrayRt, Machine, VersionData};
 
 fn mk(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
     let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n]) };
@@ -92,12 +92,54 @@ fn bench_procs_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// The plan-caching payoff: a remap loop that bounces an array between
+/// two mappings. `replan_every_iter` pays the ~tens-of-µs closed-form
+/// planning on every bounce (the pre-cache behavior); `cached` goes
+/// through [`ArrayRt`], which memoizes plan + schedule per (src, dst)
+/// version pair — after the first bounce the replan cost disappears and
+/// only the O(n) data movement remains.
+fn bench_remap_loop_caching(c: &mut Criterion) {
+    let n = 16384u64;
+    let mut g = c.benchmark_group("redist/remap_loop");
+    let src = mk(n, 16, DimFormat::Block(None));
+    let dst = mk(n, 16, DimFormat::Cyclic(Some(4)));
+
+    g.bench_function("replan_every_iter", |b| {
+        let mut a = VersionData::new(src.clone(), 8);
+        a.fill(|p| p[0] as f64);
+        let mut t = VersionData::new(dst.clone(), 8);
+        b.iter(|| {
+            let plan = plan_redistribution(&src, &dst, 8);
+            t.copy_values_from_plan(&a, &plan);
+            let plan_back = plan_redistribution(&dst, &src, 8);
+            a.copy_values_from_plan(&t, &plan_back);
+            std::hint::black_box((&a, &t));
+        })
+    });
+
+    g.bench_function("cached", |b| {
+        let mut m = Machine::new(16);
+        let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+        rt.current(&mut m, 0).fill(|p| p[0] as f64);
+        let keep: std::collections::BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        b.iter(|| {
+            rt.remap(&mut m, 1, &keep, false);
+            rt.set(&[0], 1.0); // stale the other copy: data moves every time
+            rt.remap(&mut m, 0, &keep, false);
+            rt.set(&[1], 1.0);
+            std::hint::black_box(&rt);
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_plan_closed_form,
     bench_plan_hyperperiod,
     bench_plan_oracle,
     bench_data_movement,
-    bench_procs_sweep
+    bench_procs_sweep,
+    bench_remap_loop_caching
 );
 criterion_main!(benches);

@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 
 use hpfc_lang::ast::{Expr, Intent, LValue};
 use hpfc_mapping::{ArrayId, NormalizedMapping};
+use hpfc_runtime::CommSchedule;
 
 /// One array of the static program with all its versions.
 #[derive(Debug, Clone)]
@@ -23,6 +24,47 @@ pub struct ArrayDecl {
     /// Whether the array is a dummy argument (its current copy belongs
     /// to the caller and is never freed by exit cleanup).
     pub is_dummy: bool,
+}
+
+/// The message-level lowering of one guarded copy source of a
+/// [`RemapOp`]: when the runtime status is `src`, the copy into the
+/// target version is this packed send/recv loop nest — per
+/// communicating (sender, receiver) pair one contiguous buffer with a
+/// closed-form byte count, pack/unpack loops walking the periodic run
+/// iterator, and the whole set ordered into contention-free caterpillar
+/// rounds.
+///
+/// The schedule is the *same* [`CommSchedule`] structure the runtime
+/// executes ([`hpfc_runtime::ArrayRt::remap`] via
+/// [`hpfc_runtime::Machine::account_schedule`]), so the rendered SPMD
+/// code and the simulated communication can never disagree.
+///
+/// ```
+/// use hpfc_codegen::ir::SpmdCopy;
+/// use hpfc_mapping::{Alignment, DimFormat, Distribution, Extents, GridId, Mapping,
+///                    ProcGrid, Template, TemplateId};
+/// use hpfc_runtime::{plan_redistribution, CommSchedule};
+///
+/// let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[16]) };
+/// let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[4]) };
+/// let mk = |fmt| Mapping {
+///     align: Alignment::identity(TemplateId(0), 1),
+///     dist: Distribution::new(GridId(0), vec![fmt]),
+/// }.normalize(&Extents::new(&[16]), &t, &g).unwrap();
+///
+/// let plan = plan_redistribution(&mk(DimFormat::Block(None)), &mk(DimFormat::Cyclic(None)), 8);
+/// let copy = SpmdCopy { src: 0, schedule: CommSchedule::from_plan(&plan) };
+/// assert_eq!(copy.schedule.messages.len(), 12); // all-to-all minus the diagonal
+/// assert_eq!(copy.schedule.n_rounds(), 3);      // caterpillar: contention-free rounds
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpmdCopy {
+    /// The source version this copy reads from (the `status == src`
+    /// guard arm of Fig. 20).
+    pub src: u32,
+    /// Per-pair packed messages in caterpillar rounds, with the
+    /// per-dimension periodic descriptors driving each pack loop.
+    pub schedule: CommSchedule,
 }
 
 /// An explicit remapping operation — one (vertex, array) slot of the
@@ -47,6 +89,10 @@ pub struct RemapOp {
     /// array's alignment does not involve the redistributed template on
     /// this path) — skip the remap, keep the status.
     pub skip_if_current: BTreeSet<u32>,
+    /// Message-level SPMD copy code, one entry per data-moving source
+    /// version (every `r ∈ reaching`, `r ≠ target`). Empty when
+    /// `no_data` — there is nothing to move. Ordered by source version.
+    pub copies: Vec<SpmdCopy>,
 }
 
 /// A statement of the static program.

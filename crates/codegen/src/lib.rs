@@ -7,7 +7,11 @@
 //!
 //! The output [`ir::StaticProgram`] is what the interpreter executes on
 //! the simulated machine, and what [`render`] pretty-prints in the
-//! shape of the paper's Fig. 20.
+//! shape of the paper's Fig. 20 — with every copy arm lowered to
+//! message granularity ([`ir::SpmdCopy`]): per (sender, receiver) pair
+//! a packed send/recv loop nest over periodic interval runs, scheduled
+//! into contention-free caterpillar rounds shared verbatim with the
+//! runtime ([`hpfc_runtime::CommSchedule`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,5 +20,5 @@ pub mod ir;
 pub mod lower;
 pub mod render;
 
-pub use ir::{RemapOp, SStmt, StaticProgram};
+pub use ir::{RemapOp, SStmt, SpmdCopy, StaticProgram};
 pub use lower::{lower, CodegenStats};

@@ -10,7 +10,10 @@ use hpfc_mapping::ArrayId;
 use hpfc_rgraph::build::{Rg, VertexId};
 use hpfc_rgraph::label::{Leaving, UseInfo};
 
-use crate::ir::{ArrayDecl, RemapOp, SStmt, StaticProgram};
+use hpfc_mapping::VersionId;
+use hpfc_runtime::{plan_redistribution, CommSchedule};
+
+use crate::ir::{ArrayDecl, RemapOp, SStmt, SpmdCopy, StaticProgram};
 
 /// Static accounting of what lowering emitted — the compile-time side
 /// of the experiment tables.
@@ -60,11 +63,14 @@ pub fn lower(unit: &RoutineUnit, rg: &Rg) -> (StaticProgram, CodegenStats) {
         }
     }
 
+    let elem_sizes: BTreeMap<ArrayId, u64> =
+        unit.env.arrays().iter().map(|info| (info.id, info.elem_size)).collect();
     let mut lowerer = Lowerer {
         rg,
         directive_vertex,
         call_groups,
         assign_nodes,
+        elem_sizes,
         stats: &mut stats,
         n_slots: 0,
     };
@@ -151,6 +157,7 @@ struct Lowerer<'a> {
     directive_vertex: BTreeMap<(usize, usize), VertexId>,
     call_groups: BTreeMap<(usize, usize), CallGroup>,
     assign_nodes: BTreeMap<(usize, usize), NodeId>,
+    elem_sizes: BTreeMap<ArrayId, u64>,
     stats: &'a mut CodegenStats,
     n_slots: u32,
 }
@@ -179,6 +186,26 @@ impl<'a> Lowerer<'a> {
             Some(Leaving::One(v)) => {
                 let reaching: std::collections::BTreeSet<u32> =
                     label.reaching.iter().map(|x| x.index).collect();
+                let no_data = label.values_dead || label.use_info == UseInfo::D;
+                // Message-level lowering: one packed send/recv schedule
+                // per data-moving source version (planned at compile
+                // time — the mapping pair is static).
+                let copies = if no_data {
+                    Vec::new()
+                } else {
+                    let elem = self.elem_sizes[&a];
+                    reaching
+                        .iter()
+                        .filter(|&&r| r != v.index)
+                        .map(|&r| {
+                            let src =
+                                self.rg.versions.mapping_of(VersionId { array: a, index: r });
+                            let dst = self.rg.versions.mapping_of(*v);
+                            let plan = plan_redistribution(src, dst, elem);
+                            SpmdCopy { src: r, schedule: CommSchedule::from_plan(&plan) }
+                        })
+                        .collect()
+                };
                 let op = RemapOp {
                     array: a,
                     target: v.index,
@@ -190,7 +217,8 @@ impl<'a> Lowerer<'a> {
                         .collect(),
                     reaching,
                     may_live: label.may_live.iter().map(|x| x.index).collect(),
-                    no_data: label.values_dead || label.use_info == UseInfo::D,
+                    no_data,
+                    copies,
                 };
                 self.stats.emitted_remaps += 1;
                 if label.is_trivial() {

@@ -1,18 +1,27 @@
-//! Pretty-printing of the static program, including the Fig. 20-style
-//! guarded copy code for each remapping.
+//! Pretty-printing of the static program, including the Fig. 19/20-style
+//! guarded copy code for each remapping — with every copy lowered to
+//! message-granularity SPMD: per (sender, receiver) pair a pack loop
+//! over the periodic intersection runs, one contiguous send/recv with a
+//! closed-form byte count, and the mirror unpack loop, ordered into
+//! contention-free caterpillar rounds.
 
-use crate::ir::{RemapOp, SStmt, StaticProgram};
+use crate::ir::{RemapOp, SStmt, SpmdCopy, StaticProgram};
 use hpfc_lang::pretty::expr_to_string;
+use hpfc_runtime::PackedMessage;
 
 /// Fig. 20: the runtime copy code of one remapping, as the paper's code
-/// generation phase would emit it.
+/// generation phase would emit it — except that each guarded copy arm is
+/// message-level SPMD code (packed send/recv loops driven by the
+/// planner's periodic interval descriptors), not a whole-array copy
+/// statement.
 ///
 /// ```text
 /// if (status_a /= 2) then
 ///   allocate a_2 if needed
 ///   if (.not. live_a(2)) then
-///     if (status_a == 0) a_2 = a_0
-///     if (status_a == 1) a_2 = a_1
+///     if (status_a == 0) then    ! a_0 -> a_2: N messages, B bytes, R rounds
+///       <per-pair packed send/recv loops>
+///     endif
 ///     live_a(2) = .true.
 ///   endif
 ///   status_a = 2
@@ -28,8 +37,8 @@ pub fn remap_text(p: &StaticProgram, op: &RemapOp) -> String {
     if op.no_data {
         s.push_str("    ! values dead or fully redefined: no copy\n");
     } else {
-        for r in op.reaching.iter().filter(|&&r| r != t) {
-            s.push_str(&format!("    if (status_{name} == {r}) {name}_{t} = {name}_{r}\n"));
+        for copy in &op.copies {
+            s.push_str(&spmd_copy_text(name, t, copy, 4));
         }
     }
     s.push_str(&format!("    live_{name}({t}) = .true.\n"));
@@ -45,6 +54,113 @@ pub fn remap_text(p: &StaticProgram, op: &RemapOp) -> String {
             ));
         }
     }
+    s
+}
+
+/// One guarded copy arm as message-level SPMD pseudo-code: the header
+/// comment summarizes the schedule, then local runs, then one block per
+/// caterpillar round with every pair's packed send/recv loops.
+pub fn spmd_copy_text(name: &str, target: u32, copy: &SpmdCopy, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let sched = &copy.schedule;
+    let r = copy.src;
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{pad}if (status_{name} == {r}) then  ! {name}_{r} -> {name}_{target}: \
+         {} message(s), {} byte(s), {} round(s)\n",
+        sched.messages.len(),
+        sched.total_bytes(),
+        sched.n_rounds(),
+    ));
+    if sched.local_elements > 0 {
+        s.push_str(&format!(
+            "{pad}  copy local runs {name}_{r} ∩ {name}_{target} across ranks \
+             ({} element(s) total, no communication)\n",
+            sched.local_elements
+        ));
+    }
+    for (round_no, round) in sched.rounds.iter().enumerate() {
+        s.push_str(&format!("{pad}  round {}:\n", round_no + 1));
+        for &mi in round {
+            s.push_str(&message_text(name, r, target, &sched.messages[mi], sched.elem_size, indent + 4));
+        }
+    }
+    s.push_str(&format!("{pad}endif\n"));
+    s
+}
+
+/// One packed point-to-point message: sender-side pack loop over the
+/// periodic intersection runs, a single contiguous send with its
+/// closed-form byte count, the matching recv, and the receiver-side
+/// unpack loop. Local buffer positions are closed-form
+/// (`pos_v(g)` = owned indices of version `v` below `g`, i.e.
+/// `PeriodicSet::count_below`), so the loops are guard-free.
+fn message_text(
+    name: &str,
+    src: u32,
+    dst: u32,
+    m: &PackedMessage,
+    elem_size: u64,
+    indent: usize,
+) -> String {
+    let pad = " ".repeat(indent);
+    let bytes = m.bytes(elem_size);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{pad}p{} -> p{}: {} element(s), {} byte(s)\n",
+        m.from, m.to, m.elements, bytes
+    ));
+    if m.dims.is_empty() {
+        // Oracle-built schedule: sized message, no loop structure.
+        s.push_str(&format!("{pad}  send/recv opaque buffer ({bytes} bytes)\n"));
+        return s;
+    }
+    let rank = m.dims.len();
+    let last = rank - 1;
+    // Loop headers: outer dimensions walk runs element by element, the
+    // innermost dimension moves whole runs.
+    let mut depth = indent + 2;
+    let mut lines_open: Vec<String> = Vec::new();
+    for (d, dim) in m.dims.iter().enumerate() {
+        let pad_d = " ".repeat(depth);
+        lines_open.push(format!(
+            "{pad_d}do (lo{d}, hi{d}) in runs(d{d}: {} ∩ {})\n",
+            dim.src_set, dim.dst_set
+        ));
+        depth += 2;
+        if d < last {
+            let pad_i = " ".repeat(depth);
+            lines_open.push(format!("{pad_i}do i{d} = lo{d}, hi{d}-1\n"));
+            depth += 2;
+        }
+    }
+    let body_pad = " ".repeat(depth);
+    let outer: Vec<String> = (0..last).map(|d| format!("i{d}, ")).collect();
+    let outer = outer.concat();
+    // Sender side.
+    s.push_str(&format!("{pad}  on p{}:  ! pack\n", m.from));
+    s.push_str(&format!("{pad}    k = 0\n"));
+    for l in &lines_open {
+        // Shift loop headers two deeper than the `on pX:` line.
+        s.push_str(&format!("  {l}"));
+    }
+    s.push_str(&format!(
+        "  {body_pad}sbuf(k : k+hi{last}-lo{last}) = \
+         {name}_{src}(pos_{src}({outer}lo{last}) : pos_{src}({outer}hi{last})); \
+         k += hi{last}-lo{last}\n"
+    ));
+    s.push_str(&format!("{pad}    send sbuf(0:{}) -> p{}  ! {} bytes\n", m.elements, m.to, bytes));
+    // Receiver side.
+    s.push_str(&format!("{pad}  on p{}:  ! unpack\n", m.to));
+    s.push_str(&format!("{pad}    recv rbuf(0:{}) <- p{}  ! {} bytes\n", m.elements, m.from, bytes));
+    s.push_str(&format!("{pad}    k = 0\n"));
+    for l in &lines_open {
+        s.push_str(&format!("  {l}"));
+    }
+    s.push_str(&format!(
+        "  {body_pad}{name}_{dst}(pos_{dst}({outer}lo{last}) : pos_{dst}({outer}hi{last})) = \
+         rbuf(k : k+hi{last}-lo{last}); k += hi{last}-lo{last}\n"
+    ));
     s
 }
 

@@ -1,4 +1,4 @@
-//! Interpreter: executes a lowered [`StaticProgram`] on the simulated
+//! Interpreter: executes a lowered [`hpfc_codegen::StaticProgram`] on the simulated
 //! distributed machine, driving the Sec. 5 runtime (status descriptors,
 //! live flags, guarded copies) exactly as the generated code would.
 //!

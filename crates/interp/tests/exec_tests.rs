@@ -204,6 +204,44 @@ end subroutine
 }
 
 #[test]
+fn remap_loop_plans_once_per_direction_at_interp_level() {
+    // A naive-mode remap loop: two data movements per iteration. The
+    // runtime's per-array plan cache must plan each (src, dst) mapping
+    // pair exactly once; every later iteration reuses plan + schedule.
+    let t = 6.0;
+    let mut cfg = ExecConfig::default();
+    cfg = cfg.with_scalar("t", t);
+    let r = compile_and_run(hpfc::figures::FIG16_LOOP, &CompileOptions::naive(), cfg)
+        .expect("compile+run")
+        .1;
+    assert_eq!(r.stats.remaps_performed, 2 * t as u64);
+    assert_eq!(r.stats.plans_computed, 2, "{:?}", r.stats);
+    assert_eq!(r.stats.plan_cache_hits, 2 * (t as u64 - 1), "{:?}", r.stats);
+}
+
+#[test]
+fn remap_time_reflects_caterpillar_rounds() {
+    // block -> cyclic over 4 procs is an all-to-all: 12 messages in 3
+    // contention-free rounds. Each round bills one send + one recv per
+    // processor, so the remap's time is at least 3 rounds' worth of
+    // paired latencies — strictly more than a single message's time,
+    // and exactly what the schedule (not one BSP max) predicts.
+    let src = "subroutine s\nreal :: a(16)\n!hpf$ processors p(4)\n!hpf$ dynamic a\n\
+               !hpf$ distribute a(block) onto p\na = 1.0\n\
+               !hpf$ redistribute a(cyclic)\nx = a(1)\nend";
+    let r = run(src, &[]);
+    assert_eq!(r.stats.messages, 12);
+    let cost = hpfc::CostModel::default();
+    // 3 rounds × (send + recv latency + 2 × 8 bytes each way).
+    let per_round = 2.0 * cost.latency_us + 2.0 * 8.0 / cost.bandwidth_bytes_per_us;
+    assert!(
+        (r.stats.time_us - 3.0 * per_round).abs() < 1e-9,
+        "time {} != 3 rounds × {per_round}",
+        r.stats.time_us
+    );
+}
+
+#[test]
 fn peak_memory_reflects_copies() {
     // Two live copies of a 1024-element array on 4 procs: ~2 × 2048 B
     // per processor at the peak.

@@ -17,6 +17,46 @@
 //! which is what makes redistribution *planning* O(P_src·P_dst) instead
 //! of O(extent) (the data movement itself is necessarily O(extent), but
 //! walks whole intervals, not elements).
+//!
+//! # Example
+//!
+//! `CYCLIC(2)` over 3 processors on a 24-cell dimension: processor 1
+//! owns `{2,3, 8,9, 14,15, 20,21}` — the base interval `[2,4)` repeated
+//! with period `b·P = 6`:
+//!
+//! ```
+//! use hpfc_mapping::{DimLayout, PeriodicSet};
+//!
+//! let layout = DimLayout::new(24, 2, 3);          // CYCLIC(2) over 3 procs
+//! let owned = PeriodicSet::owned(1, 0, layout, 1, 24);
+//! assert_eq!(owned.period, 6);                    // b·P
+//! assert_eq!(owned.base, vec![(2, 4)]);           // one period's intervals
+//! assert_eq!(owned.count(), 8);                   // closed form, O(|base|)
+//! assert_eq!(owned.count_below(9), 3);            // {2,3,8}
+//! assert_eq!(
+//!     owned.runs(0, 10).collect::<Vec<_>>(),      // lazy maximal runs
+//!     vec![(2, 4), (8, 10)],
+//! );
+//!
+//! // A stride-2 alignment halves the period: period = b·P / gcd(2, b·P).
+//! let strided = PeriodicSet::owned(2, 0, layout, 1, 24);
+//! assert_eq!(strided.period, 3);
+//! ```
+//!
+//! Intersections never enumerate elements: two sets meet over one
+//! *hyper-period* (`lcm` of their periods) plus a tail window:
+//!
+//! ```
+//! use hpfc_mapping::{intersect_runs, DimLayout, PeriodicSet};
+//!
+//! let a = PeriodicSet::owned(1, 0, DimLayout::new(24, 2, 3), 1, 24); // period 6
+//! let b = PeriodicSet::owned(1, 0, DimLayout::new(24, 4, 2), 0, 24); // period 8
+//! // lcm(6, 8) = 24: one hyper-period covers the window.
+//! assert_eq!(a.intersect_count(&b), 4);
+//! let runs: Vec<_> = intersect_runs(&a, &b, 0, 24).collect();
+//! assert_eq!(runs, vec![(2, 4), (8, 10)]);
+//! assert_eq!(runs.iter().map(|(lo, hi)| hi - lo).sum::<u64>(), 4);
+//! ```
 
 use crate::layout::DimLayout;
 
@@ -257,6 +297,43 @@ impl PeriodicSet {
             return 0;
         }
         (x / self.period + 1).saturating_mul(self.base.len() as u64)
+    }
+}
+
+impl std::fmt::Display for PeriodicSet {
+    /// Compact set-builder notation used by the SPMD renderer:
+    /// `{}` for the empty set, `{[0,n)}` for the full window,
+    /// `{[1,2)+4k}` for a genuinely periodic set (the base intervals,
+    /// repeated with period 4), and a plain interval list when the
+    /// period does not fit the window (the set never wraps).
+    ///
+    /// ```
+    /// use hpfc_mapping::{DimLayout, PeriodicSet};
+    /// // CYCLIC(1) over 4 processors, coordinate 1, window [0,16).
+    /// let l = DimLayout::new(16, 1, 4);
+    /// let s = PeriodicSet::owned(1, 0, l, 1, 16);
+    /// assert_eq!(s.to_string(), "{[1,2)+4k}");
+    /// assert_eq!(PeriodicSet::full(16).to_string(), "{[0,16)}");
+    /// assert_eq!(PeriodicSet::empty(16).to_string(), "{}");
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.base.is_empty() {
+            return write!(f, "{{}}");
+        }
+        if self.is_full() {
+            return write!(f, "{{[0,{})}}", self.extent);
+        }
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.base.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "[{a},{b})")?;
+        }
+        if self.period < self.extent {
+            write!(f, "+{}k", self.period)?;
+        }
+        write!(f, "}}")
     }
 }
 

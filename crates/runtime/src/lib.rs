@@ -12,9 +12,14 @@
 //!   memory tracking (allocation peaks matter for the live-copy
 //!   ablation);
 //! * [`redist::plan_redistribution`] — the block-cyclic redistribution
-//!   engine (the ref. [19] substrate): closed-form communication sets
+//!   engine (the ref. \[19\] substrate): closed-form communication sets
 //!   between any two composed mappings, with a brute-force enumeration
 //!   oracle for property testing;
+//! * [`schedule::CommSchedule`] — the plan lowered to message-level
+//!   SPMD structure: per (sender, receiver) pair a packed message with
+//!   per-dimension interval descriptors, ordered into contention-free
+//!   caterpillar rounds that [`machine::Machine::account_schedule`]
+//!   costs round by round;
 //! * [`store::VersionData`] — actual per-processor storage of array
 //!   versions, so kernels can be executed end-to-end and checked for
 //!   distribution-independent results;
@@ -28,10 +33,12 @@
 
 pub mod machine;
 pub mod redist;
+pub mod schedule;
 pub mod status;
 pub mod store;
 
 pub use machine::{CostModel, Machine, NetStats};
 pub use redist::{plan_by_enumeration, plan_redistribution, RedistPlan, Transfer};
-pub use status::ArrayRt;
+pub use schedule::{CommSchedule, MsgDim, PackedMessage};
+pub use status::{ArrayRt, PlannedRemap};
 pub use store::VersionData;

@@ -50,6 +50,10 @@ pub struct NetStats {
     /// Remapping operations whose values were dead (`KILL`): copy
     /// allocated, nothing moved.
     pub remaps_dead_values: u64,
+    /// Redistribution plans computed (closed-form planner invocations).
+    pub plans_computed: u64,
+    /// Redistribution plans served from the per-array cache.
+    pub plan_cache_hits: u64,
 }
 
 impl NetStats {
@@ -63,6 +67,8 @@ impl NetStats {
         self.remaps_skipped_noop += o.remaps_skipped_noop;
         self.remaps_reused_live += o.remaps_reused_live;
         self.remaps_dead_values += o.remaps_dead_values;
+        self.plans_computed += o.plans_computed;
+        self.plan_cache_hits += o.plan_cache_hits;
     }
 }
 

@@ -134,10 +134,26 @@ impl RedistPlan {
 
 /// The canonical owner of a point under a mapping: its owner with
 /// coordinate 0 substituted on replicated axes.
+///
+/// Computed directly from the per-axis sources (no [`hpfc_mapping::Locus`]
+/// materialization): this sits on the per-element read path
+/// ([`crate::VersionData::get`]), where a heap allocation per point used
+/// to dominate.
 pub fn canonical_owner(nm: &NormalizedMapping, point: &[u64]) -> u64 {
-    let locus = nm.locus(point);
-    let coords: Vec<u64> = locus.proc.iter().map(|c| c.unwrap_or(0)).collect();
-    nm.grid_shape.linearize(&coords)
+    let mut rank = 0u64;
+    for (a, ax) in nm.axes.iter().enumerate() {
+        let coord = match ax.source {
+            hpfc_mapping::DimSource::Replicated => 0,
+            hpfc_mapping::DimSource::FixedCoord(q) => q,
+            hpfc_mapping::DimSource::ArrayAxis { dim, stride, offset } => {
+                let t = stride * point[dim] as i64 + offset;
+                debug_assert!(t >= 0, "alignment image validated non-negative");
+                ax.layout.expect("axis source has layout").owner(t as u64)
+            }
+        };
+        rank = rank * nm.grid_shape.extent(a) + coord;
+    }
+    rank
 }
 
 /// The source a receiver actually reads a point from: itself if it
@@ -159,7 +175,7 @@ pub fn all_owners(nm: &NormalizedMapping, point: &[u64]) -> Vec<u64> {
 
 /// Which grid axis (if any) array dimension `d` drives, with the affine
 /// map and layout.
-fn axis_driven_by_dim(
+pub(crate) fn axis_driven_by_dim(
     nm: &NormalizedMapping,
     d: usize,
 ) -> Option<(usize, i64, i64, hpfc_mapping::DimLayout)> {

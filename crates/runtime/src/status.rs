@@ -13,13 +13,30 @@
 //! memory-pressure path: a live non-current copy may be dropped at any
 //! time and is regenerated (with communication) if needed again.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use hpfc_mapping::NormalizedMapping;
 
 use crate::machine::Machine;
-use crate::redist::plan_redistribution;
+use crate::redist::{plan_redistribution, RedistPlan};
+use crate::schedule::CommSchedule;
 use crate::store::VersionData;
+
+/// A memoized redistribution: the closed-form plan plus its
+/// message-level caterpillar schedule, computed once per
+/// `(source version, target version)` pair and reused by every later
+/// remap between the same pair (remap loops stop replanning — the
+/// mappings of a version never change, so the plan cannot either).
+#[derive(Debug, Clone)]
+pub struct PlannedRemap {
+    /// The communication plan (carries the interval descriptors the
+    /// block-level copy engine walks).
+    pub plan: RedistPlan,
+    /// The plan lowered to per-pair packed messages in caterpillar
+    /// rounds — what [`Machine::account_schedule`] costs.
+    pub schedule: CommSchedule,
+}
 
 /// Runtime state of one dynamic array.
 #[derive(Debug, Clone)]
@@ -37,6 +54,11 @@ pub struct ArrayRt {
     pub status: Option<u32>,
     /// Element size in bytes.
     pub elem_size: u64,
+    /// Memoized plans + schedules keyed by (source, target) version —
+    /// i.e. by (source, destination) mapping pair, since a version *is*
+    /// its mapping. Shared by reference: cloning the descriptor does
+    /// not replan.
+    pub plan_cache: BTreeMap<(u32, u32), Arc<PlannedRemap>>,
 }
 
 impl ArrayRt {
@@ -50,7 +72,29 @@ impl ArrayRt {
             live: vec![false; n],
             status: None,
             elem_size,
+            plan_cache: BTreeMap::new(),
         }
+    }
+
+    /// The memoized plan + schedule for remapping version `src` to
+    /// version `dst`: computed on first use, then served from the cache
+    /// (the cache is keyed by the mapping pair through the version
+    /// indices, so a remap loop plans each direction exactly once).
+    pub fn planned(&mut self, machine: &mut Machine, src: u32, dst: u32) -> Arc<PlannedRemap> {
+        if let Some(p) = self.plan_cache.get(&(src, dst)) {
+            machine.stats.plan_cache_hits += 1;
+            return Arc::clone(p);
+        }
+        let plan = plan_redistribution(
+            &self.mappings[src as usize],
+            &self.mappings[dst as usize],
+            self.elem_size,
+        );
+        let schedule = CommSchedule::from_plan(&plan);
+        machine.stats.plans_computed += 1;
+        let entry = Arc::new(PlannedRemap { plan, schedule });
+        self.plan_cache.insert((src, dst), Arc::clone(&entry));
+        entry
     }
 
     /// Ensure version `v` has storage (lazy allocation, with memory
@@ -128,13 +172,11 @@ impl ArrayRt {
             } else {
                 match (self.status, values_dead) {
                     (Some(src), false) => {
-                        // The actual remapping communication.
-                        let plan = plan_redistribution(
-                            &self.mappings[src as usize],
-                            &self.mappings[target as usize],
-                            self.elem_size,
-                        );
-                        machine.account_phase(plan.phase_triples());
+                        // The actual remapping communication: the
+                        // cached plan drives the block-level copy, its
+                        // caterpillar schedule the time accounting.
+                        let planned = self.planned(machine, src, target);
+                        machine.account_schedule(&planned.schedule);
                         machine.stats.remaps_performed += 1;
                         // Take the source copy out instead of cloning
                         // it (src != target here: the status==target
@@ -147,7 +189,7 @@ impl ArrayRt {
                         self.copies[target as usize]
                             .as_mut()
                             .unwrap()
-                            .copy_values_from_plan(&src_data, &plan);
+                            .copy_values_from_plan(&src_data, &planned.plan);
                         self.copies[src as usize] = Some(src_data);
                     }
                     (Some(_), true) => {
@@ -359,6 +401,39 @@ mod tests {
         a.remap(&mut m, 0, &keep, false);
         assert_eq!(m.stats.remaps_performed, performed + 1);
         assert_eq!(a.get(&[7]), 14.0);
+    }
+
+    #[test]
+    fn remap_loop_plans_once_per_direction() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| p[0] as f64);
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        for i in 0..10 {
+            a.remap(&mut m, 1, &keep, false);
+            a.set(&[0], i as f64); // stale the other copy: every remap moves data
+            a.remap(&mut m, 0, &keep, false);
+            a.set(&[1], i as f64);
+        }
+        assert_eq!(m.stats.remaps_performed, 20);
+        // The loop planned exactly once per direction; all later
+        // remaps reused the cached plan + schedule.
+        assert_eq!(m.stats.plans_computed, 2);
+        assert_eq!(m.stats.plan_cache_hits, 18);
+    }
+
+    #[test]
+    fn remap_accounts_caterpillar_schedule() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| p[0] as f64);
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
+        // block(4) -> cyclic over 4 procs: all-to-all, 12 messages in 3
+        // contention-free rounds; totals match the plan exactly.
+        let planned = a.planned(&mut m, 0, 1);
+        assert_eq!(m.stats.messages, planned.plan.total_messages());
+        assert_eq!(m.stats.bytes, planned.plan.total_bytes());
+        assert_eq!(planned.schedule.n_rounds(), 3);
+        // Local elements are credited from the schedule.
+        assert_eq!(m.stats.local_elements, planned.plan.local_elements);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! ([`crate::redist::dim_contributions`]) and copies whole contiguous
 //! runs with `copy_from_slice`, instead of routing every element
 //! through a heap-allocated point and per-dimension binary searches.
+//! Result extraction ([`VersionData::to_dense`]) walks canonical blocks
+//! the same run-level way — no per-element owner computation.
 
 use hpfc_mapping::{intervals::intersect_runs, NormalizedMapping};
 
@@ -270,9 +272,75 @@ impl VersionData {
     }
 
     /// Gather the full array into a dense row-major vector (verification
-    /// helper).
+    /// helper, and the interpreter's result-extraction path).
+    ///
+    /// Walks each canonical block's storage directly — outer dimensions
+    /// index by index, the contiguous innermost runs with
+    /// `copy_from_slice` — instead of routing every element through
+    /// [`VersionData::get`] (per-point owner computation plus a binary
+    /// search per dimension). Extraction is O(runs) per local row and
+    /// allocates nothing per element. Replicas beyond the canonical one
+    /// (coordinate 0 on replicated axes) hold identical values by the
+    /// storage invariants and are skipped.
     pub fn to_dense(&self) -> Vec<f64> {
-        self.mapping.array_extents.points().map(|p| self.get(&p)).collect()
+        let ext = &self.mapping.array_extents;
+        let rank = ext.rank();
+        let mut out = vec![0.0; ext.volume() as usize];
+        if rank == 0 {
+            if !out.is_empty() {
+                out[0] = self.get(&[]);
+            }
+            return out;
+        }
+        // Dense row-major strides of the global array.
+        let mut stride = vec![1u64; rank];
+        for d in (0..rank - 1).rev() {
+            stride[d] = stride[d + 1] * ext.extent(d + 1);
+        }
+        let last = rank - 1;
+        for (r, block) in self.blocks.iter().enumerate() {
+            let Some(block) = block else { continue };
+            if block.data.is_empty() {
+                continue;
+            }
+            // Skip non-canonical replicas (identical contents).
+            let coords = self.mapping.grid_shape.delinearize(r as u64);
+            let canonical = self.mapping.axes.iter().enumerate().all(|(a, ax)| {
+                !matches!(ax.source, hpfc_mapping::DimSource::Replicated) || coords[a] == 0
+            });
+            if !canonical {
+                continue;
+            }
+            let rows: usize = block.dims[..last].iter().map(|l| l.len()).product();
+            let row_len = block.dims[last].len();
+            let list = &block.dims[last];
+            let mut pos = vec![0usize; last];
+            for row in 0..rows {
+                let base: u64 =
+                    (0..last).map(|d| block.dims[d][pos[d]] * stride[d]).sum();
+                let data = &block.data[row * row_len..(row + 1) * row_len];
+                // Copy maximal contiguous stretches of the innermost
+                // owned-index list as whole runs.
+                let mut i = 0usize;
+                while i < row_len {
+                    let mut j = i + 1;
+                    while j < row_len && list[j] == list[j - 1] + 1 {
+                        j += 1;
+                    }
+                    let at = (base + list[i]) as usize;
+                    out[at..at + (j - i)].copy_from_slice(&data[i..j]);
+                    i = j;
+                }
+                for d in (0..last).rev() {
+                    pos[d] += 1;
+                    if pos[d] < block.dims[d].len() {
+                        break;
+                    }
+                    pos[d] = 0;
+                }
+            }
+        }
+        out
     }
 }
 

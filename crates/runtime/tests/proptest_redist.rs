@@ -7,7 +7,9 @@ use hpfc_mapping::{
     AlignTarget, Alignment, DimFormat, Distribution, Extents, GridId, Mapping, NormalizedMapping,
     ProcGrid, Template, TemplateId,
 };
-use hpfc_runtime::{plan_by_enumeration, plan_redistribution, Machine, VersionData};
+use hpfc_runtime::{
+    plan_by_enumeration, plan_redistribution, CommSchedule, Machine, MsgDim, VersionData,
+};
 use proptest::prelude::*;
 
 /// A random well-formed mapping of an `n0 x n1` array.
@@ -222,6 +224,57 @@ proptest! {
         let mut b = VersionData::new(dst, 8);
         b.copy_values_from(&a);
         prop_assert_eq!(a.to_dense(), b.to_dense());
+    }
+
+    /// The run-level dense extraction equals the per-point `get` path
+    /// (the old O(n · log) implementation) over the full mapping space.
+    #[test]
+    fn rich_to_dense_matches_per_point_get(src in rich_mapping_strategy(6, 5)) {
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| (p[0] * 13 + p[1] * 3 + 2) as f64);
+        let dense = a.to_dense();
+        let per_point: Vec<f64> =
+            a.mapping.array_extents.points().map(|p| a.get(&p)).collect();
+        prop_assert_eq!(dense, per_point);
+    }
+
+    /// The message-level schedule agrees with its plan message for
+    /// message (pairs, element counts, descriptor products) and its
+    /// caterpillar rounds partition the messages contention-free.
+    #[test]
+    fn rich_schedule_matches_plan(
+        src in rich_mapping_strategy(9, 7),
+        dst in rich_mapping_strategy(9, 7),
+    ) {
+        let plan = plan_redistribution(&src, &dst, 8);
+        let s = CommSchedule::from_plan(&plan);
+        prop_assert_eq!(s.messages.len() as u64, plan.total_messages());
+        for (m, t) in s.messages.iter().zip(&plan.transfers) {
+            prop_assert_eq!((m.from, m.to, m.elements), (t.from, t.to, t.elements));
+            prop_assert_eq!(m.dims.iter().map(MsgDim::count).product::<u64>(), m.elements);
+        }
+        // Rounds: every message exactly once, at most one partner per
+        // rank per round.
+        let mut seen = vec![false; s.messages.len()];
+        for round in &s.rounds {
+            let mut partner = std::collections::BTreeMap::new();
+            for &i in round {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+                let m = &s.messages[i];
+                for (me, other) in [(m.from, m.to), (m.to, m.from)] {
+                    let p = partner.entry(me).or_insert(other);
+                    prop_assert_eq!(*p, other);
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+        // Costing the schedule books exactly the plan's traffic.
+        let mut m = Machine::new(16);
+        m.account_schedule(&s);
+        prop_assert_eq!(m.stats.bytes, plan.total_bytes());
+        prop_assert_eq!(m.stats.messages, plan.total_messages());
+        prop_assert_eq!(m.stats.local_elements, plan.local_elements);
     }
 }
 

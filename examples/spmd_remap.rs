@@ -1,0 +1,38 @@
+//! Message-level SPMD codegen, end to end: compile a 2-D block-cyclic
+//! remap, print the generated static program (per-pair packed send/recv
+//! loops, caterpillar rounds), then execute it and report the simulated
+//! communication — the README's worked example.
+//!
+//! Run with: `cargo run --example spmd_remap`
+
+use hpfc::{compile, execute, CompileOptions, ExecConfig};
+
+const SRC: &str = "\
+subroutine demo
+  real :: a(8, 8)
+!hpf$ processors p(2, 2)
+!hpf$ dynamic a
+!hpf$ distribute a(block, block) onto p
+  a = 1.0
+!hpf$ redistribute a(cyclic(2), cyclic) onto p
+  x = a(3, 3)
+end subroutine
+";
+
+fn main() {
+    let compiled = compile(SRC, &CompileOptions::default()).expect("compiles");
+    let program = &compiled.main().program;
+
+    println!("=== generated static program ===");
+    println!("{}", hpfc::codegen::render::program_text(program));
+
+    let result = execute(&compiled.programs(), "demo", ExecConfig::default());
+    println!("=== simulated execution ===");
+    println!("remaps performed:   {}", result.stats.remaps_performed);
+    println!("messages:           {}", result.stats.messages);
+    println!("bytes on the wire:  {}", result.stats.bytes);
+    println!("local elements:     {}", result.stats.local_elements);
+    println!("plans computed:     {}", result.stats.plans_computed);
+    println!("simulated time:     {:.1} us", result.stats.time_us);
+    println!("peak memory/proc:   {} bytes", result.peak_mem_bytes);
+}

@@ -101,10 +101,12 @@ fn fig6_status_resolves_ambiguous_state_both_paths() {
     .unwrap();
     assert!(res.stats.remaps_performed > 0);
     // The final remap must have both reaching versions in its guarded
-    // copy code (Fig. 20).
+    // copy code (Fig. 20) — each arm is a message-level schedule, not a
+    // whole-array copy statement.
     let text = hpfc::codegen::render::program_text(&compiled.main().program);
-    assert!(text.contains("if (status_a == 0) a_2 = a_0"), "{text}");
-    assert!(text.contains("if (status_a == 1) a_2 = a_1"), "{text}");
+    assert!(text.contains("if (status_a == 0) then  ! a_0 -> a_2"), "{text}");
+    assert!(text.contains("if (status_a == 1) then  ! a_1 -> a_2"), "{text}");
+    assert!(!text.contains("a_2 = a_0"), "whole-array copies are gone: {text}");
 }
 
 /// Fig. 13 variant with the branch driven by a scalar dummy so both
@@ -286,18 +288,25 @@ fn fig20_golden_copy_code() {
     }
     let op = last_remap(&p.body).expect("a remap in the body");
     let text = hpfc::codegen::render::remap_text(p, op);
-    let expected = "\
+    // The Fig. 20 guard skeleton survives; each copy arm is now a
+    // message-level caterpillar schedule.
+    let expected_head = "\
 if (status_a /= 2) then
   allocate a_2 if needed
   if (.not. live_a(2)) then
-    if (status_a == 0) a_2 = a_0
-    if (status_a == 1) a_2 = a_1
-    live_a(2) = .true.
-  endif
-  status_a = 2
-endif
+    if (status_a == 0) then  ! a_0 -> a_2: 6 message(s), 96 byte(s), 3 round(s)
+      copy local runs a_0 \u{2229} a_2 across ranks (4 element(s) total, no communication)
+      round 1:
 ";
-    assert!(text.starts_with(expected), "generated:\n{text}\nexpected prefix:\n{expected}");
+    assert!(
+        text.starts_with(expected_head),
+        "generated:\n{text}\nexpected prefix:\n{expected_head}"
+    );
+    // Both arms present, guard closes, and no whole-array copies remain.
+    assert!(text.contains("if (status_a == 1) then  ! a_1 -> a_2"), "{text}");
+    assert!(text.contains("send sbuf"), "{text}");
+    assert!(text.contains("recv rbuf"), "{text}");
+    assert!(!text.contains("a_2 = a_0") && !text.contains("a_2 = a_1"), "{text}");
 }
 
 #[test]

@@ -1,0 +1,136 @@
+//! Golden-output tests for the message-level SPMD code generation: a
+//! strided 2-D remap must render as per-pair packed send/recv loops
+//! (never whole-array copy statements), and the executed caterpillar
+//! schedule must match the redistribution plan message for message.
+
+use hpfc::codegen::ir::{RemapOp, SStmt};
+use hpfc::{compile, CompileOptions};
+
+/// A 2-D array aligned with stride 2 into a template, remapped from a
+/// BLOCK row distribution to a wrapping CYCLIC(2) one: the paper's
+/// Fig. 19/20 situation with genuinely strided periodic ownership.
+const STRIDED_2D: &str = "\
+subroutine spmd2d
+  real :: a(4, 8)
+!hpf$ processors p(2)
+!hpf$ template t(8, 8)
+!hpf$ dynamic t
+!hpf$ align a(i, j) with t(2*i, j)
+!hpf$ distribute t(block, *) onto p
+  a = 1.0
+!hpf$ redistribute t(cyclic(2), *) onto p
+  x = a(2, 2)
+end subroutine
+";
+
+fn first_remap(body: &[SStmt]) -> Option<&RemapOp> {
+    for s in body {
+        match s {
+            SStmt::Remap(op) => return Some(op),
+            SStmt::If { then_body, else_body, .. } => {
+                if let Some(op) = first_remap(then_body).or_else(|| first_remap(else_body)) {
+                    return Some(op);
+                }
+            }
+            SStmt::Do { body, .. } => {
+                if let Some(op) = first_remap(body) {
+                    return Some(op);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[test]
+fn strided_2d_remap_renders_packed_send_recv_loops() {
+    let compiled = compile(STRIDED_2D, &CompileOptions::default()).unwrap();
+    let p = &compiled.units["spmd2d"].program;
+    let op = first_remap(&p.body).expect("the redistribution's remap");
+    let text = hpfc::codegen::render::remap_text(p, op);
+    let expected = "\
+if (status_a /= 1) then
+  allocate a_1 if needed
+  if (.not. live_a(1)) then
+    if (status_a == 0) then  ! a_0 -> a_1: 2 message(s), 128 byte(s), 1 round(s)
+      copy local runs a_0 \u{2229} a_1 across ranks (16 element(s) total, no communication)
+      round 1:
+        p0 -> p1: 8 element(s), 64 byte(s)
+          on p0:  ! pack
+            k = 0
+            do (lo0, hi0) in runs(d0: {[0,2)} \u{2229} {[1,2)+2k})
+              do i0 = lo0, hi0-1
+                do (lo1, hi1) in runs(d1: {[0,8)} \u{2229} {[0,8)})
+                  sbuf(k : k+hi1-lo1) = a_0(pos_0(i0, lo1) : pos_0(i0, hi1)); k += hi1-lo1
+            send sbuf(0:8) -> p1  ! 64 bytes
+          on p1:  ! unpack
+            recv rbuf(0:8) <- p0  ! 64 bytes
+            k = 0
+            do (lo0, hi0) in runs(d0: {[0,2)} \u{2229} {[1,2)+2k})
+              do i0 = lo0, hi0-1
+                do (lo1, hi1) in runs(d1: {[0,8)} \u{2229} {[0,8)})
+                  a_1(pos_1(i0, lo1) : pos_1(i0, hi1)) = rbuf(k : k+hi1-lo1); k += hi1-lo1
+        p1 -> p0: 8 element(s), 64 byte(s)
+          on p1:  ! pack
+            k = 0
+            do (lo0, hi0) in runs(d0: {[2,4)} \u{2229} {[0,1)+2k})
+              do i0 = lo0, hi0-1
+                do (lo1, hi1) in runs(d1: {[0,8)} \u{2229} {[0,8)})
+                  sbuf(k : k+hi1-lo1) = a_0(pos_0(i0, lo1) : pos_0(i0, hi1)); k += hi1-lo1
+            send sbuf(0:8) -> p0  ! 64 bytes
+          on p0:  ! unpack
+            recv rbuf(0:8) <- p1  ! 64 bytes
+            k = 0
+            do (lo0, hi0) in runs(d0: {[2,4)} \u{2229} {[0,1)+2k})
+              do i0 = lo0, hi0-1
+                do (lo1, hi1) in runs(d1: {[0,8)} \u{2229} {[0,8)})
+                  a_1(pos_1(i0, lo1) : pos_1(i0, hi1)) = rbuf(k : k+hi1-lo1); k += hi1-lo1
+    endif
+    live_a(1) = .true.
+  endif
+  status_a = 1
+endif
+if (live_a(0)) then
+  free a_0
+  live_a(0) = .false.
+endif
+";
+    assert_eq!(text, expected);
+    // Structural guarantees the golden string encodes, stated
+    // explicitly: per-pair messages, no whole-array copy statements.
+    assert!(!text.contains("a_1 = a_0"));
+    assert!(text.matches("send sbuf").count() == 2 && text.matches("recv rbuf").count() == 2);
+}
+
+#[test]
+fn schedule_costing_matches_plan_message_for_message() {
+    let compiled = compile(STRIDED_2D, &CompileOptions::default()).unwrap();
+    let p = &compiled.units["spmd2d"].program;
+    let op = first_remap(&p.body).expect("remap");
+    assert_eq!(op.copies.len(), 1, "one reaching source");
+    let sched = &op.copies[0].schedule;
+
+    // Recompute the plan independently and compare pair by pair.
+    let decl = p.array(op.array);
+    let plan = hpfc::runtime::plan_redistribution(
+        &decl.versions[op.copies[0].src as usize],
+        &decl.versions[op.target as usize],
+        decl.elem_size,
+    );
+    assert_eq!(sched.messages.len() as u64, plan.total_messages());
+    for (m, t) in sched.messages.iter().zip(&plan.transfers) {
+        assert_eq!((m.from, m.to, m.elements), (t.from, t.to, t.elements));
+    }
+    assert_eq!(sched.total_bytes(), plan.total_bytes());
+    assert_eq!(sched.local_elements, plan.local_elements);
+
+    // Costing the caterpillar schedule books exactly the plan's
+    // messages and bytes, round by contention-free round.
+    let mut m = hpfc::Machine::new(p.nprocs);
+    let t = m.account_schedule(sched);
+    assert!(t > 0.0);
+    assert_eq!(m.stats.messages, plan.total_messages());
+    assert_eq!(m.stats.bytes, plan.total_bytes());
+    assert_eq!(m.stats.local_elements, plan.local_elements);
+}
