@@ -6,22 +6,11 @@
 //! block-level runs, not elements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hpfc::mapping::{
-    Alignment, DimFormat, Distribution, Extents, GridId, Mapping, NormalizedMapping, ProcGrid,
-    Template, TemplateId,
+use hpfc::mapping::{testing::mapping_1d as mk, DimFormat};
+use hpfc::runtime::{
+    plan_by_enumeration, plan_redistribution, ArrayRt, CommSchedule, CopyProgram, ExecMode,
+    Machine, VersionData,
 };
-use hpfc::runtime::{plan_by_enumeration, plan_redistribution, ArrayRt, Machine, VersionData};
-
-fn mk(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
-    let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n]) };
-    let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p]) };
-    Mapping {
-        align: Alignment::identity(TemplateId(0), 1),
-        dist: Distribution::new(GridId(0), vec![fmt]),
-    }
-    .normalize(&Extents::new(&[n]), &t, &g)
-    .unwrap()
-}
 
 fn bench_plan_closed_form(c: &mut Criterion) {
     let mut g = c.benchmark_group("redist/plan_closed_form");
@@ -62,20 +51,63 @@ fn bench_plan_oracle(c: &mut Criterion) {
     g.finish();
 }
 
+/// The copy engines head to head on steady-state movement (destination
+/// preallocated, plan/program precomputed — the cache-hit remap path):
+/// `tables` is the PR-2 descriptor-table engine (positions re-derived
+/// per copy via `count_below`); `program_tK` replays the compiled
+/// `CopyProgram` serially (`t1`) or with K scoped workers per
+/// caterpillar round. BLOCK → CYCLIC(1) is the engine's worst case —
+/// every run degrades to a single element.
 fn bench_data_movement(c: &mut Criterion) {
     let mut g = c.benchmark_group("redist/data_movement");
-    for n in [1024u64, 16384] {
+    for n in [1024u64, 16384, 262144, 4194304] {
         let src = mk(n, 16, DimFormat::Block(None));
         let dst = mk(n, 16, DimFormat::Cyclic(None));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        let program = CopyProgram::try_compile(&plan, &schedule).expect("compiles");
         let mut a = VersionData::new(src, 8);
         a.fill(|p| p[0] as f64);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, dst), |b, (a, d)| {
+        let mut t = VersionData::new(dst, 8);
+        g.bench_function(BenchmarkId::new("tables", n), |b| {
             b.iter(|| {
-                let mut t = VersionData::new(d.clone(), 8);
-                t.copy_values_from(a);
-                std::hint::black_box(t)
+                t.copy_values_from_plan(&a, &plan);
+                std::hint::black_box(&t);
             })
         });
+        for threads in [1usize, 2, 4] {
+            let mode =
+                if threads == 1 { ExecMode::Serial } else { ExecMode::Parallel(threads) };
+            g.bench_function(BenchmarkId::new(format!("program_t{threads}"), n), |b| {
+                b.iter(|| {
+                    t.copy_values_from_program(&a, &program, mode);
+                    std::hint::black_box(&t);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The one-time cost the replay path buys its zero-per-copy price
+/// with: compiling a plan + schedule into the flat triple program.
+/// O(total runs) — the compiled artifact *is* the data movement, so
+/// this scales with the extent, but it is paid once per (src, dst)
+/// version pair and amortized over every later remap.
+fn bench_copy_program_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist/copy_program_compile");
+    for n in [16384u64, 262144, 4194304] {
+        let src = mk(n, 16, DimFormat::Block(None));
+        let dst = mk(n, 16, DimFormat::Cyclic(Some(4)));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(plan, schedule),
+            |b, (plan, schedule)| {
+                b.iter(|| std::hint::black_box(CopyProgram::try_compile(plan, schedule)))
+            },
+        );
     }
     g.finish();
 }
@@ -139,6 +171,7 @@ criterion_group!(
     bench_plan_hyperperiod,
     bench_plan_oracle,
     bench_data_movement,
+    bench_copy_program_compile,
     bench_procs_sweep,
     bench_remap_loop_caching
 );

@@ -2,10 +2,11 @@
 //! program with copies between differently mapped arrays" (Sec. 2).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use hpfc_lang::ast::{Expr, Intent, LValue};
 use hpfc_mapping::{ArrayId, NormalizedMapping};
-use hpfc_runtime::CommSchedule;
+use hpfc_runtime::{CommSchedule, PlannedRemap};
 
 /// One array of the static program with all its versions.
 #[derive(Debug, Clone)]
@@ -34,16 +35,21 @@ pub struct ArrayDecl {
 /// iterator, and the whole set ordered into contention-free caterpillar
 /// rounds.
 ///
-/// The schedule is the *same* [`CommSchedule`] structure the runtime
-/// executes ([`hpfc_runtime::ArrayRt::remap`] via
-/// [`hpfc_runtime::Machine::account_schedule`]), so the rendered SPMD
-/// code and the simulated communication can never disagree.
+/// The attached [`PlannedRemap`] is the *same* plan + schedule +
+/// compiled [`hpfc_runtime::CopyProgram`] triple the runtime caches
+/// ([`hpfc_runtime::ArrayRt::plan_cache`]): the interpreter seeds the
+/// per-array cache from these `Arc`s
+/// ([`hpfc_runtime::ArrayRt::seed_plan`]), so executing a lowered
+/// program replans **nothing** at run time and the rendered SPMD code,
+/// the costed schedule, and the replayed copy program are one object
+/// end to end.
 ///
 /// ```
+/// use std::sync::Arc;
 /// use hpfc_codegen::ir::SpmdCopy;
 /// use hpfc_mapping::{Alignment, DimFormat, Distribution, Extents, GridId, Mapping,
 ///                    ProcGrid, Template, TemplateId};
-/// use hpfc_runtime::{plan_redistribution, CommSchedule};
+/// use hpfc_runtime::{plan_redistribution, PlannedRemap};
 ///
 /// let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[16]) };
 /// let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[4]) };
@@ -53,19 +59,40 @@ pub struct ArrayDecl {
 /// }.normalize(&Extents::new(&[16]), &t, &g).unwrap();
 ///
 /// let plan = plan_redistribution(&mk(DimFormat::Block(None)), &mk(DimFormat::Cyclic(None)), 8);
-/// let copy = SpmdCopy { src: 0, schedule: CommSchedule::from_plan(&plan) };
-/// assert_eq!(copy.schedule.messages.len(), 12); // all-to-all minus the diagonal
-/// assert_eq!(copy.schedule.n_rounds(), 3);      // caterpillar: contention-free rounds
+/// let copy = SpmdCopy { src: 0, planned: Arc::new(PlannedRemap::compile(plan)) };
+/// assert_eq!(copy.schedule().messages.len(), 12); // all-to-all minus the diagonal
+/// assert_eq!(copy.schedule().n_rounds(), 3);      // caterpillar: contention-free rounds
+/// let program = copy.planned.program.as_ref().unwrap();
+/// assert_eq!(program.n_elements(), 16);           // every element delivered once
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SpmdCopy {
     /// The source version this copy reads from (the `status == src`
     /// guard arm of Fig. 20).
     pub src: u32,
-    /// Per-pair packed messages in caterpillar rounds, with the
-    /// per-dimension periodic descriptors driving each pack loop.
-    pub schedule: CommSchedule,
+    /// The compile-time-planned remapping: plan, caterpillar schedule,
+    /// and compiled copy program, shared by `Arc` with the runtime
+    /// cache seeding.
+    pub planned: Arc<PlannedRemap>,
 }
+
+impl SpmdCopy {
+    /// The per-pair packed messages in caterpillar rounds, with the
+    /// per-dimension periodic descriptors driving each pack loop.
+    pub fn schedule(&self) -> &CommSchedule {
+        &self.planned.schedule
+    }
+}
+
+impl PartialEq for SpmdCopy {
+    fn eq(&self, other: &Self) -> bool {
+        // The schedule determines the copy (the plan is its preimage,
+        // the program its compiled form).
+        self.src == other.src && self.planned.schedule == other.planned.schedule
+    }
+}
+
+impl Eq for SpmdCopy {}
 
 /// An explicit remapping operation — one (vertex, array) slot of the
 /// remapping graph, compiled per Fig. 19.
@@ -201,24 +228,49 @@ impl StaticProgram {
         &self.arrays[a.0 as usize]
     }
 
-    /// Total number of `Remap` statements (static count).
-    pub fn count_remaps(&self) -> usize {
-        fn go(body: &[SStmt], n: &mut usize) {
+    /// Visit every statement of the program (body and exit block, all
+    /// nesting levels, pre-order) — the single traversal behind
+    /// [`StaticProgram::for_each_remap`] and
+    /// [`StaticProgram::count_remaps`], so a future statement kind
+    /// with a nested body only needs its recursion added here.
+    pub fn for_each_stmt(&self, mut f: impl FnMut(&SStmt)) {
+        fn go(body: &[SStmt], f: &mut impl FnMut(&SStmt)) {
             for s in body {
+                f(s);
                 match s {
-                    SStmt::Remap(_) | SStmt::RestoreStatus { .. } => *n += 1,
                     SStmt::If { then_body, else_body, .. } => {
-                        go(then_body, n);
-                        go(else_body, n);
+                        go(then_body, f);
+                        go(else_body, f);
                     }
-                    SStmt::Do { body, .. } => go(body, n),
+                    SStmt::Do { body, .. } => go(body, f),
                     _ => {}
                 }
             }
         }
+        go(&self.body, &mut f);
+        go(&self.exit_block, &mut f);
+    }
+
+    /// Visit every [`RemapOp`] of the program — the interpreter uses
+    /// this to seed each array's runtime plan cache from the
+    /// compile-time plans before execution starts.
+    pub fn for_each_remap(&self, mut f: impl FnMut(&RemapOp)) {
+        self.for_each_stmt(|s| {
+            if let SStmt::Remap(op) = s {
+                f(op);
+            }
+        });
+    }
+
+    /// Total number of `Remap` statements (static count; flow-dependent
+    /// restores count as one remap each).
+    pub fn count_remaps(&self) -> usize {
         let mut n = 0;
-        go(&self.body, &mut n);
-        go(&self.exit_block, &mut n);
+        self.for_each_stmt(|s| {
+            if matches!(s, SStmt::Remap(_) | SStmt::RestoreStatus { .. }) {
+                n += 1;
+            }
+        });
         n
     }
 }

@@ -11,7 +11,8 @@ use hpfc_rgraph::build::{Rg, VertexId};
 use hpfc_rgraph::label::{Leaving, UseInfo};
 
 use hpfc_mapping::VersionId;
-use hpfc_runtime::{plan_redistribution, CommSchedule};
+use hpfc_runtime::{plan_redistribution, PlannedRemap};
+use std::sync::Arc;
 
 use crate::ir::{ArrayDecl, RemapOp, SStmt, SpmdCopy, StaticProgram};
 
@@ -188,8 +189,11 @@ impl<'a> Lowerer<'a> {
                     label.reaching.iter().map(|x| x.index).collect();
                 let no_data = label.values_dead || label.use_info == UseInfo::D;
                 // Message-level lowering: one packed send/recv schedule
-                // per data-moving source version (planned at compile
-                // time — the mapping pair is static).
+                // per data-moving source version, planned *and compiled
+                // to an executable copy program* at compile time — the
+                // mapping pair is static, and the interpreter seeds the
+                // runtime plan cache from these Arcs instead of
+                // replanning.
                 let copies = if no_data {
                     Vec::new()
                 } else {
@@ -202,7 +206,7 @@ impl<'a> Lowerer<'a> {
                                 self.rg.versions.mapping_of(VersionId { array: a, index: r });
                             let dst = self.rg.versions.mapping_of(*v);
                             let plan = plan_redistribution(src, dst, elem);
-                            SpmdCopy { src: r, schedule: CommSchedule::from_plan(&plan) }
+                            SpmdCopy { src: r, planned: Arc::new(PlannedRemap::compile(plan)) }
                         })
                         .collect()
                 };

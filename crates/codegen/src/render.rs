@@ -62,7 +62,7 @@ pub fn remap_text(p: &StaticProgram, op: &RemapOp) -> String {
 /// caterpillar round with every pair's packed send/recv loops.
 pub fn spmd_copy_text(name: &str, target: u32, copy: &SpmdCopy, indent: usize) -> String {
     let pad = " ".repeat(indent);
-    let sched = &copy.schedule;
+    let sched = copy.schedule();
     let r = copy.src;
     let mut s = String::new();
     s.push_str(&format!(

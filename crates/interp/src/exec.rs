@@ -134,6 +134,21 @@ impl<'a> Executor<'a> {
             slots: vec![None; p.n_slots as usize],
             results: BTreeMap::new(),
         };
+        // Seed every array's runtime plan cache from the compile-time
+        // plans lowering attached to the remap statements: the executed
+        // schedule and copy program are the very objects codegen
+        // rendered (shared by Arc), and `NetStats::plans_computed`
+        // stays 0 for the whole lowered program (only flow-dependent
+        // RestoreStatus paths may still plan lazily).
+        p.for_each_remap(|op| {
+            for copy in &op.copies {
+                frame.arrays[op.array.0 as usize].seed_plan(
+                    copy.src,
+                    op.target,
+                    std::sync::Arc::clone(&copy.planned),
+                );
+            }
+        });
         // Dummy inputs arrive in the entry version.
         for (a, dense) in array_inputs {
             let decl = p.array(a);

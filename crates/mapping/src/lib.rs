@@ -45,6 +45,8 @@ pub mod intervals;
 pub mod layout;
 pub mod mapping;
 
+pub mod testing;
+
 pub use align::{AlignTarget, Alignment};
 pub use dist::{DimFormat, Distribution};
 pub use env::{ArrayInfo, MappingEnv, VersionTable};

@@ -1,0 +1,39 @@
+//! Test-support constructors for identity-aligned mappings.
+//!
+//! Tests and benches across the workspace all need the same fixture: a
+//! 1-D (or square 2-D) array identity-aligned to a template and
+//! distributed over a 1-D grid. Building that takes five types and a
+//! `normalize` call; this module is the one place the boilerplate
+//! lives, so a change to mapping construction touches one file instead
+//! of every test module. Not part of the public compilation API.
+
+use crate::{
+    Alignment, DimFormat, Distribution, Extents, GridId, Mapping, NormalizedMapping, ProcGrid,
+    Template, TemplateId,
+};
+
+/// An `n`-element array identity-aligned to an `n`-element template,
+/// distributed `fmt` over `p` processors.
+pub fn mapping_1d(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
+    let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n]) };
+    let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p]) };
+    Mapping {
+        align: Alignment::identity(TemplateId(0), 1),
+        dist: Distribution::new(GridId(0), vec![fmt]),
+    }
+    .normalize(&Extents::new(&[n]), &t, &g)
+    .expect("well-formed 1-D fixture mapping")
+}
+
+/// An `n × n` array identity-aligned to an `n × n` template,
+/// distributed `fmts` (one format per dimension) over `p` processors.
+pub fn mapping_2d(n: u64, p: u64, fmts: Vec<DimFormat>) -> NormalizedMapping {
+    let t = Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[n, n]) };
+    let g = ProcGrid { id: GridId(0), name: "P".into(), shape: Extents::new(&[p]) };
+    Mapping {
+        align: Alignment::identity(TemplateId(0), 2),
+        dist: Distribution::new(GridId(0), fmts),
+    }
+    .normalize(&Extents::new(&[n, n]), &t, &g)
+    .expect("well-formed 2-D fixture mapping")
+}

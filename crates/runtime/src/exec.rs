@@ -1,0 +1,554 @@
+//! Compiled copy programs: the data-movement half of a remap, resolved
+//! to flat `(src_pos, dst_pos, len)` triples once at plan time and
+//! replayed allocation-free ever after — optionally with the
+//! caterpillar rounds executed across `std::thread::scope` workers.
+//!
+//! # Before / after
+//!
+//! The block-level engine of [`crate::VersionData::copy_values_from`]
+//! already moves whole `copy_from_slice` runs, but it re-derives the
+//! *positions* of those runs on every copy: per copy it rebuilds the
+//! side-assembly tables, re-materializes every `(dimension, entry)` run
+//! vector, and calls [`PeriodicSet::count_below`] twice per run — a
+//! handful of divisions per copied run, plus `O(runs)` fresh heap
+//! allocations, on the hot path of every remap bounce. A
+//! [`CopyProgram`] does all of that exactly once, when the plan enters
+//! the per-array cache:
+//!
+//! * **compile** ([`CopyProgram::try_compile`], `O(total runs)`, once
+//!   per (source, destination) version pair): walk the same descriptor
+//!   odometer the table engine walks, but *record* each run's closed-form
+//!   local positions instead of copying — producing one flat
+//!   [`CopyRun`] list, grouped into per-(provider, receiver)
+//!   [`CopyUnit`]s;
+//! * **replay** ([`crate::VersionData::copy_values_from_program`],
+//!   every later copy): a loop of
+//!   `copy_from_slice` over the precompiled triples. No positions are
+//!   recomputed, nothing is allocated — the steady-state remap path
+//!   performs zero heap allocations (pinned by the counting-allocator
+//!   test `alloc_free.rs`).
+//!
+//! # Parallel rounds
+//!
+//! Units are grouped exactly like the [`crate::CommSchedule`]'s
+//! caterpillar rounds (plus one round-like group for the local,
+//! never-on-the-wire copies). Within a round every processor has at
+//! most one partner, so the round's receivers are pairwise distinct —
+//! each destination block is written by exactly one unit, and the round
+//! can be split across `std::thread::scope` workers without locks or
+//! aliasing ([`ExecMode::Parallel`]). The `HPFC_THREADS` environment
+//! variable picks the default mode ([`ExecMode::from_env`]); serial
+//! replay stays available so both engines are continuously tested.
+//!
+//! [`PeriodicSet::count_below`]: hpfc_mapping::PeriodicSet::count_below
+
+use std::collections::BTreeMap;
+
+use hpfc_mapping::intervals::intersect_runs;
+
+use crate::redist::{DimContribution, RedistPlan};
+use crate::schedule::CommSchedule;
+use crate::store::{LocalBlock, VersionData};
+
+/// How a [`CopyProgram`] replay runs the rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One thread replays every unit in order (allocation-free).
+    Serial,
+    /// Each round's units are split across this many scoped worker
+    /// threads (receivers within a round are disjoint, so no locks).
+    /// `Parallel(0 | 1)` degrades to [`ExecMode::Serial`].
+    Parallel(usize),
+}
+
+impl ExecMode {
+    /// The mode selected by the `HPFC_THREADS` environment variable:
+    /// unset, unparsable, `0` or `1` mean [`ExecMode::Serial`]; any
+    /// larger value means that many workers per round.
+    pub fn from_env() -> ExecMode {
+        match std::env::var("HPFC_THREADS") {
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(t) if t > 1 => ExecMode::Parallel(t),
+                _ => ExecMode::Serial,
+            },
+            Err(_) => ExecMode::Serial,
+        }
+    }
+
+    /// Worker count this mode uses.
+    pub fn threads(self) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel(t) => t.max(1),
+        }
+    }
+}
+
+/// One precompiled contiguous copy: `len` elements from local position
+/// `src_pos` of the provider's block to local position `dst_pos` of the
+/// receiver's block. Positions are `u32` deliberately — half the memory
+/// and twice the cache density of `usize` triples; blocks larger than
+/// `u32::MAX` elements make [`CopyProgram::try_compile`] decline (the
+/// table engine then serves as the fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyRun {
+    /// Element offset in the provider's local data.
+    pub src_pos: u32,
+    /// Element offset in the receiver's local data.
+    pub dst_pos: u32,
+    /// Run length in elements.
+    pub len: u32,
+}
+
+/// All runs of one (provider, receiver) pair: `runs` is a half-open
+/// index range into [`CopyProgram::runs`]. Local units have
+/// `provider == receiver` (the receiver already holds the elements
+/// under the source mapping); remote units correspond one-to-one to the
+/// schedule's packed messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyUnit {
+    /// Rank whose *source-version* block is read.
+    pub provider: u64,
+    /// Rank whose *destination-version* block is written.
+    pub receiver: u64,
+    /// Half-open range into the program's flat run list.
+    pub runs: (u32, u32),
+    /// Total elements this unit moves (the load-balancing weight).
+    pub elements: u64,
+}
+
+/// A compiled copy program: the executable form of one redistribution's
+/// data movement. Built once per (source, destination) version pair and
+/// cached in [`crate::ArrayRt::plan_cache`] (or attached at compile
+/// time by `hpfc-codegen`'s lowering), then replayed by
+/// [`crate::VersionData::copy_values_from_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyProgram {
+    /// The (source, destination) mapping pair the triples were
+    /// compiled for — replay refuses to apply them to any other pair
+    /// (precompiled positions are meaningless against different block
+    /// layouts).
+    pub mappings: Box<(hpfc_mapping::NormalizedMapping, hpfc_mapping::NormalizedMapping)>,
+    /// Flat `(src_pos, dst_pos, len)` triples, unit ranges index this.
+    pub runs: Vec<CopyRun>,
+    /// Local units (`provider == receiver`), sorted by receiver — one
+    /// round-like group whose receivers are all distinct.
+    pub local: Vec<CopyUnit>,
+    /// Remote units grouped by caterpillar round (mirrors
+    /// [`CommSchedule::rounds`]); within a round receivers are
+    /// pairwise distinct, each round's units sorted by receiver.
+    pub rounds: Vec<Vec<CopyUnit>>,
+    /// Total elements delivered (local + remote, replicas counted) —
+    /// equals `plan.local_elements + plan.remote_elements()`.
+    pub total_elements: u64,
+}
+
+impl CopyProgram {
+    /// Number of precompiled runs.
+    pub fn n_runs(&self) -> u64 {
+        self.runs.len() as u64
+    }
+
+    /// Total elements the program delivers (each destination replica
+    /// counts once).
+    pub fn n_elements(&self) -> u64 {
+        self.total_elements
+    }
+
+    /// Compile the plan's descriptor tables into an executable program.
+    ///
+    /// Returns `None` when the plan cannot drive a compiled program:
+    /// it carries no descriptors (the enumeration oracle), it is a
+    /// rank-0 scalar (the replica walk is cheaper than a program), or
+    /// some local position overflows `u32` (blocks beyond 4 Gi
+    /// elements). Callers fall back to the table engine
+    /// ([`crate::VersionData::copy_values_from_plan`]).
+    pub fn try_compile(plan: &RedistPlan, schedule: &CommSchedule) -> Option<CopyProgram> {
+        let (src, dst) = plan.mappings.as_deref()?;
+        let rank = src.array_extents.rank();
+        if rank == 0 || plan.dims.len() != rank {
+            return None;
+        }
+        let mappings = Box::new((src.clone(), dst.clone()));
+        if plan.dims.iter().any(|e| e.is_empty()) {
+            // Empty array: a program with nothing to do.
+            return Some(CopyProgram {
+                mappings,
+                runs: Vec::new(),
+                local: Vec::new(),
+                rounds: Vec::new(),
+                total_elements: 0,
+            });
+        }
+        let per_dim = &plan.dims;
+
+        // Message (from, to) -> caterpillar round, from the schedule.
+        let round_of: BTreeMap<(u64, u64), usize> = schedule.round_of_pairs().collect();
+
+        // Materialize every entry's intersection runs and, per entry,
+        // the local extent of the owning block along that dimension on
+        // each side (`|src_set|` / `|dst_set|` — identical to the block
+        // dim-list lengths the storage layer allocates).
+        let n_of = |d: usize| src.array_extents.extent(d);
+        let entry_runs: Vec<Vec<Vec<(u64, u64)>>> = per_dim
+            .iter()
+            .enumerate()
+            .map(|(d, entries)| {
+                entries
+                    .iter()
+                    .map(|e| intersect_runs(&e.src_set, &e.dst_set, 0, n_of(d)).collect())
+                    .collect()
+            })
+            .collect();
+        let s_lens: Vec<Vec<u64>> =
+            per_dim.iter().map(|es| es.iter().map(|e| e.src_set.count()).collect()).collect();
+        let d_lens: Vec<Vec<u64>> =
+            per_dim.iter().map(|es| es.iter().map(|e| e.dst_set.count()).collect()).collect();
+
+        // Accumulate runs per (provider, receiver) pair — the planner's
+        // shared combination walk (rank assembly, replica fan-out,
+        // receiver self-preference live there exactly once), with the
+        // copy replaced by position recording.
+        let mut acc: BTreeMap<(u64, u64), Vec<CopyRun>> = BTreeMap::new();
+        let mut runs_ref: Vec<&[(u64, u64)]> = vec![&[]; rank];
+        let mut entries_ref: Vec<&DimContribution> = Vec::with_capacity(rank);
+        let mut s_len = vec![0u64; rank];
+        let mut d_len = vec![0u64; rank];
+        let mut fits_u32 = true;
+        crate::redist::for_each_pair_combination(src, dst, per_dim, |provider, to, idx| {
+            if !fits_u32 {
+                return;
+            }
+            entries_ref.clear();
+            for d in 0..rank {
+                entries_ref.push(&per_dim[d][idx[d]]);
+                runs_ref[d] = &entry_runs[d][idx[d]];
+                s_len[d] = s_lens[d][idx[d]];
+                d_len[d] = d_lens[d][idx[d]];
+            }
+            if record_combination(
+                &runs_ref,
+                &entries_ref,
+                &s_len,
+                &d_len,
+                acc.entry((provider, to)).or_default(),
+            )
+            .is_none()
+            {
+                fits_u32 = false;
+            }
+        });
+        if !fits_u32 {
+            return None;
+        }
+
+        // Assemble: flat run list, units partitioned into the local
+        // group and the schedule's rounds. BTreeMap iteration gives
+        // (provider, receiver) order; re-sorting each group by receiver
+        // keeps the parallel executor's block walk a single pass.
+        let total_runs: usize = acc.values().map(Vec::len).sum();
+        let mut runs = Vec::with_capacity(total_runs);
+        let mut local = Vec::new();
+        let mut rounds: Vec<Vec<CopyUnit>> = vec![Vec::new(); schedule.rounds.len()];
+        let mut total_elements = 0u64;
+        for ((provider, receiver), rs) in acc {
+            let start = u32::try_from(runs.len()).ok()?;
+            let elements: u64 = rs.iter().map(|r| r.len as u64).sum();
+            runs.extend(rs);
+            let end = u32::try_from(runs.len()).ok()?;
+            total_elements += elements;
+            let unit = CopyUnit { provider, receiver, runs: (start, end), elements };
+            if provider == receiver {
+                local.push(unit);
+            } else {
+                let r = *round_of
+                    .get(&(provider, receiver))
+                    .expect("every remote pair has a scheduled message");
+                rounds[r].push(unit);
+            }
+        }
+        for round in &mut rounds {
+            round.sort_by_key(|u| u.receiver);
+        }
+        rounds.retain(|r| !r.is_empty());
+        debug_assert_eq!(
+            total_elements,
+            plan.local_elements + plan.remote_elements(),
+            "compiled program delivers exactly the planned volume"
+        );
+        Some(CopyProgram { mappings, runs, local, rounds, total_elements })
+    }
+
+    /// Whether this program was compiled for exactly the
+    /// (`src`, `dst`) mapping pair — the guard
+    /// [`crate::VersionData::copy_values_from_program`] applies before
+    /// replaying (an allocation-free structural comparison).
+    pub fn compiled_for(&self, src: &VersionData, dst: &VersionData) -> bool {
+        self.mappings.0 == src.mapping && self.mappings.1 == dst.mapping
+    }
+
+    /// Replay the program: move every precompiled run from `src`'s
+    /// blocks into `dst`'s. The caller guarantees `dst`/`src` are the
+    /// version pair the program was compiled for (checked by
+    /// [`CopyProgram::compiled_for`] in the public entry point).
+    pub(crate) fn execute(&self, dst: &mut VersionData, src: &VersionData, mode: ExecMode) {
+        debug_assert_eq!(dst.mapping.array_extents, src.mapping.array_extents);
+        match mode {
+            ExecMode::Parallel(t) if t > 1 => self.execute_parallel(dst, src, t),
+            _ => self.execute_serial(dst, src),
+        }
+    }
+
+    /// Serial replay — the allocation-free steady-state path.
+    fn execute_serial(&self, dst: &mut VersionData, src: &VersionData) {
+        for unit in self.local.iter().chain(self.rounds.iter().flatten()) {
+            let src_block =
+                src.blocks[unit.provider as usize].as_ref().expect("provider holds the data");
+            let dst_block = dst.blocks[unit.receiver as usize]
+                .as_mut()
+                .expect("receiver allocates the data");
+            replay_unit(&self.runs, *unit, src_block, dst_block);
+        }
+    }
+
+    /// Parallel replay: per round (local group first), pair each unit
+    /// with its receiver's block in one pass over the block table —
+    /// receivers within a round are pairwise distinct, so every `&mut`
+    /// handed to a worker is unique — then split the units into
+    /// `threads` contiguous chunks balanced by element count. Rounds
+    /// below [`PARALLEL_THRESHOLD`] elements replay inline: a thread
+    /// spawn costs tens of microseconds, which only a round with real
+    /// volume can amortize.
+    fn execute_parallel(&self, dst: &mut VersionData, src: &VersionData, threads: usize) {
+        for round in std::iter::once(&self.local).chain(self.rounds.iter()) {
+            if round.is_empty() {
+                continue;
+            }
+            let total: u64 = round.iter().map(|u| u.elements).sum();
+            if total < PARALLEL_THRESHOLD {
+                for unit in round {
+                    let src_block = src.blocks[unit.provider as usize]
+                        .as_ref()
+                        .expect("provider holds the data");
+                    let dst_block = dst.blocks[unit.receiver as usize]
+                        .as_mut()
+                        .expect("receiver allocates the data");
+                    replay_unit(&self.runs, *unit, src_block, dst_block);
+                }
+                continue;
+            }
+            // Pair units (sorted by receiver) with their blocks.
+            let mut paired: Vec<(&mut LocalBlock, &CopyUnit)> = Vec::with_capacity(round.len());
+            let mut units = round.iter().peekable();
+            for (r, slot) in dst.blocks.iter_mut().enumerate() {
+                match units.peek() {
+                    Some(u) if u.receiver == r as u64 => {
+                        paired.push((slot.as_mut().expect("receiver allocates the data"), u));
+                        units.next();
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            debug_assert!(units.next().is_none(), "round receivers are sorted and distinct");
+            let target = total.div_ceil(threads as u64).max(1);
+            let runs = &self.runs;
+            std::thread::scope(|scope| {
+                let mut rest = paired;
+                while !rest.is_empty() {
+                    let mut weight = 0u64;
+                    let mut take = 0usize;
+                    while take < rest.len() && (take == 0 || weight < target) {
+                        weight += rest[take].1.elements;
+                        take += 1;
+                    }
+                    let tail = rest.split_off(take);
+                    let chunk = std::mem::replace(&mut rest, tail);
+                    scope.spawn(move || {
+                        for (dst_block, unit) in chunk {
+                            let src_block = src.blocks[unit.provider as usize]
+                                .as_ref()
+                                .expect("provider holds the data");
+                            replay_unit(runs, *unit, src_block, dst_block);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Below this many elements a round is replayed inline even in
+/// [`ExecMode::Parallel`] — the scoped-thread spawns would cost more
+/// than the copy itself.
+const PARALLEL_THRESHOLD: u64 = 1 << 15;
+
+/// Replay one unit's precompiled runs.
+#[inline]
+fn replay_unit(runs: &[CopyRun], unit: CopyUnit, src: &LocalBlock, dst: &mut LocalBlock) {
+    let (lo, hi) = unit.runs;
+    for r in &runs[lo as usize..hi as usize] {
+        let (s, d, len) = (r.src_pos as usize, r.dst_pos as usize, r.len as usize);
+        if len == 1 {
+            // Cyclic(1)-style destinations degrade every run to one
+            // element; skip the slice machinery for those.
+            dst.data[d] = src.data[s];
+        } else {
+            dst.data[d..d + len].copy_from_slice(&src.data[s..s + len]);
+        }
+    }
+}
+
+/// Record the `(src_pos, dst_pos, len)` triples of one descriptor
+/// combination — the position arithmetic of the table engine's
+/// `copy_runs`, evaluated once at compile time. `s_len`/`d_len` are the
+/// per-dimension local extents of the provider/receiver blocks
+/// (`|src_set|` / `|dst_set|` of the combination's entries). Returns
+/// `None` when a position overflows `u32`.
+fn record_combination(
+    runs_by_dim: &[&[(u64, u64)]],
+    entries: &[&DimContribution],
+    s_len: &[u64],
+    d_len: &[u64],
+    out: &mut Vec<CopyRun>,
+) -> Option<()> {
+    let rank = runs_by_dim.len();
+    let last = rank - 1;
+    let e_last = entries[last];
+    let mut push = |s_at: u64, d_at: u64, len: u64| -> Option<()> {
+        out.push(CopyRun {
+            src_pos: u32::try_from(s_at).ok()?,
+            dst_pos: u32::try_from(d_at).ok()?,
+            len: u32::try_from(len).ok()?,
+        });
+        Some(())
+    };
+    // Odometer over the outer dimensions, one global index at a time:
+    // per dimension, (run index, offset inside the run).
+    let mut cur = vec![(0usize, 0u64); last];
+    loop {
+        let mut d_pref = 0u64;
+        let mut s_pref = 0u64;
+        for d in 0..last {
+            let (ri, off) = cur[d];
+            let g = runs_by_dim[d][ri].0 + off;
+            d_pref = d_pref * d_len[d] + entries[d].dst_set.count_below(g);
+            s_pref = s_pref * s_len[d] + entries[d].src_set.count_below(g);
+        }
+        for &(lo, hi) in runs_by_dim[last] {
+            let dp = e_last.dst_set.count_below(lo);
+            let sp = e_last.src_set.count_below(lo);
+            push(s_pref * s_len[last] + sp, d_pref * d_len[last] + dp, hi - lo)?;
+        }
+        // Advance the outer odometer (innermost outer dim fastest).
+        let mut d = last;
+        loop {
+            if d == 0 {
+                return Some(());
+            }
+            d -= 1;
+            let (ref mut ri, ref mut off) = cur[d];
+            *off += 1;
+            if runs_by_dim[d][*ri].0 + *off < runs_by_dim[d][*ri].1 {
+                break;
+            }
+            *off = 0;
+            *ri += 1;
+            if *ri < runs_by_dim[d].len() {
+                break;
+            }
+            *ri = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redist::plan_redistribution;
+    use hpfc_mapping::{testing::mapping_1d as mk, DimFormat, NormalizedMapping};
+
+    fn compiled(src: &NormalizedMapping, dst: &NormalizedMapping) -> (RedistPlan, CopyProgram) {
+        let plan = plan_redistribution(src, dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        let prog = CopyProgram::try_compile(&plan, &schedule).expect("compiles");
+        (plan, prog)
+    }
+
+    #[test]
+    fn program_replays_block_to_cyclic() {
+        let src = mk(16, 4, DimFormat::Block(None));
+        let dst = mk(16, 4, DimFormat::Cyclic(None));
+        let (plan, prog) = compiled(&src, &dst);
+        assert_eq!(prog.n_elements(), plan.local_elements + plan.remote_elements());
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| p[0] as f64 + 1.0);
+        let mut b = VersionData::new(dst, 8);
+        b.copy_values_from_program(&a, &prog, ExecMode::Serial);
+        assert_eq!(a.to_dense(), b.to_dense());
+        // Parallel replay writes the identical bytes.
+        let mut c = VersionData::new(b.mapping.clone(), 8);
+        c.copy_values_from_program(&a, &prog, ExecMode::Parallel(3));
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn program_rounds_mirror_schedule_and_are_receiver_disjoint() {
+        let src = mk(60, 4, DimFormat::Cyclic(Some(3)));
+        let dst = mk(60, 5, DimFormat::Cyclic(Some(2)));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        let prog = CopyProgram::try_compile(&plan, &schedule).expect("compiles");
+        // One remote unit per scheduled message.
+        let n_units: usize = prog.rounds.iter().map(Vec::len).sum();
+        assert_eq!(n_units, schedule.messages.len());
+        for round in &prog.rounds {
+            let mut receivers: Vec<u64> = round.iter().map(|u| u.receiver).collect();
+            receivers.dedup();
+            assert_eq!(receivers.len(), round.len(), "receivers distinct within a round");
+        }
+        // Local units: one per receiver, distinct by construction.
+        let mut local: Vec<u64> = prog.local.iter().map(|u| u.receiver).collect();
+        local.dedup();
+        assert_eq!(local.len(), prog.local.len());
+    }
+
+    #[test]
+    fn threaded_replay_above_threshold_matches_serial() {
+        // Rounds of ~65k elements: well above PARALLEL_THRESHOLD, so
+        // Parallel(3) really spawns scoped workers with split blocks.
+        let n = 1u64 << 18;
+        let src = mk(n, 4, DimFormat::Block(None));
+        let dst = mk(n, 4, DimFormat::Cyclic(Some(2)));
+        let (plan, prog) = compiled(&src, &dst);
+        assert!(
+            prog.rounds.iter().any(|r| r.iter().map(|u| u.elements).sum::<u64>()
+                >= PARALLEL_THRESHOLD),
+            "test must cross the inline threshold"
+        );
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| (p[0] % 509) as f64);
+        let mut serial = VersionData::new(dst, 8);
+        serial.copy_values_from_program(&a, &prog, ExecMode::Serial);
+        let mut parallel = VersionData::new(serial.mapping.clone(), 8);
+        parallel.copy_values_from_program(&a, &prog, ExecMode::Parallel(3));
+        assert_eq!(serial, parallel);
+        assert_eq!(prog.n_elements(), plan.local_elements + plan.remote_elements());
+    }
+
+    #[test]
+    fn oracle_plans_do_not_compile() {
+        let src = mk(12, 3, DimFormat::Block(None));
+        let dst = mk(12, 3, DimFormat::Cyclic(None));
+        let plan = crate::redist::plan_by_enumeration(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        assert!(CopyProgram::try_compile(&plan, &schedule).is_none());
+    }
+
+    #[test]
+    fn exec_mode_threads() {
+        assert_eq!(ExecMode::Serial.threads(), 1);
+        assert_eq!(ExecMode::Parallel(4).threads(), 4);
+        assert_eq!(ExecMode::Parallel(0).threads(), 1);
+    }
+}

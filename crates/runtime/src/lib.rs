@@ -20,6 +20,10 @@
 //!   per-dimension interval descriptors, ordered into contention-free
 //!   caterpillar rounds that [`machine::Machine::account_schedule`]
 //!   costs round by round;
+//! * [`exec::CopyProgram`] — the schedule's data movement compiled to
+//!   flat `(src_pos, dst_pos, len)` triples at plan time, replayed
+//!   allocation-free per copy and optionally in parallel per
+//!   caterpillar round (`HPFC_THREADS` / [`exec::ExecMode`]);
 //! * [`store::VersionData`] — actual per-processor storage of array
 //!   versions, so kernels can be executed end-to-end and checked for
 //!   distribution-independent results;
@@ -31,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod machine;
 pub mod redist;
 pub mod schedule;
 pub mod status;
 pub mod store;
 
+pub use exec::{CopyProgram, CopyRun, CopyUnit, ExecMode};
 pub use machine::{CostModel, Machine, NetStats};
 pub use redist::{plan_by_enumeration, plan_redistribution, RedistPlan, Transfer};
 pub use schedule::{CommSchedule, MsgDim, PackedMessage};

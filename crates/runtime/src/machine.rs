@@ -1,5 +1,13 @@
 //! The simulated SPMD machine: processors, network cost model, exact
 //! traffic accounting, per-processor memory tracking.
+//!
+//! Accounting is allocation-free in steady state: the per-phase
+//! send/receive tallies live in a reusable [`PhaseScratch`] arena on
+//! the machine, so costing a cached remap schedule performs no heap
+//! allocation (part of the zero-allocation remap path pinned by the
+//! runtime's counting-allocator test).
+
+use crate::exec::ExecMode;
 
 /// Latency/bandwidth network model (per message: `latency_us +
 /// bytes / bandwidth_bytes_per_us`), BSP-style per-phase accounting:
@@ -54,6 +62,15 @@ pub struct NetStats {
     pub plans_computed: u64,
     /// Redistribution plans served from the per-array cache.
     pub plan_cache_hits: u64,
+    /// Payload bytes the copy engine actually wrote into destination
+    /// blocks (every delivery counts, including processor-local copies
+    /// and destination replicas) — the simulated-memory counterpart of
+    /// the wire-level `bytes`. A remap moves exactly
+    /// `(local_elements + remote_elements) × elem_size` of these.
+    pub bytes_moved: u64,
+    /// Contiguous runs the copy engine replayed (`copy_from_slice`
+    /// granularity; only engines that track runs contribute).
+    pub runs_copied: u64,
 }
 
 impl NetStats {
@@ -69,6 +86,49 @@ impl NetStats {
         self.remaps_dead_values += o.remaps_dead_values;
         self.plans_computed += o.plans_computed;
         self.plan_cache_hits += o.plan_cache_hits;
+        self.bytes_moved += o.bytes_moved;
+        self.runs_copied += o.runs_copied;
+    }
+
+    /// One-line human-readable digest (experiment drivers, examples).
+    pub fn summary(&self) -> String {
+        format!(
+            "msgs {} | wire {} B | moved {} B in {} runs | local els {} | time {:.1} µs | \
+             remaps {} (noop {}, live {}, dead {}) | plans {} (+{} cache hits)",
+            self.messages,
+            self.bytes,
+            self.bytes_moved,
+            self.runs_copied,
+            self.local_elements,
+            self.time_us,
+            self.remaps_performed,
+            self.remaps_skipped_noop,
+            self.remaps_reused_live,
+            self.remaps_dead_values,
+            self.plans_computed,
+            self.plan_cache_hits,
+        )
+    }
+}
+
+/// Reusable per-phase tallies for [`Machine::account_phase`] — grown
+/// once to the processor count, then zero-filled per phase instead of
+/// reallocated.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseScratch {
+    send_bytes: Vec<u64>,
+    recv_bytes: Vec<u64>,
+    send_msgs: Vec<u64>,
+    recv_msgs: Vec<u64>,
+}
+
+impl PhaseScratch {
+    fn reset(&mut self, n: usize) {
+        for v in [&mut self.send_bytes, &mut self.recv_bytes, &mut self.send_msgs, &mut self.recv_msgs]
+        {
+            v.resize(n, 0);
+            v[..n].fill(0);
+        }
     }
 }
 
@@ -124,17 +184,36 @@ pub struct Machine {
     pub stats: NetStats,
     /// Memory accounting.
     pub mem: MemTracker,
+    /// How compiled copy programs execute their rounds (serial replay
+    /// or scoped worker threads). Defaults to the `HPFC_THREADS`
+    /// environment variable via [`ExecMode::from_env`].
+    pub exec_mode: ExecMode,
+    /// Reusable per-phase accounting buffers.
+    scratch: PhaseScratch,
 }
 
 impl Machine {
     /// A machine with `nprocs` processors and the default cost model.
     pub fn new(nprocs: u64) -> Self {
-        Machine { nprocs, cost: CostModel::default(), stats: NetStats::default(), mem: MemTracker::default() }
+        Machine {
+            nprocs,
+            cost: CostModel::default(),
+            stats: NetStats::default(),
+            mem: MemTracker::default(),
+            exec_mode: ExecMode::from_env(),
+            scratch: PhaseScratch::default(),
+        }
     }
 
     /// A machine with a custom cost model.
     pub fn with_cost(nprocs: u64, cost: CostModel) -> Self {
-        Machine { nprocs, cost, stats: NetStats::default(), mem: MemTracker::default() }
+        Machine { cost, ..Machine::new(nprocs) }
+    }
+
+    /// Builder-style override of the copy-engine execution mode.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
     }
 
     /// Account one communication phase given per-(sender, receiver)
@@ -149,12 +228,11 @@ impl Machine {
         &mut self,
         transfers: impl IntoIterator<Item = (u64, u64, u64)>,
     ) -> f64 {
-        // (from, to, bytes); from == to entries are local copies.
+        // (from, to, bytes); from == to entries are local copies. The
+        // tallies live in the machine's scratch arena: steady-state
+        // schedule accounting allocates nothing.
         let n = self.nprocs as usize;
-        let mut send_bytes = vec![0u64; n];
-        let mut recv_bytes = vec![0u64; n];
-        let mut send_msgs = vec![0u64; n];
-        let mut recv_msgs = vec![0u64; n];
+        self.scratch.reset(n);
         for (from, to, bytes) in transfers {
             if from == to {
                 self.stats.local_elements += bytes / 8;
@@ -162,15 +240,17 @@ impl Machine {
             }
             self.stats.messages += 1;
             self.stats.bytes += bytes;
-            send_bytes[from as usize] += bytes;
-            recv_bytes[to as usize] += bytes;
-            send_msgs[from as usize] += 1;
-            recv_msgs[to as usize] += 1;
+            self.scratch.send_bytes[from as usize] += bytes;
+            self.scratch.recv_bytes[to as usize] += bytes;
+            self.scratch.send_msgs[from as usize] += 1;
+            self.scratch.recv_msgs[to as usize] += 1;
         }
         let mut phase = 0.0f64;
         for p in 0..n {
-            let t = self.cost.latency_us * (send_msgs[p] + recv_msgs[p]) as f64
-                + (send_bytes[p] + recv_bytes[p]) as f64 / self.cost.bandwidth_bytes_per_us;
+            let t = self.cost.latency_us
+                * (self.scratch.send_msgs[p] + self.scratch.recv_msgs[p]) as f64
+                + (self.scratch.send_bytes[p] + self.scratch.recv_bytes[p]) as f64
+                    / self.cost.bandwidth_bytes_per_us;
             phase = phase.max(t);
         }
         self.stats.time_us += phase;

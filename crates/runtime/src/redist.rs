@@ -370,6 +370,79 @@ pub(crate) fn receiver_holds_under_src(
         .all(|((&repl, want), &have)| repl || *want == Some(have))
 }
 
+/// The shared (sender, receiver) combination walk: the odometer over
+/// every per-dimension [`DimContribution`] combination and every
+/// replicated-destination rank offset, with the **receiver
+/// self-preference** rule applied (a receiver that already holds the
+/// combination's elements under the source mapping is its own
+/// provider — all elements of a combination share their source-owner
+/// coordinates, so one check covers them all).
+///
+/// `f(provider, receiver, idx)` is called once per (combination,
+/// destination replica); `idx[d]` selects the dimension-`d` entry of
+/// `per_dim`. At least one combination always runs, which is what
+/// makes rank-0 scalars work.
+///
+/// This single driver is what the closed-form planner
+/// ([`plan_redistribution`]), the descriptor-table copy engine
+/// (`VersionData::copy_with_tables`), and the program compiler
+/// ([`crate::CopyProgram::try_compile`]) all iterate — they cannot
+/// disagree on who provides what to whom, because the pair logic
+/// exists exactly once.
+pub(crate) fn for_each_pair_combination(
+    src: &NormalizedMapping,
+    dst: &NormalizedMapping,
+    per_dim: &[Vec<DimContribution>],
+    mut f: impl FnMut(u64, u64, &[usize]),
+) {
+    debug_assert!(per_dim.iter().all(|e| !e.is_empty()), "caller filters empty arrays");
+    let rank = per_dim.len();
+    let src_info = side_info(src);
+    let dst_info = side_info(dst);
+    let repl_offsets = replicated_offsets(dst, &dst_info.strides);
+    // Reusable scratch: the per-combination driven source coordinates
+    // (for the receiver-holds check) and the delinearization buffer.
+    let mut s_want = src_info.want.clone();
+    let mut delin = vec![0u64; src.grid_shape.rank()];
+
+    let mut idx = vec![0usize; rank];
+    loop {
+        // Current combination.
+        let mut from_base = src_info.fixed_base;
+        let mut to_base = dst_info.fixed_base;
+        for d in 0..rank {
+            let e = &per_dim[d][idx[d]];
+            if let Some((ax, c)) = e.src {
+                from_base += c * src_info.strides[ax];
+                s_want[ax] = Some(c);
+            }
+            if let Some((ax, c)) = e.dst {
+                to_base += c * dst_info.strides[ax];
+            }
+        }
+        for &off in &repl_offsets {
+            let to = to_base + off;
+            let holds =
+                receiver_holds_under_src(src, &src_info.replicated, &s_want, to, &mut delin);
+            let from = if holds { to } else { from_base };
+            f(from, to, &idx);
+        }
+        // Advance the odometer.
+        let mut d = 0;
+        loop {
+            if d == rank {
+                return;
+            }
+            idx[d] += 1;
+            if idx[d] < per_dim[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
 /// Closed-form redistribution plan between two mappings of one array.
 ///
 /// Panics if the mappings disagree on the array extents (they are
@@ -383,10 +456,7 @@ pub fn plan_redistribution(
         src.array_extents, dst.array_extents,
         "redistribution between different arrays"
     );
-    let rank = src.array_extents.rank();
     let per_dim = dim_contributions(src, dst);
-
-    let vs = src.grid_shape.volume();
     let vd = dst.grid_shape.volume();
 
     if per_dim.iter().any(|e| e.is_empty()) {
@@ -400,60 +470,14 @@ pub fn plan_redistribution(
         };
     }
 
-    let src_info = side_info(src);
-    let dst_info = side_info(dst);
-    let repl_offsets = replicated_offsets(dst, &dst_info.strides);
-
     // Dense (sender, receiver) count matrix; compacted at the end.
+    let vs = src.grid_shape.volume();
     let mut matrix = vec![0u64; (vs * vd) as usize];
-    // Reusable scratch: the per-combination driven source coordinates
-    // (for the receiver-holds check) and the delinearization buffer.
-    let mut s_want = src_info.want.clone();
-    let mut delin = vec![0u64; src.grid_shape.rank()];
-
-    let mut idx = vec![0usize; rank];
-    loop {
-        // Current combination.
-        let mut count = 1u64;
-        let mut from_base = src_info.fixed_base;
-        let mut to_base = dst_info.fixed_base;
-        for d in 0..rank {
-            let e = &per_dim[d][idx[d]];
-            count *= e.count;
-            if let Some((ax, c)) = e.src {
-                from_base += c * src_info.strides[ax];
-                s_want[ax] = Some(c);
-            }
-            if let Some((ax, c)) = e.dst {
-                to_base += c * dst_info.strides[ax];
-            }
-        }
-        for &off in &repl_offsets {
-            let to = to_base + off;
-            // Receiver self-preference: if the receiver already holds
-            // these elements under the source mapping, the copy is
-            // local. All elements of a combination share their
-            // source-owner coordinates, so one check covers them all.
-            let holds =
-                receiver_holds_under_src(src, &src_info.replicated, &s_want, to, &mut delin);
-            let from = if holds { to } else { from_base };
-            matrix[(from * vd + to) as usize] += count;
-        }
-        // Advance the odometer (at least one combination always runs,
-        // which is what makes rank-0 scalars work).
-        let mut d = 0;
-        loop {
-            if d == rank {
-                return compact(matrix, vd, elem_size, per_dim, src, dst);
-            }
-            idx[d] += 1;
-            if idx[d] < per_dim[d].len() {
-                break;
-            }
-            idx[d] = 0;
-            d += 1;
-        }
-    }
+    for_each_pair_combination(src, dst, &per_dim, |from, to, idx| {
+        let count: u64 = idx.iter().enumerate().map(|(d, &i)| per_dim[d][i].count).product();
+        matrix[(from * vd + to) as usize] += count;
+    });
+    compact(matrix, vd, elem_size, per_dim, src, dst)
 }
 
 /// Compact the dense count matrix into sorted transfers.

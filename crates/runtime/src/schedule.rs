@@ -169,6 +169,18 @@ impl CommSchedule {
             (m.from, m.to, m.bytes(self.elem_size))
         })
     }
+
+    /// Each message's (sender, receiver) pair with its caterpillar
+    /// round index — how [`crate::CopyProgram::try_compile`] assigns
+    /// compiled copy units to the round their message travels in.
+    pub fn round_of_pairs(&self) -> impl Iterator<Item = ((u64, u64), usize)> + '_ {
+        self.rounds.iter().enumerate().flat_map(move |(r, round)| {
+            round.iter().map(move |&i| {
+                let m = &self.messages[i];
+                ((m.from, m.to), r)
+            })
+        })
+    }
 }
 
 /// One dimension's contribution-entry index: entry position keyed by

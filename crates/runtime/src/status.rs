@@ -18,16 +18,20 @@ use std::sync::Arc;
 
 use hpfc_mapping::NormalizedMapping;
 
+use crate::exec::CopyProgram;
 use crate::machine::Machine;
 use crate::redist::{plan_redistribution, RedistPlan};
 use crate::schedule::CommSchedule;
 use crate::store::VersionData;
 
-/// A memoized redistribution: the closed-form plan plus its
-/// message-level caterpillar schedule, computed once per
-/// `(source version, target version)` pair and reused by every later
-/// remap between the same pair (remap loops stop replanning — the
-/// mappings of a version never change, so the plan cannot either).
+/// A memoized redistribution: the closed-form plan, its message-level
+/// caterpillar schedule, and the compiled copy program — computed once
+/// per `(source version, target version)` pair and reused by every
+/// later remap between the same pair (remap loops stop replanning —
+/// the mappings of a version never change, so the plan cannot either).
+/// Lowering (`hpfc-codegen`) builds the same triple at compile time
+/// and the interpreter seeds it into [`ArrayRt::plan_cache`] via
+/// [`ArrayRt::seed_plan`], so executed programs never replan at all.
 #[derive(Debug, Clone)]
 pub struct PlannedRemap {
     /// The communication plan (carries the interval descriptors the
@@ -36,6 +40,21 @@ pub struct PlannedRemap {
     /// The plan lowered to per-pair packed messages in caterpillar
     /// rounds — what [`Machine::account_schedule`] costs.
     pub schedule: CommSchedule,
+    /// The executable form: precompiled `(src_pos, dst_pos, len)`
+    /// triples grouped by round, replayed allocation-free by
+    /// [`VersionData::copy_values_from_program`]. `None` when the plan
+    /// cannot drive a program (rank-0 scalars, `u32` position
+    /// overflow) — the table engine is the fallback.
+    pub program: Option<CopyProgram>,
+}
+
+impl PlannedRemap {
+    /// Plan → schedule → compiled program, the whole pipeline.
+    pub fn compile(plan: RedistPlan) -> PlannedRemap {
+        let schedule = CommSchedule::from_plan(&plan);
+        let program = CopyProgram::try_compile(&plan, &schedule);
+        PlannedRemap { plan, schedule, program }
+    }
 }
 
 /// Runtime state of one dynamic array.
@@ -76,10 +95,11 @@ impl ArrayRt {
         }
     }
 
-    /// The memoized plan + schedule for remapping version `src` to
-    /// version `dst`: computed on first use, then served from the cache
-    /// (the cache is keyed by the mapping pair through the version
-    /// indices, so a remap loop plans each direction exactly once).
+    /// The memoized plan + schedule + compiled copy program for
+    /// remapping version `src` to version `dst`: computed on first use,
+    /// then served from the cache (the cache is keyed by the mapping
+    /// pair through the version indices, so a remap loop plans each
+    /// direction exactly once).
     pub fn planned(&mut self, machine: &mut Machine, src: u32, dst: u32) -> Arc<PlannedRemap> {
         if let Some(p) = self.plan_cache.get(&(src, dst)) {
             machine.stats.plan_cache_hits += 1;
@@ -90,11 +110,21 @@ impl ArrayRt {
             &self.mappings[dst as usize],
             self.elem_size,
         );
-        let schedule = CommSchedule::from_plan(&plan);
         machine.stats.plans_computed += 1;
-        let entry = Arc::new(PlannedRemap { plan, schedule });
+        let entry = Arc::new(PlannedRemap::compile(plan));
         self.plan_cache.insert((src, dst), Arc::clone(&entry));
         entry
+    }
+
+    /// Seed the plan cache with a remapping planned elsewhere —
+    /// lowering plans every (reaching source, target) pair at compile
+    /// time and the interpreter hands those `Arc`s straight in, so
+    /// executing a lowered program computes **zero** plans at run time
+    /// (`NetStats::plans_computed` stays 0) and the executed schedule
+    /// is *structurally* the one the code generator rendered. An
+    /// already-cached pair is kept (same mapping pair ⇒ same plan).
+    pub fn seed_plan(&mut self, src: u32, dst: u32, planned: Arc<PlannedRemap>) {
+        self.plan_cache.entry((src, dst)).or_insert(planned);
     }
 
     /// Ensure version `v` has storage (lazy allocation, with memory
@@ -173,7 +203,7 @@ impl ArrayRt {
                 match (self.status, values_dead) {
                     (Some(src), false) => {
                         // The actual remapping communication: the
-                        // cached plan drives the block-level copy, its
+                        // cached compiled program drives the copy, its
                         // caterpillar schedule the time accounting.
                         let planned = self.planned(machine, src, target);
                         machine.account_schedule(&planned.schedule);
@@ -184,12 +214,21 @@ impl ArrayRt {
                         let src_data = self.copies[src as usize]
                             .take()
                             .expect("status copy is allocated");
-                        // The plan already carries the interval
-                        // descriptors; the copy engine reuses them.
-                        self.copies[target as usize]
-                            .as_mut()
-                            .unwrap()
-                            .copy_values_from_plan(&src_data, &planned.plan);
+                        let dst_data = self.copies[target as usize].as_mut().unwrap();
+                        // Replay the compiled program (allocation-free;
+                        // parallel rounds under ExecMode::Parallel);
+                        // fall back to the descriptor tables when no
+                        // program could be compiled.
+                        let (runs, elements) = match &planned.program {
+                            Some(prog) => dst_data.copy_values_from_program(
+                                &src_data,
+                                prog,
+                                machine.exec_mode,
+                            ),
+                            None => dst_data.copy_values_from_plan(&src_data, &planned.plan),
+                        };
+                        machine.stats.runs_copied += runs;
+                        machine.stats.bytes_moved += elements * self.elem_size;
                         self.copies[src as usize] = Some(src_data);
                     }
                     (Some(_), true) => {
@@ -434,6 +473,46 @@ mod tests {
         assert_eq!(planned.schedule.n_rounds(), 3);
         // Local elements are credited from the schedule.
         assert_eq!(m.stats.local_elements, planned.plan.local_elements);
+    }
+
+    #[test]
+    fn remap_moves_exactly_the_planned_byte_volume() {
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| p[0] as f64);
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
+        let planned = a.planned(&mut m, 0, 1);
+        // The engine wrote exactly the plan's deliveries (local +
+        // remote), and the compiled program predicted its run count.
+        let expected =
+            (planned.plan.local_elements + planned.plan.remote_elements()) * a.elem_size;
+        assert_eq!(m.stats.bytes_moved, expected);
+        let prog = planned.program.as_ref().expect("1-D plan compiles");
+        assert_eq!(m.stats.runs_copied, prog.n_runs());
+        assert_eq!(prog.n_elements() * a.elem_size, expected);
+        // Merging stats folds the movement counters too.
+        let mut folded = crate::NetStats::default();
+        folded.merge(&m.stats);
+        folded.merge(&m.stats);
+        assert_eq!(folded.bytes_moved, 2 * expected);
+        assert_eq!(folded.runs_copied, 2 * prog.n_runs());
+        assert!(m.stats.summary().contains("moved"));
+    }
+
+    #[test]
+    fn parallel_and_serial_remaps_agree() {
+        let run = |mode: crate::ExecMode| {
+            let (m, mut a) = rt();
+            let mut m = m.with_exec_mode(mode);
+            a.current(&mut m, 0).fill(|p| (3 * p[0] + 1) as f64);
+            let keep: BTreeSet<u32> = [0u32, 1, 2].into_iter().collect();
+            a.remap(&mut m, 1, &keep, false);
+            a.set(&[2], 9.0);
+            a.remap(&mut m, 2, &keep, false);
+            a.set(&[3], 11.0);
+            a.remap(&mut m, 0, &keep, false);
+            (0..16).map(|i| a.get(&[i])).collect::<Vec<_>>()
+        };
+        assert_eq!(run(crate::ExecMode::Serial), run(crate::ExecMode::Parallel(4)));
     }
 
     #[test]

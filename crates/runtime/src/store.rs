@@ -13,6 +13,11 @@
 //! ([`crate::redist::dim_contributions`]) and copies whole contiguous
 //! runs with `copy_from_slice`, instead of routing every element
 //! through a heap-allocated point and per-dimension binary searches.
+//! The cached remap path goes further:
+//! [`VersionData::copy_values_from_program`] replays a compiled
+//! [`crate::CopyProgram`] whose positions were all resolved at plan
+//! time — zero allocations per copy, optionally parallel per
+//! caterpillar round (see [`crate::exec`]).
 //! Result extraction ([`VersionData::to_dense`]) walks canonical blocks
 //! the same run-level way — no per-element owner computation.
 
@@ -143,47 +148,82 @@ impl VersionData {
 
     /// Copy all values from another version of the same array — the
     /// data movement a redistribution performs (traffic is accounted
-    /// separately, from the plan).
+    /// separately, from the plan). Returns `(runs, elements)` copied.
     ///
     /// Computes the per-dimension descriptor tables itself; when a
     /// [`crate::RedistPlan`] for this pair is already at hand, use
-    /// [`VersionData::copy_values_from_plan`] to reuse its tables.
-    pub fn copy_values_from(&mut self, other: &VersionData) {
+    /// [`VersionData::copy_values_from_plan`] to reuse its tables — and
+    /// when a compiled [`crate::CopyProgram`] exists (the cached remap
+    /// path), [`VersionData::copy_values_from_program`] replays it
+    /// without re-deriving anything.
+    pub fn copy_values_from(&mut self, other: &VersionData) -> (u64, u64) {
         let per_dim = crate::redist::dim_contributions(&other.mapping, &self.mapping);
-        self.copy_with_tables(other, &per_dim);
+        self.copy_with_tables(other, &per_dim)
     }
 
     /// [`VersionData::copy_values_from`] driven by the interval
     /// descriptors a [`crate::RedistPlan`] already carries (the remap
     /// path plans and then moves; the tables are computed once).
+    /// Returns `(runs, elements)` copied.
     ///
     /// Falls back to recomputing when the plan was not computed for
     /// exactly this (source, destination) mapping pair — a plan with no
     /// descriptors (e.g. one built by [`crate::plan_by_enumeration`])
     /// or one planned for different mappings.
-    pub fn copy_values_from_plan(&mut self, other: &VersionData, plan: &crate::RedistPlan) {
+    pub fn copy_values_from_plan(
+        &mut self,
+        other: &VersionData,
+        plan: &crate::RedistPlan,
+    ) -> (u64, u64) {
         let descriptors_match = plan.dims.len() == self.mapping.array_extents.rank()
             && plan
                 .mappings
                 .as_ref()
                 .is_some_and(|m| m.0 == other.mapping && m.1 == self.mapping);
         if descriptors_match {
-            self.copy_with_tables(other, &plan.dims);
+            self.copy_with_tables(other, &plan.dims)
         } else {
-            self.copy_values_from(other);
+            self.copy_values_from(other)
         }
+    }
+
+    /// Replay a compiled [`crate::CopyProgram`]: every `(src_pos,
+    /// dst_pos, len)` triple was resolved at plan time, so this is a
+    /// bare `copy_from_slice` loop — zero heap allocations in
+    /// [`crate::ExecMode::Serial`], scoped worker threads per
+    /// caterpillar round in [`crate::ExecMode::Parallel`]. Returns
+    /// `(runs, elements)` copied.
+    ///
+    /// Like [`VersionData::copy_values_from_plan`], this guards
+    /// against mismatched inputs: a program compiled for a different
+    /// (source, destination) mapping pair would apply its precompiled
+    /// positions to the wrong block layouts, so the copy falls back to
+    /// recomputing the descriptor tables instead. The check is an
+    /// allocation-free structural comparison — the cached remap path
+    /// stays allocation-free.
+    pub fn copy_values_from_program(
+        &mut self,
+        other: &VersionData,
+        program: &crate::CopyProgram,
+        mode: crate::ExecMode,
+    ) -> (u64, u64) {
+        if !program.compiled_for(other, self) {
+            return self.copy_values_from(other);
+        }
+        program.execute(self, other, mode);
+        (program.n_runs(), program.n_elements())
     }
 
     /// The block-level copy engine: for every combination of
     /// per-dimension periodic interval descriptors, contiguous index
     /// runs shared by the provider and the receiver are moved with
     /// `copy_from_slice`; elements are never routed through per-point
-    /// owner computation.
+    /// owner computation. Returns `(runs, elements)` copied.
     fn copy_with_tables(
         &mut self,
         other: &VersionData,
         per_dim: &[Vec<crate::redist::DimContribution>],
-    ) {
+    ) -> (u64, u64) {
         assert_eq!(self.mapping.array_extents, other.mapping.array_extents);
         let src = &other.mapping;
         let dst = &self.mapping;
@@ -192,23 +232,16 @@ impl VersionData {
             // Scalars: one element, every destination replica.
             let v = other.get(&[]);
             self.set(&[], v);
-            return;
+            let replicas = self.mapping.owners(&[]).len() as u64;
+            return (replicas, replicas);
         }
         if per_dim.iter().any(|e| e.is_empty()) {
-            return; // empty array
+            return (0, 0); // empty array
         }
 
-        // Static per-side assembly data, shared with the planner.
-        let src_info = crate::redist::side_info(src);
-        let dst_info = crate::redist::side_info(dst);
-        let repl_offsets = crate::redist::replicated_offsets(dst, &dst_info.strides);
-        let (s_strides, s_fixed, s_repl) =
-            (&src_info.strides, src_info.fixed_base, &src_info.replicated);
-        let (d_strides, d_fixed) = (&dst_info.strides, dst_info.fixed_base);
-        let mut s_want = src_info.want.clone();
-
-        // Materialize every entry's runs once, up front — the odometer
-        // below revisits each (dimension, entry) pair many times.
+        // Materialize every entry's runs once, up front — the
+        // combination walk below revisits each (dimension, entry) pair
+        // many times.
         let entry_runs: Vec<Vec<Vec<(u64, u64)>>> = per_dim
             .iter()
             .enumerate()
@@ -221,54 +254,25 @@ impl VersionData {
             })
             .collect();
 
-        let mut delin = vec![0u64; src.grid_shape.rank()];
+        // The pair logic (rank assembly, replica fan-out, receiver
+        // self-preference) lives in the planner's shared driver; this
+        // engine only supplies the per-combination run copy.
+        let dst_blocks = &mut self.blocks;
         let mut runs: Vec<&[(u64, u64)]> = vec![&[]; rank];
-        let mut idx = vec![0usize; rank];
-        loop {
-            // Current combination: rank assembly plus this
-            // combination's per-dimension run slices.
-            let mut from_base = s_fixed;
-            let mut to_base = d_fixed;
+        let mut totals = (0u64, 0u64);
+        crate::redist::for_each_pair_combination(src, dst, per_dim, |provider, to, idx| {
             for d in 0..rank {
-                let e = &per_dim[d][idx[d]];
                 runs[d] = &entry_runs[d][idx[d]];
-                if let Some((ax, c)) = e.src {
-                    from_base += c * s_strides[ax];
-                    s_want[ax] = Some(c);
-                }
-                if let Some((ax, c)) = e.dst {
-                    to_base += c * d_strides[ax];
-                }
             }
-            for &off in &repl_offsets {
-                let to = to_base + off;
-                let provider = if crate::redist::receiver_holds_under_src(
-                    src, s_repl, &s_want, to, &mut delin,
-                ) {
-                    to
-                } else {
-                    from_base
-                };
-                let src_block =
-                    other.blocks[provider as usize].as_ref().expect("provider holds the data");
-                let dst_block =
-                    self.blocks[to as usize].as_mut().expect("receiver allocates the data");
-                copy_runs(dst_block, src_block, &runs, per_dim, &idx);
-            }
-            // Advance the odometer.
-            let mut d = 0;
-            loop {
-                if d == rank {
-                    return;
-                }
-                idx[d] += 1;
-                if idx[d] < per_dim[d].len() {
-                    break;
-                }
-                idx[d] = 0;
-                d += 1;
-            }
-        }
+            let src_block =
+                other.blocks[provider as usize].as_ref().expect("provider holds the data");
+            let dst_block =
+                dst_blocks[to as usize].as_mut().expect("receiver allocates the data");
+            let (r, e) = copy_runs(dst_block, src_block, &runs, per_dim, idx);
+            totals.0 += r;
+            totals.1 += e;
+        });
+        totals
     }
 
     /// Gather the full array into a dense row-major vector (verification
@@ -360,7 +364,9 @@ fn copy_runs(
     runs: &[&[(u64, u64)]],
     per_dim: &[Vec<crate::redist::DimContribution>],
     idx: &[usize],
-) {
+) -> (u64, u64) {
+    let mut runs_copied = 0u64;
+    let mut elements_copied = 0u64;
     let rank = runs.len();
     let last = rank - 1;
     let LocalBlock { dims: d_dims, data: d_data } = dst_block;
@@ -396,12 +402,14 @@ fn copy_runs(
             } else {
                 d_data[d_at..d_at + len].copy_from_slice(&s_data[s_at..s_at + len]);
             }
+            runs_copied += 1;
+            elements_copied += len as u64;
         }
         // Advance the outer odometer (innermost outer dim fastest).
         let mut d = last;
         loop {
             if d == 0 {
-                return;
+                return (runs_copied, elements_copied);
             }
             d -= 1;
             let (ref mut ri, ref mut off) = cur[d];

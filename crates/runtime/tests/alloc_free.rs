@@ -1,0 +1,110 @@
+//! The zero-allocation contract of the steady-state remap path.
+//!
+//! After the first remap in each direction has populated the plan
+//! cache, a remap bounce must perform **no heap allocation at all** in
+//! the data-movement path: the cached [`hpfc_runtime::CopyProgram`] is
+//! replayed triple by triple, schedule accounting runs in the machine's
+//! reusable scratch arena, and the cache lookup hands out an `Arc`
+//! clone (a refcount bump, not an allocation).
+//!
+//! Pinned with a counting global allocator. Everything lives in ONE
+//! `#[test]` on purpose: the counter is process-global, and the test
+//! harness would otherwise interleave allocations from sibling tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hpfc_mapping::{testing::mapping_1d as mk, DimFormat};
+use hpfc_runtime::{
+    plan_redistribution, ArrayRt, CommSchedule, CopyProgram, ExecMode, Machine, VersionData,
+};
+
+/// `System`, with every allocation counted.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_remap_allocates_nothing() {
+    let n = 4096u64;
+    let src = mk(n, 4, DimFormat::Block(None));
+    let dst = mk(n, 4, DimFormat::Cyclic(Some(3)));
+
+    // --- 1. Bare program replay is allocation-free. -------------------
+    let plan = plan_redistribution(&src, &dst, 8);
+    let schedule = CommSchedule::from_plan(&plan);
+    let program = CopyProgram::try_compile(&plan, &schedule).expect("compiles");
+    let mut a = VersionData::new(src.clone(), 8);
+    a.fill(|p| p[0] as f64);
+    let mut b = VersionData::new(dst.clone(), 8);
+    b.copy_values_from_program(&a, &program, ExecMode::Serial); // touch once
+    let before = allocations();
+    for _ in 0..8 {
+        b.copy_values_from_program(&a, &program, ExecMode::Serial);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "CopyProgram serial replay must not allocate"
+    );
+    assert_eq!(a.to_dense(), b.to_dense(), "and it still moves the data");
+
+    // --- 2. The whole cached remap path is allocation-free. -----------
+    // remap = status check + cache lookup (Arc clone) + schedule
+    // accounting (machine scratch arena) + program replay.
+    let mut machine = Machine::new(4).with_exec_mode(ExecMode::Serial);
+    let mut rt = ArrayRt::new("a", vec![src, dst], 8);
+    rt.current(&mut machine, 0).fill(|p| p[0] as f64);
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    // Warm up: allocate both copies, populate the plan cache both
+    // directions, grow the accounting scratch.
+    for _ in 0..2 {
+        rt.remap(&mut machine, 1, &keep, false);
+        rt.set(&[0], 1.0); // stale the other copy: data moves each bounce
+        rt.remap(&mut machine, 0, &keep, false);
+        rt.set(&[1], 1.0);
+    }
+    let performed = machine.stats.remaps_performed;
+    for i in 0..10u64 {
+        rt.set(&[0], i as f64); // outside the measured window
+        let before = allocations();
+        rt.remap(&mut machine, 1, &keep, false);
+        assert_eq!(allocations(), before, "remap {i} ->1 allocated");
+        rt.set(&[1], i as f64);
+        let before = allocations();
+        rt.remap(&mut machine, 0, &keep, false);
+        assert_eq!(allocations(), before, "remap {i} ->0 allocated");
+    }
+    // All twenty measured remaps really moved data through the engine.
+    assert_eq!(machine.stats.remaps_performed, performed + 20);
+    assert_eq!(machine.stats.plans_computed, 2, "planned once per direction");
+}

@@ -8,7 +8,8 @@ use hpfc_mapping::{
     ProcGrid, Template, TemplateId,
 };
 use hpfc_runtime::{
-    plan_by_enumeration, plan_redistribution, CommSchedule, Machine, MsgDim, VersionData,
+    plan_by_enumeration, plan_redistribution, CommSchedule, CopyProgram, ExecMode, Machine,
+    MsgDim, VersionData,
 };
 use proptest::prelude::*;
 
@@ -236,6 +237,72 @@ proptest! {
         let per_point: Vec<f64> =
             a.mapping.array_extents.points().map(|p| a.get(&p)).collect();
         prop_assert_eq!(dense, per_point);
+    }
+
+    /// The compiled copy program agrees with every other engine over
+    /// the full mapping space: serial replay == parallel replay ==
+    /// descriptor-table engine == the per-point oracle (element-by-
+    /// element reads through the canonical owner). Also pins the
+    /// volume invariant: the program delivers exactly the planned
+    /// `local + remote` element count.
+    #[test]
+    fn rich_program_replay_matches_tables_and_per_point_oracle(
+        src in rich_mapping_strategy(6, 5),
+        dst in rich_mapping_strategy(6, 5),
+    ) {
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        let program = CopyProgram::try_compile(&plan, &schedule)
+            .expect("rank >= 1 plans always compile");
+        prop_assert_eq!(
+            program.n_elements(),
+            plan.local_elements + plan.remote_elements(),
+            "program delivers exactly the planned volume"
+        );
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| (p[0] * 31 + p[1] * 7 + 1) as f64);
+        // Serial replay.
+        let mut serial = VersionData::new(dst, 8);
+        serial.copy_values_from_program(&a, &program, ExecMode::Serial);
+        // Parallel replay (3 workers: uneven chunking on purpose).
+        let mut parallel = VersionData::new(serial.mapping.clone(), 8);
+        parallel.copy_values_from_program(&a, &program, ExecMode::Parallel(3));
+        // Descriptor-table engine.
+        let mut tables = VersionData::new(serial.mapping.clone(), 8);
+        tables.copy_values_from_plan(&a, &plan);
+        // Per-point oracle: read every element through the canonical
+        // owner, write it to every destination replica.
+        let mut oracle = VersionData::new(serial.mapping.clone(), 8);
+        let extents = a.mapping.array_extents.clone();
+        for p in extents.points() {
+            oracle.set(&p, a.get(&p));
+        }
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(&serial, &tables);
+        prop_assert_eq!(&serial, &oracle);
+    }
+
+    /// The program's structural invariant behind lock-free parallel
+    /// execution: within any round (including the local group), no two
+    /// units share a receiver block, and remote units correspond
+    /// one-to-one to the schedule's messages.
+    #[test]
+    fn rich_program_rounds_have_disjoint_receivers(
+        src in rich_mapping_strategy(9, 7),
+        dst in rich_mapping_strategy(9, 7),
+    ) {
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        let program = CopyProgram::try_compile(&plan, &schedule)
+            .expect("rank >= 1 plans always compile");
+        for round in program.rounds.iter().chain(std::iter::once(&program.local)) {
+            let receivers: std::collections::BTreeSet<u64> =
+                round.iter().map(|u| u.receiver).collect();
+            prop_assert_eq!(receivers.len(), round.len(),
+                "two units in one round share a receiver block");
+        }
+        let n_remote: usize = program.rounds.iter().map(Vec::len).sum();
+        prop_assert_eq!(n_remote, schedule.messages.len());
     }
 
     /// The message-level schedule agrees with its plan message for

@@ -31,8 +31,11 @@ fn main() {
     println!("remaps performed:   {}", result.stats.remaps_performed);
     println!("messages:           {}", result.stats.messages);
     println!("bytes on the wire:  {}", result.stats.bytes);
+    println!("bytes moved:        {} ({} runs)", result.stats.bytes_moved, result.stats.runs_copied);
     println!("local elements:     {}", result.stats.local_elements);
-    println!("plans computed:     {}", result.stats.plans_computed);
+    println!("plans computed:     {}  (runtime replans nothing: the cache", result.stats.plans_computed);
+    println!("                        is seeded from the lowered copy programs)");
     println!("simulated time:     {:.1} us", result.stats.time_us);
     println!("peak memory/proc:   {} bytes", result.peak_mem_bytes);
+    println!("summary:            {}", result.stats.summary());
 }

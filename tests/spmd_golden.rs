@@ -109,7 +109,7 @@ fn schedule_costing_matches_plan_message_for_message() {
     let p = &compiled.units["spmd2d"].program;
     let op = first_remap(&p.body).expect("remap");
     assert_eq!(op.copies.len(), 1, "one reaching source");
-    let sched = &op.copies[0].schedule;
+    let sched = op.copies[0].schedule();
 
     // Recompute the plan independently and compare pair by pair.
     let decl = p.array(op.array);
