@@ -94,6 +94,98 @@ impl PartialEq for SpmdCopy {
 
 impl Eq for SpmdCopy {}
 
+/// One statically compiled arm of a flow-dependent restore (Fig. 18):
+/// if the saved status tag equals [`RestoreArm::target`], the restore
+/// is a remap to that version, and these are its guarded copy sources —
+/// planned, scheduled, and compiled at lowering time exactly like a
+/// [`RemapOp`]'s copies. Run time *selects* an arm by the live tag; it
+/// never plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreArm {
+    /// The saved version this arm restores to (the `reaching_s == v`
+    /// guard of Fig. 18's if/elif chain).
+    pub target: u32,
+    /// Message-level SPMD copy code, one entry per version that may be
+    /// current when the restore executes (every `r ∈ reaching`,
+    /// `r ≠ target`). Empty when the restore moves no data.
+    pub copies: Vec<SpmdCopy>,
+}
+
+/// A compiled flow-dependent status restore (Fig. 18) — the counterpart
+/// of [`RemapOp`] for the save/restore path around calls. Where a
+/// `RemapOp` has one statically known target, a restore's target is the
+/// *saved* status tag, known only at run time — so lowering compiles
+/// one [`RestoreArm`] per statically possible tag, and the rendered
+/// code is a switch on the tag whose arms are ordinary guarded
+/// message-level copies. Executing a restore therefore plans nothing:
+/// the interpreter seeds every arm's `Arc<PlannedRemap>` into the
+/// runtime cache and dispatch is a tag comparison.
+///
+/// ```
+/// use std::sync::Arc;
+/// use hpfc_codegen::ir::{RestoreArm, RestoreOp, SpmdCopy};
+/// use hpfc_mapping::{ArrayId, DimFormat, testing::mapping_1d as mk};
+/// use hpfc_runtime::{plan_redistribution, PlannedRemap};
+///
+/// // The callee's dummy version (2) can be live at the restore; the
+/// // saved tag is 0 or 1. Each arm's copy is planned at compile time.
+/// let vs = [
+///     mk(16, 4, DimFormat::Block(None)),
+///     mk(16, 4, DimFormat::Cyclic(Some(2))),
+///     mk(16, 4, DimFormat::Cyclic(None)),
+/// ];
+/// let arm = |t: u32| RestoreArm {
+///     target: t,
+///     copies: vec![SpmdCopy {
+///         src: 2,
+///         planned: Arc::new(PlannedRemap::compile(plan_redistribution(&vs[2], &vs[t as usize], 8))),
+///     }],
+/// };
+/// let op = RestoreOp {
+///     array: ArrayId(0),
+///     slot: 0,
+///     possible: [0u32, 1].into_iter().collect(),
+///     reaching: [2u32].into_iter().collect(),
+///     may_live: Default::default(),
+///     no_data: false,
+///     arms: vec![arm(0), arm(1)],
+/// };
+/// // Run time only selects: the saved tag picks its precompiled arm.
+/// assert_eq!(op.arm_for(1).unwrap().copies[0].src, 2);
+/// assert!(op.arm_for(3).is_none()); // unforeseen tags fail loudly upstream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreOp {
+    /// The array.
+    pub array: ArrayId,
+    /// Save-slot index (paired with the [`SStmt::SaveStatus`] before
+    /// the call).
+    pub slot: u32,
+    /// The statically possible restored versions — one arm each.
+    pub possible: BTreeSet<u32>,
+    /// Versions that may be current when the restore executes (the
+    /// reaching set of the `ArgOut` vertex — the copy sources of every
+    /// arm).
+    pub reaching: BTreeSet<u32>,
+    /// Copies to keep alive past the restore.
+    pub may_live: BTreeSet<u32>,
+    /// No data movement required (values dead or fully redefined before
+    /// use) — every arm is allocation + status flip only.
+    pub no_data: bool,
+    /// One compiled arm per possible saved tag, ordered by target
+    /// version. Each arm's copies carry the same
+    /// `Arc<`[`PlannedRemap`]`>` triples the runtime cache replays.
+    pub arms: Vec<RestoreArm>,
+}
+
+impl RestoreOp {
+    /// The arm selected by a saved status tag, if the tag was
+    /// statically foreseen.
+    pub fn arm_for(&self, tag: u32) -> Option<&RestoreArm> {
+        self.arms.iter().find(|a| a.target == tag)
+    }
+}
+
 /// An explicit remapping operation — one (vertex, array) slot of the
 /// remapping graph, compiled per Fig. 19.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,19 +271,10 @@ pub enum SStmt {
         /// Save-slot index (per routine).
         slot: u32,
     },
-    /// Restore the saved mapping after the call (Fig. 18's
-    /// if/elif chain, executed by the runtime as a remap to the saved
-    /// version).
-    RestoreStatus {
-        /// The array.
-        array: ArrayId,
-        /// Save-slot index.
-        slot: u32,
-        /// The statically possible restored versions (display/tests).
-        possible: BTreeSet<u32>,
-        /// Copies to keep alive past the restore.
-        may_live: BTreeSet<u32>,
-    },
+    /// Restore the saved mapping after the call (Fig. 18's if/elif
+    /// chain): a switch on the saved status tag whose arms are
+    /// compile-time-planned remaps to each statically possible version.
+    RestoreStatus(RestoreOp),
     /// Early return.
     Return,
     /// Exit cleanup: free every local copy; dummies keep their current
@@ -230,7 +313,7 @@ impl StaticProgram {
 
     /// Visit every statement of the program (body and exit block, all
     /// nesting levels, pre-order) — the single traversal behind
-    /// [`StaticProgram::for_each_remap`] and
+    /// [`StaticProgram::for_each_planned_copy`] and
     /// [`StaticProgram::count_remaps`], so a future statement kind
     /// with a nested body only needs its recursion added here.
     pub fn for_each_stmt(&self, mut f: impl FnMut(&SStmt)) {
@@ -251,14 +334,27 @@ impl StaticProgram {
         go(&self.exit_block, &mut f);
     }
 
-    /// Visit every [`RemapOp`] of the program — the interpreter uses
-    /// this to seed each array's runtime plan cache from the
-    /// compile-time plans before execution starts.
-    pub fn for_each_remap(&self, mut f: impl FnMut(&RemapOp)) {
-        self.for_each_stmt(|s| {
-            if let SStmt::Remap(op) = s {
-                f(op);
+    /// Visit every compile-time-planned copy of the program — the
+    /// guarded arms of plain remaps *and* the per-tag arms of
+    /// flow-dependent restores — as `(array, target version, copy)`.
+    /// The interpreter uses this to seed each array's runtime plan
+    /// cache before execution starts, so no statement (including a
+    /// Fig. 18 restore) ever plans at run time.
+    pub fn for_each_planned_copy(&self, mut f: impl FnMut(ArrayId, u32, &SpmdCopy)) {
+        self.for_each_stmt(|s| match s {
+            SStmt::Remap(op) => {
+                for copy in &op.copies {
+                    f(op.array, op.target, copy);
+                }
             }
+            SStmt::RestoreStatus(op) => {
+                for arm in &op.arms {
+                    for copy in &arm.copies {
+                        f(op.array, arm.target, copy);
+                    }
+                }
+            }
+            _ => {}
         });
     }
 

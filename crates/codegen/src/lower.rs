@@ -14,7 +14,7 @@ use hpfc_mapping::VersionId;
 use hpfc_runtime::{plan_redistribution, PlannedRemap};
 use std::sync::Arc;
 
-use crate::ir::{ArrayDecl, RemapOp, SStmt, SpmdCopy, StaticProgram};
+use crate::ir::{ArrayDecl, RemapOp, RestoreArm, RestoreOp, SStmt, SpmdCopy, StaticProgram};
 
 /// Static accounting of what lowering emitted — the compile-time side
 /// of the experiment tables.
@@ -31,6 +31,9 @@ pub struct CodegenStats {
     pub save_restores: usize,
     /// Remaps emitted with no data movement (`U = D` or dead values).
     pub no_data_remaps: usize,
+    /// Compile-time-planned restore arms (one per statically possible
+    /// saved tag of every flow-dependent restore).
+    pub restore_arms: usize,
 }
 
 /// Lower a routine to its static program, consuming the (optimized)
@@ -172,6 +175,24 @@ impl<'a> Lowerer<'a> {
         out
     }
 
+    /// Plan, schedule, and compile the guarded copy arm for every
+    /// data-moving source version (`r ∈ reaching`, `r ≠ target`),
+    /// ordered by source version — shared by plain remaps and by each
+    /// arm of a flow-dependent restore.
+    fn planned_copies(&self, a: ArrayId, reaching: &BTreeSet<u32>, target: u32) -> Vec<SpmdCopy> {
+        let elem = self.elem_sizes[&a];
+        let dst = self.rg.versions.mapping_of(VersionId { array: a, index: target });
+        reaching
+            .iter()
+            .filter(|&&r| r != target)
+            .map(|&r| {
+                let src = self.rg.versions.mapping_of(VersionId { array: a, index: r });
+                let plan = plan_redistribution(src, dst, elem);
+                SpmdCopy { src: r, planned: Arc::new(PlannedRemap::compile(plan)) }
+            })
+            .collect()
+    }
+
     fn remap_op_from_label(
         &mut self,
         a: ArrayId,
@@ -197,18 +218,7 @@ impl<'a> Lowerer<'a> {
                 let copies = if no_data {
                     Vec::new()
                 } else {
-                    let elem = self.elem_sizes[&a];
-                    reaching
-                        .iter()
-                        .filter(|&&r| r != v.index)
-                        .map(|&r| {
-                            let src =
-                                self.rg.versions.mapping_of(VersionId { array: a, index: r });
-                            let dst = self.rg.versions.mapping_of(*v);
-                            let plan = plan_redistribution(src, dst, elem);
-                            SpmdCopy { src: r, planned: Arc::new(PlannedRemap::compile(plan)) }
-                        })
-                        .collect()
+                    self.planned_copies(a, &reaching, v.index)
                 };
                 let op = RemapOp {
                     array: a,
@@ -322,12 +332,38 @@ impl<'a> Lowerer<'a> {
                             }
                         }
                         Some(Leaving::Restore(set)) => {
-                            out.push(SStmt::RestoreStatus {
+                            // Fig. 18, statically lowered: one compiled
+                            // arm per possible saved tag, each planned
+                            // from the versions reaching the ArgOut —
+                            // run time selects an arm by the tag and
+                            // never plans.
+                            let possible: BTreeSet<u32> =
+                                set.iter().map(|x| x.index).collect();
+                            let reaching: BTreeSet<u32> =
+                                label.reaching.iter().map(|x| x.index).collect();
+                            let no_data =
+                                label.values_dead || label.use_info == UseInfo::D;
+                            let arms: Vec<RestoreArm> = possible
+                                .iter()
+                                .map(|&v| RestoreArm {
+                                    target: v,
+                                    copies: if no_data {
+                                        Vec::new()
+                                    } else {
+                                        self.planned_copies(array, &reaching, v)
+                                    },
+                                })
+                                .collect();
+                            self.stats.restore_arms += arms.len();
+                            out.push(SStmt::RestoreStatus(RestoreOp {
                                 array,
                                 slot: slots[&array],
-                                possible: set.iter().map(|x| x.index).collect(),
+                                possible,
+                                reaching,
                                 may_live: label.may_live.iter().map(|x| x.index).collect(),
-                            });
+                                no_data,
+                                arms,
+                            }));
                             self.stats.emitted_remaps += 1;
                         }
                     }

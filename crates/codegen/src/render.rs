@@ -5,7 +5,9 @@
 //! closed-form byte count, and the mirror unpack loop, ordered into
 //! contention-free caterpillar rounds.
 
-use crate::ir::{RemapOp, SStmt, SpmdCopy, StaticProgram};
+use std::collections::BTreeSet;
+
+use crate::ir::{RemapOp, RestoreOp, SStmt, SpmdCopy, StaticProgram};
 use hpfc_lang::pretty::expr_to_string;
 use hpfc_runtime::PackedMessage;
 
@@ -54,6 +56,62 @@ pub fn remap_text(p: &StaticProgram, op: &RemapOp) -> String {
             ));
         }
     }
+    s
+}
+
+/// Fig. 18, statically lowered: the flow-dependent restore as a switch
+/// on the saved status tag. Each arm is a full Fig. 20 guarded remap to
+/// one statically possible version, with its own compile-time-planned
+/// packed send/recv loops — the restore carries no opaque "remap at run
+/// time" step anywhere.
+///
+/// ```text
+/// if (reaching_0 == 0) then  ! restore a -> a_0
+///   if (status_a /= 0) then
+///     allocate a_0 if needed
+///     if (.not. live_a(0)) then
+///       if (status_a == 2) then    ! a_2 -> a_0: N messages, B bytes, R rounds
+///         <per-pair packed send/recv loops>
+///       endif
+///       live_a(0) = .true.
+///     endif
+///     status_a = 0
+///   endif
+///   <cleaning>
+/// elif (reaching_0 == 1) then  ! restore a -> a_1
+///   ...
+/// endif
+/// ```
+pub fn restore_text(p: &StaticProgram, op: &RestoreOp) -> String {
+    let name = &p.array(op.array).name;
+    let mut s = String::new();
+    let mut first = true;
+    for arm in &op.arms {
+        let kw = if first { "if" } else { "elif" };
+        first = false;
+        s.push_str(&format!(
+            "{kw} (reaching_{} == {t}) then  ! restore {name} -> {name}_{t}\n",
+            op.slot,
+            t = arm.target
+        ));
+        // Each arm is an ordinary guarded remap to its tag's version.
+        let body = remap_text(
+            p,
+            &RemapOp {
+                array: op.array,
+                target: arm.target,
+                reaching: op.reaching.clone(),
+                may_live: op.may_live.clone(),
+                no_data: op.no_data,
+                skip_if_current: BTreeSet::new(),
+                copies: arm.copies.clone(),
+            },
+        );
+        for line in body.lines() {
+            s.push_str(&format!("  {line}\n"));
+        }
+    }
+    s.push_str("endif\n");
     s
 }
 
@@ -238,15 +296,9 @@ fn body_text(p: &StaticProgram, body: &[SStmt], depth: usize, out: &mut String) 
                     p.array(*array).name
                 ));
             }
-            SStmt::RestoreStatus { array, slot, possible, .. } => {
-                let name = &p.array(*array).name;
-                let mut first = true;
-                for v in possible {
-                    let kw = if first { "if" } else { "elif" };
-                    first = false;
-                    out.push_str(&format!(
-                        "{pad}{kw} (reaching_{slot} == {v}) remap {name} -> {name}_{v}\n"
-                    ));
+            SStmt::RestoreStatus(op) => {
+                for line in restore_text(p, op).lines() {
+                    out.push_str(&format!("{pad}{line}\n"));
                 }
             }
             SStmt::Return => out.push_str(&format!("{pad}return\n")),

@@ -135,19 +135,19 @@ impl<'a> Executor<'a> {
             results: BTreeMap::new(),
         };
         // Seed every array's runtime plan cache from the compile-time
-        // plans lowering attached to the remap statements: the executed
+        // plans lowering attached to the remap statements *and* the
+        // per-tag arms of flow-dependent restores: the executed
         // schedule and copy program are the very objects codegen
         // rendered (shared by Arc), and `NetStats::plans_computed`
-        // stays 0 for the whole lowered program (only flow-dependent
-        // RestoreStatus paths may still plan lazily).
-        p.for_each_remap(|op| {
-            for copy in &op.copies {
-                frame.arrays[op.array.0 as usize].seed_plan(
-                    copy.src,
-                    op.target,
-                    std::sync::Arc::clone(&copy.planned),
-                );
-            }
+        // stays 0 for the whole lowered program — including Fig. 18
+        // save/restore paths, whose arms are selected by tag at run
+        // time but planned here, at compile time.
+        p.for_each_planned_copy(|array, target, copy| {
+            frame.arrays[array.0 as usize].seed_plan(
+                copy.src,
+                target,
+                std::sync::Arc::clone(&copy.planned),
+            );
         });
         // Dummy inputs arrive in the entry version.
         for (a, dense) in array_inputs {
@@ -332,16 +332,38 @@ impl<'a> Executor<'a> {
                 frame.slots[*slot as usize] = frame.arrays[array.0 as usize].status;
                 Flow::Normal
             }
-            SStmt::RestoreStatus { array, slot, may_live, .. } => {
-                if let Some(v) = frame.slots[*slot as usize] {
-                    frame.arrays[array.0 as usize].remap(
-                        &mut self.machine,
-                        v,
-                        may_live,
-                        false,
-                    );
+            SStmt::RestoreStatus(op) => {
+                if let Some(v) = frame.slots[op.slot as usize] {
+                    // Dispatch on the live tag: the arm must have been
+                    // statically foreseen (its plans are already seeded
+                    // in the cache), and the currently live version
+                    // must be one of the arm's planned copy sources —
+                    // otherwise the compiler's reaching analysis was
+                    // violated and we fail loudly rather than plan
+                    // lazily.
+                    let rt = &mut frame.arrays[op.array.0 as usize];
+                    let arm = op.arm_for(v).unwrap_or_else(|| {
+                        panic!(
+                            "restore of `{}`: saved tag {v} has no compiled arm \
+                             (possible: {:?})",
+                            rt.name, op.possible
+                        )
+                    });
+                    if let Some(cur) = rt.status {
+                        assert!(
+                            cur == arm.target
+                                || op.no_data
+                                || arm.copies.iter().any(|c| c.src == cur),
+                            "restore of `{}` to {}: live version {cur} not among the \
+                             arm's planned sources {:?}",
+                            rt.name,
+                            arm.target,
+                            op.reaching
+                        );
+                    }
+                    rt.restore(&mut self.machine, arm.target, &op.may_live, op.no_data);
                     if self.config.evict_live_copies {
-                        self.evict_all(frame, *array);
+                        self.evict_all(frame, op.array);
                     }
                 }
                 Flow::Normal

@@ -249,6 +249,86 @@ fn remap_time_reflects_caterpillar_rounds() {
     );
 }
 
+/// A Fig. 15/18 program driven by a scalar so both restore arms are
+/// reachable deterministically: CYCLIC initially, CYCLIC(2) on the
+/// taken branch, BLOCK for the callee dummy — over 4 procs both
+/// CYCLIC↔BLOCK legs are all-to-alls (12 single-element messages in 3
+/// caterpillar rounds).
+const RESTORE_DRIVEN: &str = "\
+subroutine rest(s)
+  real :: a(16)
+!hpf$ processors p(4)
+!hpf$ dynamic a
+!hpf$ distribute a(cyclic) onto p
+  interface
+    subroutine foo(x)
+      real :: x(16)
+      intent(inout) :: x
+!hpf$ distribute x(block) onto p
+    end subroutine
+  end interface
+  a = 1.0
+  if (s > 0.0) then
+!hpf$ redistribute a(cyclic(2))
+    a = 2.0
+  endif
+  call foo(a)
+end subroutine
+";
+
+fn run_naive(src: &str, scalars: &[(&str, f64)]) -> hpfc::ExecResult {
+    let mut cfg = ExecConfig::default();
+    for (k, v) in scalars {
+        cfg = cfg.with_scalar(k, *v);
+    }
+    compile_and_run(src, &CompileOptions::naive(), cfg).expect("compile+run").1
+}
+
+#[test]
+fn restore_arm_time_reflects_caterpillar_rounds() {
+    // Not-taken path: the saved tag is 0 (CYCLIC). The run performs
+    // exactly two data movements — the ArgIn remap CYCLIC -> BLOCK and
+    // the restore arm BLOCK -> CYCLIC — each a 4-proc all-to-all of 12
+    // one-element messages in 3 contention-free rounds. Every round
+    // bills one send + one recv latency plus 8 bytes each way per
+    // processor, so the whole run costs exactly 6 rounds — the restore
+    // arm's schedule is accounted round by round, same as any remap.
+    let r = run_naive(RESTORE_DRIVEN, &[("s", -1.0)]);
+    assert_eq!(r.stats.remaps_performed, 2, "{:?}", r.stats);
+    assert_eq!(r.stats.restores_replayed, 1, "{:?}", r.stats);
+    assert_eq!(r.stats.messages, 24);
+    assert_eq!(r.stats.bytes, 24 * 8);
+    let cost = hpfc::CostModel::default();
+    let per_round = 2.0 * cost.latency_us + 2.0 * 8.0 / cost.bandwidth_bytes_per_us;
+    assert!(
+        (r.stats.time_us - 6.0 * per_round).abs() < 1e-9,
+        "time {} != 6 rounds × {per_round}",
+        r.stats.time_us
+    );
+    // And nothing was planned at run time: both legs replayed the
+    // compile-time-planned programs seeded into the cache (the restore
+    // arm was selected by the saved tag).
+    assert_eq!(r.stats.plans_computed, 0, "{:?}", r.stats);
+    assert_eq!(r.stats.plan_cache_hits, 2, "{:?}", r.stats);
+    // 1.0 + the callee's INOUT increment, restored intact.
+    assert!(r.arrays["a"].iter().all(|&v| v == 2.0), "{:?}", r.arrays["a"]);
+}
+
+#[test]
+fn restore_program_never_plans_on_either_path() {
+    // Acceptance pin: `plans_computed == 0` for a lowered program
+    // containing a flow-dependent RestoreStatus, on both branch paths
+    // (different saved tags select different compiled arms).
+    for s in [1.0, -1.0] {
+        let r = run_naive(RESTORE_DRIVEN, &[("s", s)]);
+        assert_eq!(r.stats.plans_computed, 0, "s={s}: {:?}", r.stats);
+        assert_eq!(r.stats.restores_replayed, 1, "s={s}");
+        assert!(r.stats.plan_cache_hits >= 2, "s={s}: {:?}", r.stats);
+        let want = if s > 0.0 { 3.0 } else { 2.0 };
+        assert!(r.arrays["a"].iter().all(|&v| v == want), "s={s}: {:?}", r.arrays["a"]);
+    }
+}
+
 #[test]
 fn peak_memory_reflects_copies() {
     // Two live copies of a 1024-element array on 4 procs: ~2 × 2048 B

@@ -71,6 +71,13 @@ pub struct NetStats {
     /// Contiguous runs the copy engine replayed (`copy_from_slice`
     /// granularity; only engines that track runs contribute).
     pub runs_copied: u64,
+    /// Flow-dependent status restores dispatched through a
+    /// compile-time-planned arm (Fig. 18): the run time selected the
+    /// arm by the saved tag — never planned. Counts every dispatch;
+    /// whether data then moves follows the ordinary remap rules (a
+    /// status-check noop or live-copy reuse moves nothing, otherwise
+    /// the arm's cached copy program is replayed).
+    pub restores_replayed: u64,
 }
 
 impl NetStats {
@@ -88,13 +95,14 @@ impl NetStats {
         self.plan_cache_hits += o.plan_cache_hits;
         self.bytes_moved += o.bytes_moved;
         self.runs_copied += o.runs_copied;
+        self.restores_replayed += o.restores_replayed;
     }
 
     /// One-line human-readable digest (experiment drivers, examples).
     pub fn summary(&self) -> String {
         format!(
             "msgs {} | wire {} B | moved {} B in {} runs | local els {} | time {:.1} µs | \
-             remaps {} (noop {}, live {}, dead {}) | plans {} (+{} cache hits)",
+             remaps {} (noop {}, live {}, dead {}) | restores {} | plans {} (+{} cache hits)",
             self.messages,
             self.bytes,
             self.bytes_moved,
@@ -105,6 +113,7 @@ impl NetStats {
             self.remaps_skipped_noop,
             self.remaps_reused_live,
             self.remaps_dead_values,
+            self.restores_replayed,
             self.plans_computed,
             self.plan_cache_hits,
         )

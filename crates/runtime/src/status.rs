@@ -258,6 +258,26 @@ impl ArrayRt {
         }
     }
 
+    /// Fig. 18's restore, executed: remap back to the `saved` status
+    /// tag. Semantically a [`ArrayRt::remap_guarded`] whose target is
+    /// the run-time tag — with the cache seeded from the statically
+    /// compiled restore arms, the replay goes straight through the
+    /// compiled-program path (the `(current, saved)` pair is a cache
+    /// hit), so a restore plans nothing and allocates nothing in steady
+    /// state, exactly like a plain cached remap. Every dispatch is
+    /// counted in [`crate::NetStats::restores_replayed`], including
+    /// ones the status check then skips.
+    pub fn restore(
+        &mut self,
+        machine: &mut Machine,
+        saved: u32,
+        may_live: &BTreeSet<u32>,
+        values_dead: bool,
+    ) {
+        machine.stats.restores_replayed += 1;
+        self.remap(machine, saved, may_live, values_dead);
+    }
+
     /// Current copy for reading, instantiating version `v_default`
     /// lazily if the array was never touched.
     pub fn current(&mut self, machine: &mut Machine, v_default: u32) -> &mut VersionData {

@@ -167,10 +167,23 @@ fn fig15_status_save_restore_roundtrip() {
     )
     .unwrap();
     assert_eq!(compiled.main().codegen_stats.save_restores, 1);
+    // One compiled arm per statically possible saved tag ({0, 1}).
+    assert_eq!(compiled.main().codegen_stats.restore_arms, 2);
     assert!(res.stats.remaps_performed > 0);
+    // The restore executed through its compiled arm: dispatch on the
+    // saved tag, cached copy program replay, zero run-time planning.
+    assert_eq!(res.stats.restores_replayed, 1, "{:?}", res.stats);
+    assert_eq!(res.stats.plans_computed, 0, "{:?}", res.stats);
     let text = hpfc::codegen::render::program_text(&compiled.main().program);
     assert!(text.contains("reaching_0 = status_a"), "{text}");
-    assert!(text.contains("remap a -> a_"), "{text}");
+    // The restore is a switch on the saved tag whose arms are full
+    // guarded message-level remaps — the opaque run-time `remap a ->`
+    // statement is gone.
+    assert!(text.contains("if (reaching_0 == 0) then  ! restore a -> a_0"), "{text}");
+    assert!(text.contains("elif (reaching_0 == 1) then  ! restore a -> a_1"), "{text}");
+    assert!(text.contains("! a_2 -> a_0: 12 message(s), 96 byte(s), 3 round(s)"), "{text}");
+    assert!(text.contains("! a_2 -> a_1: 6 message(s), 96 byte(s), 3 round(s)"), "{text}");
+    assert!(!text.contains("remap a -> a_"), "{text}");
 
     // With App. C on, the restore is dead (nothing references `a` while
     // restored) and is removed — sharper than the paper's Fig. 18 code.

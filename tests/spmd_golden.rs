@@ -1,9 +1,11 @@
 //! Golden-output tests for the message-level SPMD code generation: a
 //! strided 2-D remap must render as per-pair packed send/recv loops
-//! (never whole-array copy statements), and the executed caterpillar
-//! schedule must match the redistribution plan message for message.
+//! (never whole-array copy statements), the executed caterpillar
+//! schedule must match the redistribution plan message for message, and
+//! a Fig. 18 flow-dependent restore must render as a switch on the
+//! saved tag whose arms are the same packed send/recv loops.
 
-use hpfc::codegen::ir::{RemapOp, SStmt};
+use hpfc::codegen::ir::{RemapOp, RestoreOp, SStmt};
 use hpfc::{compile, CompileOptions};
 
 /// A 2-D array aligned with stride 2 into a template, remapped from a
@@ -101,6 +103,165 @@ endif
     // explicitly: per-pair messages, no whole-array copy statements.
     assert!(!text.contains("a_1 = a_0"));
     assert!(text.matches("send sbuf").count() == 2 && text.matches("recv rbuf").count() == 2);
+}
+
+/// Fig. 18's situation at golden scale: the mapping reaching the call
+/// is flow-dependent (BLOCK or CYCLIC(2) depending on the branch), so
+/// the post-call restore must dispatch on the saved status tag — and
+/// after this PR each tag's arm is a complete compile-time-planned
+/// packed send/recv remap from the dummy's CYCLIC version.
+const SAVE_RESTORE: &str = "\
+subroutine saverest(s)
+  real :: a(8)
+!hpf$ processors p(2)
+!hpf$ dynamic a
+!hpf$ distribute a(block) onto p
+  interface
+    subroutine foo(x)
+      real :: x(8)
+      intent(inout) :: x
+!hpf$ distribute x(cyclic) onto p
+    end subroutine
+  end interface
+  a = 1.0
+  if (s > 0.0) then
+!hpf$ redistribute a(cyclic(2))
+    a = 2.0
+  endif
+  call foo(a)
+end subroutine
+";
+
+fn first_restore(body: &[SStmt]) -> Option<&RestoreOp> {
+    body.iter().find_map(|s| match s {
+        SStmt::RestoreStatus(op) => Some(op),
+        _ => None,
+    })
+}
+
+#[test]
+fn flow_dependent_restore_renders_switch_of_packed_arms() {
+    let compiled = compile(SAVE_RESTORE, &CompileOptions::naive()).unwrap();
+    let p = &compiled.units["saverest"].program;
+    let op = first_restore(&p.body).expect("the call's flow-dependent restore");
+    assert_eq!(op.arms.len(), 2, "one arm per possible saved tag");
+    let text = hpfc::codegen::render::restore_text(p, op);
+    let expected = "\
+if (reaching_0 == 0) then  ! restore a -> a_0
+  if (status_a /= 0) then
+    allocate a_0 if needed
+    if (.not. live_a(0)) then
+      if (status_a == 2) then  ! a_2 -> a_0: 2 message(s), 32 byte(s), 1 round(s)
+        copy local runs a_2 \u{2229} a_0 across ranks (4 element(s) total, no communication)
+        round 1:
+          p0 -> p1: 2 element(s), 16 byte(s)
+            on p0:  ! pack
+              k = 0
+              do (lo0, hi0) in runs(d0: {[0,1)+2k} \u{2229} {[4,8)})
+                sbuf(k : k+hi0-lo0) = a_2(pos_2(lo0) : pos_2(hi0)); k += hi0-lo0
+              send sbuf(0:2) -> p1  ! 16 bytes
+            on p1:  ! unpack
+              recv rbuf(0:2) <- p0  ! 16 bytes
+              k = 0
+              do (lo0, hi0) in runs(d0: {[0,1)+2k} \u{2229} {[4,8)})
+                a_0(pos_0(lo0) : pos_0(hi0)) = rbuf(k : k+hi0-lo0); k += hi0-lo0
+          p1 -> p0: 2 element(s), 16 byte(s)
+            on p1:  ! pack
+              k = 0
+              do (lo0, hi0) in runs(d0: {[1,2)+2k} \u{2229} {[0,4)})
+                sbuf(k : k+hi0-lo0) = a_2(pos_2(lo0) : pos_2(hi0)); k += hi0-lo0
+              send sbuf(0:2) -> p0  ! 16 bytes
+            on p0:  ! unpack
+              recv rbuf(0:2) <- p1  ! 16 bytes
+              k = 0
+              do (lo0, hi0) in runs(d0: {[1,2)+2k} \u{2229} {[0,4)})
+                a_0(pos_0(lo0) : pos_0(hi0)) = rbuf(k : k+hi0-lo0); k += hi0-lo0
+      endif
+      live_a(0) = .true.
+    endif
+    status_a = 0
+  endif
+  if (live_a(2)) then
+    free a_2
+    live_a(2) = .false.
+  endif
+elif (reaching_0 == 1) then  ! restore a -> a_1
+  if (status_a /= 1) then
+    allocate a_1 if needed
+    if (.not. live_a(1)) then
+      if (status_a == 2) then  ! a_2 -> a_1: 2 message(s), 32 byte(s), 1 round(s)
+        copy local runs a_2 \u{2229} a_1 across ranks (4 element(s) total, no communication)
+        round 1:
+          p0 -> p1: 2 element(s), 16 byte(s)
+            on p0:  ! pack
+              k = 0
+              do (lo0, hi0) in runs(d0: {[0,1)+2k} \u{2229} {[2,4)+4k})
+                sbuf(k : k+hi0-lo0) = a_2(pos_2(lo0) : pos_2(hi0)); k += hi0-lo0
+              send sbuf(0:2) -> p1  ! 16 bytes
+            on p1:  ! unpack
+              recv rbuf(0:2) <- p0  ! 16 bytes
+              k = 0
+              do (lo0, hi0) in runs(d0: {[0,1)+2k} \u{2229} {[2,4)+4k})
+                a_1(pos_1(lo0) : pos_1(hi0)) = rbuf(k : k+hi0-lo0); k += hi0-lo0
+          p1 -> p0: 2 element(s), 16 byte(s)
+            on p1:  ! pack
+              k = 0
+              do (lo0, hi0) in runs(d0: {[1,2)+2k} \u{2229} {[0,2)+4k})
+                sbuf(k : k+hi0-lo0) = a_2(pos_2(lo0) : pos_2(hi0)); k += hi0-lo0
+              send sbuf(0:2) -> p0  ! 16 bytes
+            on p0:  ! unpack
+              recv rbuf(0:2) <- p1  ! 16 bytes
+              k = 0
+              do (lo0, hi0) in runs(d0: {[1,2)+2k} \u{2229} {[0,2)+4k})
+                a_1(pos_1(lo0) : pos_1(hi0)) = rbuf(k : k+hi0-lo0); k += hi0-lo0
+      endif
+      live_a(1) = .true.
+    endif
+    status_a = 1
+  endif
+  if (live_a(2)) then
+    free a_2
+    live_a(2) = .false.
+  endif
+endif
+";
+    assert_eq!(text, expected);
+    // Structural guarantees the golden string encodes: the restore is a
+    // tag switch whose arms carry packed send/recv loops; the old
+    // opaque run-time restore statement is gone from the whole program.
+    let program = hpfc::codegen::render::program_text(p);
+    assert!(!program.contains("remap a -> a_"), "{program}");
+    assert!(program.contains("reaching_0 = status_a"), "{program}");
+    assert_eq!(text.matches("send sbuf").count(), 4);
+    assert_eq!(text.matches("recv rbuf").count(), 4);
+    assert!(!text.contains("a_0 = a_2") && !text.contains("a_1 = a_2"));
+}
+
+#[test]
+fn restore_arm_schedules_match_their_plans() {
+    // Every arm's attached schedule must be the plan's, message for
+    // message — the restore arms are the same artifact as remap copies.
+    let compiled = compile(SAVE_RESTORE, &CompileOptions::naive()).unwrap();
+    let p = &compiled.units["saverest"].program;
+    let op = first_restore(&p.body).expect("restore");
+    let decl = p.array(op.array);
+    for arm in &op.arms {
+        assert_eq!(arm.copies.len(), 1, "one reaching source (the dummy version)");
+        let copy = &arm.copies[0];
+        let plan = hpfc::runtime::plan_redistribution(
+            &decl.versions[copy.src as usize],
+            &decl.versions[arm.target as usize],
+            decl.elem_size,
+        );
+        let sched = copy.schedule();
+        assert_eq!(sched.messages.len() as u64, plan.total_messages());
+        for (m, t) in sched.messages.iter().zip(&plan.transfers) {
+            assert_eq!((m.from, m.to, m.elements), (t.from, t.to, t.elements));
+        }
+        assert_eq!(sched.total_bytes(), plan.total_bytes());
+        let prog = copy.planned.program.as_ref().expect("1-D plan compiles");
+        assert_eq!(prog.n_elements(), 8, "every element delivered once");
+    }
 }
 
 #[test]
