@@ -60,5 +60,53 @@ fn bench_loop_motion(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_adi, bench_fft, bench_loop_motion);
+/// A Fig. 3-style template bounce, remap-dominated: three aligned
+/// arrays, a loop whose every iteration redistributes the template
+/// there and back (two remap groups of three arrays each, all moving
+/// data — naive mode keeps no live copies). `grouped` executes each
+/// directive as one merged-schedule remap group (3 coalesced wire
+/// messages' worth of accounting per pair-round instead of 3×);
+/// `ungrouped` is the one-solo-schedule-per-array baseline.
+fn bench_template_bounce_group(c: &mut Criterion) {
+    const BOUNCE: &str = "\
+subroutine g3loop(t)
+  integer :: t
+  real :: a0(256), a1(256), a2(256)
+!hpf$ processors p(8)
+!hpf$ template tt(256)
+!hpf$ dynamic tt
+!hpf$ align with tt :: a0, a1, a2
+!hpf$ distribute tt(block) onto p
+  a0 = 1.0
+  a1 = 2.0
+  a2 = 3.0
+  do k = 1, t
+!hpf$ redistribute tt(cyclic)
+    x = a0(1) + a1(2) + a2(3)
+!hpf$ redistribute tt(block)
+    x = a0(4) + a1(5) + a2(6)
+  enddo
+end subroutine
+";
+    let mut g = c.benchmark_group("exec/template_bounce_group");
+    for (label, opts) in [
+        ("grouped", CompileOptions::naive()),
+        ("ungrouped", CompileOptions::naive().ungrouped()),
+    ] {
+        let compiled = compile(BOUNCE, &opts).unwrap();
+        let programs = compiled.programs();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &programs, |b, p| {
+            b.iter(|| run(p, "g3loop", 8.0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adi,
+    bench_fft,
+    bench_loop_motion,
+    bench_template_bounce_group
+);
 criterion_main!(benches);

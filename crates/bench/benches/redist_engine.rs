@@ -204,6 +204,77 @@ fn bench_restore_bounce(c: &mut Criterion) {
     g.finish();
 }
 
+/// The directive-level coalescing payoff (Fig. 3, PR 5): two arrays
+/// aligned to one template bounce between two mappings. `solo_sum`
+/// remaps each array through its own cached schedule (one caterpillar
+/// sweep, one cache lookup, one accounting pass per array per
+/// direction — the pre-grouping behavior); `coalesced` moves both
+/// through one [`hpfc::runtime::PlannedGroup`]: same payload and the
+/// same compiled copy runs, but one merged round sweep per direction —
+/// the same-pair wire messages share rounds and latency charges, and
+/// the per-remap bookkeeping (cache lookups, schedule accounting)
+/// is paid once per group instead of once per array.
+fn bench_group_remap(c: &mut Criterion) {
+    use hpfc::runtime::{remap_group, GroupMember, PlannedGroup, PlannedRemap};
+    use std::sync::Arc;
+
+    let n = 4096u64;
+    let mut g = c.benchmark_group("redist/group_remap");
+    let v0 = mk(n, 16, DimFormat::Block(None));
+    let v1 = mk(n, 16, DimFormat::Cyclic(Some(4)));
+    let keep: std::collections::BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    let skip = std::collections::BTreeSet::new();
+
+    g.bench_function("solo_sum", |b| {
+        let mut m = Machine::new(16);
+        let mut a0 = ArrayRt::new("a0", vec![v0.clone(), v1.clone()], 8);
+        let mut a1 = ArrayRt::new("a1", vec![v0.clone(), v1.clone()], 8);
+        a0.current(&mut m, 0).fill(|p| p[0] as f64);
+        a1.current(&mut m, 0).fill(|p| 2.0 * p[0] as f64);
+        b.iter(|| {
+            a0.remap(&mut m, 1, &keep, false);
+            a1.remap(&mut m, 1, &keep, false);
+            a0.set(&[0], 1.0); // stale the other copies: data moves every time
+            a1.set(&[0], 1.0);
+            a0.remap(&mut m, 0, &keep, false);
+            a1.remap(&mut m, 0, &keep, false);
+            a0.set(&[1], 1.0);
+            a1.set(&[1], 1.0);
+            std::hint::black_box((&a0, &a1));
+        })
+    });
+
+    g.bench_function("coalesced", |b| {
+        let mut m = Machine::new(16);
+        let mut a0 = ArrayRt::new("a0", vec![v0.clone(), v1.clone()], 8);
+        let mut a1 = ArrayRt::new("a1", vec![v0.clone(), v1.clone()], 8);
+        a0.current(&mut m, 0).fill(|p| p[0] as f64);
+        a1.current(&mut m, 0).fill(|p| 2.0 * p[0] as f64);
+        let solo =
+            |s: &_, d: &_| Arc::new(PlannedRemap::compile(plan_redistribution(s, d, 8)));
+        let fwd = PlannedGroup::compile(vec![solo(&v0, &v1), solo(&v0, &v1)]);
+        let back = PlannedGroup::compile(vec![solo(&v1, &v0), solo(&v1, &v0)]);
+        b.iter(|| {
+            let mut members = [
+                GroupMember { rt: &mut a0, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut a1, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut m, &mut members, &fwd);
+            a0.set(&[0], 1.0);
+            a1.set(&[0], 1.0);
+            let mut members = [
+                GroupMember { rt: &mut a0, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut a1, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut m, &mut members, &back);
+            a0.set(&[1], 1.0);
+            a1.set(&[1], 1.0);
+            std::hint::black_box((&a0, &a1));
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_plan_closed_form,
@@ -213,6 +284,7 @@ criterion_group!(
     bench_copy_program_compile,
     bench_procs_sweep,
     bench_remap_loop_caching,
-    bench_restore_bounce
+    bench_restore_bounce,
+    bench_group_remap
 );
 criterion_main!(benches);

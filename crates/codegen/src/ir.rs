@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use hpfc_lang::ast::{Expr, Intent, LValue};
 use hpfc_mapping::{ArrayId, NormalizedMapping};
-use hpfc_runtime::{CommSchedule, PlannedRemap};
+use hpfc_runtime::{CommSchedule, PlannedGroup, PlannedRemap};
 
 /// One array of the static program with all its versions.
 #[derive(Debug, Clone)]
@@ -214,6 +214,39 @@ pub struct RemapOp {
     pub copies: Vec<SpmdCopy>,
 }
 
+/// A directive-level remap group (the paper's Fig. 3 situation): one
+/// `REDISTRIBUTE`/`REALIGN` directive remaps *several* arrays at the
+/// same program vertex, and their copies are aggregated into **one**
+/// schedule. Lowering collects every data-moving, single-source
+/// [`RemapOp`] of the directive (members keep their full Fig. 19/20
+/// semantics — liveness sets, partial-impact guards, per-member stats),
+/// merges the member plans' messages so same-(sender, receiver)-pair
+/// messages of different arrays share a caterpillar round and a wire
+/// buffer, and compiles one round-aligned group copy program.
+///
+/// The whole aggregate — merged schedule, member programs, makespan —
+/// is one static object resolved at lowering time: the rendered SPMD
+/// text, the costed rounds
+/// ([`hpfc_runtime::Machine::account_schedule`]-style masked
+/// accounting), and the replayed group program
+/// ([`hpfc_runtime::remap_group`]) cannot disagree. Members whose
+/// runtime state turns out not to move data (status noop, live-copy
+/// reuse, partial-impact skip) drop out of the coalesced buffers; each
+/// member's solo [`PlannedRemap`] is still seeded into the runtime
+/// cache, so even a full fallback never plans at run time.
+#[derive(Debug, Clone)]
+pub struct RemapGroupOp {
+    /// Member remaps in array order. Every member moves data from
+    /// exactly one statically known source version
+    /// (`copies.len() == 1`); multi-source or data-free remaps of the
+    /// same directive are emitted as ordinary solo [`SStmt::Remap`]s.
+    pub members: Vec<RemapOp>,
+    /// The compile-time aggregate: merged caterpillar schedule over all
+    /// members' messages plus the round-aligned group copy program,
+    /// shared by `Arc` with the runtime executor.
+    pub planned: Arc<PlannedGroup>,
+}
+
 /// A statement of the static program.
 #[derive(Debug, Clone)]
 pub enum SStmt {
@@ -263,6 +296,10 @@ pub enum SStmt {
     },
     /// A compiled remapping (Fig. 19/20).
     Remap(RemapOp),
+    /// A directive-level remap group (Fig. 3): several arrays'
+    /// same-directive remaps moved over one merged caterpillar
+    /// schedule with coalesced same-pair wire messages.
+    RemapGroup(RemapGroupOp),
     /// Save the current status of an array before a call whose restore
     /// is flow-dependent (Fig. 18, `reaching_A = status_A`).
     SaveStatus {
@@ -347,6 +384,13 @@ impl StaticProgram {
                     f(op.array, op.target, copy);
                 }
             }
+            SStmt::RemapGroup(g) => {
+                for op in &g.members {
+                    for copy in &op.copies {
+                        f(op.array, op.target, copy);
+                    }
+                }
+            }
             SStmt::RestoreStatus(op) => {
                 for arm in &op.arms {
                     for copy in &arm.copies {
@@ -359,13 +403,15 @@ impl StaticProgram {
     }
 
     /// Total number of `Remap` statements (static count; flow-dependent
-    /// restores count as one remap each).
+    /// restores count as one remap each, remap groups as one per
+    /// member — grouping changes the schedule, not how many remapping
+    /// slots exist).
     pub fn count_remaps(&self) -> usize {
         let mut n = 0;
-        self.for_each_stmt(|s| {
-            if matches!(s, SStmt::Remap(_) | SStmt::RestoreStatus { .. }) {
-                n += 1;
-            }
+        self.for_each_stmt(|s| match s {
+            SStmt::Remap(_) | SStmt::RestoreStatus { .. } => n += 1,
+            SStmt::RemapGroup(g) => n += g.members.len(),
+            _ => {}
         });
         n
     }

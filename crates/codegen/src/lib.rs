@@ -20,5 +20,5 @@ pub mod ir;
 pub mod lower;
 pub mod render;
 
-pub use ir::{RemapOp, SStmt, SpmdCopy, StaticProgram};
-pub use lower::{lower, CodegenStats};
+pub use ir::{RemapGroupOp, RemapOp, SStmt, SpmdCopy, StaticProgram};
+pub use lower::{lower, lower_with, CodegenStats, LowerOptions};

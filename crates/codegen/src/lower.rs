@@ -11,10 +11,12 @@ use hpfc_rgraph::build::{Rg, VertexId};
 use hpfc_rgraph::label::{Leaving, UseInfo};
 
 use hpfc_mapping::VersionId;
-use hpfc_runtime::{plan_redistribution, PlannedRemap};
+use hpfc_runtime::{plan_redistribution, PlannedGroup, PlannedRemap};
 use std::sync::Arc;
 
-use crate::ir::{ArrayDecl, RemapOp, RestoreArm, RestoreOp, SStmt, SpmdCopy, StaticProgram};
+use crate::ir::{
+    ArrayDecl, RemapGroupOp, RemapOp, RestoreArm, RestoreOp, SStmt, SpmdCopy, StaticProgram,
+};
 
 /// Static accounting of what lowering emitted — the compile-time side
 /// of the experiment tables.
@@ -34,11 +36,41 @@ pub struct CodegenStats {
     /// Compile-time-planned restore arms (one per statically possible
     /// saved tag of every flow-dependent restore).
     pub restore_arms: usize,
+    /// Directive-level remap groups emitted (Fig. 3: ≥2 arrays of one
+    /// directive aggregated into a merged schedule).
+    pub remap_groups: usize,
+    /// Total member remaps inside those groups.
+    pub grouped_members: usize,
+}
+
+/// Lowering knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LowerOptions {
+    /// Aggregate the remaps of one directive into a [`RemapGroupOp`]
+    /// with a merged caterpillar schedule (on by default; off lowers
+    /// each array's remap as a solo [`SStmt::Remap`], the pre-grouping
+    /// behavior — useful as a baseline).
+    pub group_remaps: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions { group_remaps: true }
+    }
 }
 
 /// Lower a routine to its static program, consuming the (optimized)
-/// remapping graph.
+/// remapping graph, with default [`LowerOptions`].
 pub fn lower(unit: &RoutineUnit, rg: &Rg) -> (StaticProgram, CodegenStats) {
+    lower_with(unit, rg, &LowerOptions::default())
+}
+
+/// [`lower`] with explicit options.
+pub fn lower_with(
+    unit: &RoutineUnit,
+    rg: &Rg,
+    options: &LowerOptions,
+) -> (StaticProgram, CodegenStats) {
     let mut stats = CodegenStats::default();
 
     // --- indices from source spans to CFG nodes / vertices.
@@ -77,6 +109,7 @@ pub fn lower(unit: &RoutineUnit, rg: &Rg) -> (StaticProgram, CodegenStats) {
         elem_sizes,
         stats: &mut stats,
         n_slots: 0,
+        group_remaps: options.group_remaps,
     };
     let body = lowerer.lower_body(&unit.ast.body);
 
@@ -164,6 +197,7 @@ struct Lowerer<'a> {
     elem_sizes: BTreeMap<ArrayId, u64>,
     stats: &'a mut CodegenStats,
     n_slots: u32,
+    group_remaps: bool,
 }
 
 impl<'a> Lowerer<'a> {
@@ -247,6 +281,61 @@ impl<'a> Lowerer<'a> {
                 unreachable!("restores are emitted by the call path")
             }
         }
+    }
+
+    /// Emit one directive's remap operations: the data-moving,
+    /// single-source members are aggregated into a [`RemapGroupOp`]
+    /// per element size (Fig. 3's template impact — their same-pair
+    /// messages share merged caterpillar rounds and wire buffers);
+    /// everything else (no-data remaps, flow-merged multi-source
+    /// remaps) stays a solo [`SStmt::Remap`]. With grouping off, every
+    /// op is emitted solo — the pre-grouping baseline.
+    fn emit_directive_ops(&mut self, ops: Vec<RemapOp>, out: &mut Vec<SStmt>) {
+        if !self.group_remaps {
+            out.extend(ops.into_iter().map(SStmt::Remap));
+            return;
+        }
+        // Candidates bucketed by element size (a merged schedule's wire
+        // buffers are homogeneous); ops arrive in array order and stay
+        // in array order within each bucket.
+        let mut buckets: BTreeMap<u64, Vec<RemapOp>> = BTreeMap::new();
+        let mut solos = Vec::new();
+        for op in ops {
+            if !op.no_data && op.copies.len() == 1 {
+                buckets.entry(self.elem_sizes[&op.array]).or_default().push(op);
+            } else {
+                solos.push(op);
+            }
+        }
+        // The runtime's mover mask is a u64, so a group coalesces at
+        // most 64 members; a larger directive (65+ aligned arrays) is
+        // emitted as several groups, each coalescing internally.
+        const MAX_GROUP_MEMBERS: usize = 64;
+        for (_, mut members) in buckets {
+            while !members.is_empty() {
+                let rest = if members.len() > MAX_GROUP_MEMBERS {
+                    members.split_off(MAX_GROUP_MEMBERS)
+                } else {
+                    Vec::new()
+                };
+                if members.len() < 2 {
+                    solos.extend(members);
+                } else {
+                    let planned = PlannedGroup::compile(
+                        members.iter().map(|m| Arc::clone(&m.copies[0].planned)).collect(),
+                    );
+                    self.stats.remap_groups += 1;
+                    self.stats.grouped_members += members.len();
+                    out.push(SStmt::RemapGroup(RemapGroupOp {
+                        members,
+                        planned: Arc::new(planned),
+                    }));
+                }
+                members = rest;
+            }
+        }
+        solos.sort_by_key(|op| op.array);
+        out.extend(solos.into_iter().map(SStmt::Remap));
     }
 
     fn lower_stmt(&mut self, s: &Stmt, out: &mut Vec<SStmt>) {
@@ -374,11 +463,13 @@ impl<'a> Lowerer<'a> {
                     let Some(&v) = self.directive_vertex.get(&key(*span)) else {
                         return; // unreachable directive (dead code)
                     };
+                    let mut ops = Vec::new();
                     for (a, label) in self.rg.labels[v.idx()].clone() {
                         if let Some(op) = self.remap_op_from_label(a, &label) {
-                            out.push(SStmt::Remap(op));
+                            ops.push(op);
                         }
                     }
+                    self.emit_directive_ops(ops, out);
                 }
                 // KILL is an analysis fact, not executable code.
                 Directive::Kill { .. } => {}

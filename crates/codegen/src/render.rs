@@ -7,7 +7,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::ir::{RemapOp, RestoreOp, SStmt, SpmdCopy, StaticProgram};
+use crate::ir::{RemapGroupOp, RemapOp, RestoreOp, SStmt, SpmdCopy, StaticProgram};
 use hpfc_lang::pretty::expr_to_string;
 use hpfc_runtime::PackedMessage;
 
@@ -47,14 +47,141 @@ pub fn remap_text(p: &StaticProgram, op: &RemapOp) -> String {
     s.push_str("  endif\n");
     s.push_str(&format!("  status_{name} = {t}\n"));
     s.push_str("endif\n");
-    // Cleaning (Fig. 19's second loop).
-    let all: Vec<u32> = (0..p.array(op.array).versions.len() as u32).collect();
-    for v in all {
+    s.push_str(&cleaning_text(p, op));
+    s
+}
+
+/// Fig. 19's second loop: free every copy outside the target and the
+/// may-live set.
+fn cleaning_text(p: &StaticProgram, op: &RemapOp) -> String {
+    let name = &p.array(op.array).name;
+    let mut s = String::new();
+    for v in 0..p.array(op.array).versions.len() as u32 {
         if v != op.target && !op.may_live.contains(&v) {
             s.push_str(&format!(
                 "if (live_{name}({v})) then\n  free {name}_{v}\n  live_{name}({v}) = .false.\nendif\n"
             ));
         }
+    }
+    s
+}
+
+/// A Fig. 3 remap group as message-level SPMD pseudo-code: the
+/// all-members-move guard (the steady-state fast path), then the
+/// **merged** caterpillar rounds — per round, one coalesced wire
+/// message per communicating pair whose parts are the member arrays'
+/// packed loops. The solo back-to-back per-array remap texts are gone.
+/// At run time, members that would not move data are *masked out* of
+/// the coalesced buffers (the `else` arm's note); only below two
+/// movers does the group degrade to solo guarded remaps — the same
+/// compiled plans either way.
+pub fn remap_group_text(p: &StaticProgram, op: &RemapGroupOp) -> String {
+    let sched = &op.planned.schedule;
+    let member_name = |i: usize| &p.array(op.members[i].array).name;
+    let arrow = |i: usize| {
+        let m = &op.members[i];
+        format!("{n}_{s} -> {n}_{t}", n = member_name(i), s = m.copies[0].src, t = m.target)
+    };
+    let mut s = String::new();
+    let list: Vec<String> = (0..op.members.len()).map(arrow).collect();
+    s.push_str(&format!(
+        "! remap group (one directive, {} arrays): {}\n",
+        op.members.len(),
+        list.join(", ")
+    ));
+    s.push_str(&format!(
+        "! merged schedule: {} wire message(s), {} byte(s), {} round(s) (solo sum: {} round(s))\n",
+        sched.n_wire_messages(),
+        sched.total_bytes(),
+        sched.n_rounds(),
+        op.planned.solo_rounds(),
+    ));
+    let guard: Vec<String> = op
+        .members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            format!(
+                "status_{n} == {s} .and. .not. live_{n}({t})",
+                n = member_name(i),
+                s = m.copies[0].src,
+                t = m.target
+            )
+        })
+        .collect();
+    s.push_str(&format!("if ({}) then  ! coalesced bounce\n", guard.join(" .and. ")));
+    let allocs: Vec<String> = op
+        .members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| format!("{}_{}", member_name(i), m.target))
+        .collect();
+    s.push_str(&format!("  allocate {} if needed\n", allocs.join(", ")));
+    for (i, m) in op.members.iter().enumerate() {
+        let local = m.copies[0].schedule().local_elements;
+        if local > 0 {
+            s.push_str(&format!(
+                "  copy local runs {n}_{src} \u{2229} {n}_{t} across ranks \
+                 ({local} element(s) total, no communication)\n",
+                n = member_name(i),
+                src = m.copies[0].src,
+                t = m.target,
+            ));
+        }
+    }
+    for (round_no, round) in sched.rounds.iter().enumerate() {
+        s.push_str(&format!("  round {}:\n", round_no + 1));
+        // Adjacent same-pair messages of a round are one wire buffer.
+        let mut k = 0usize;
+        while k < round.len() {
+            let first = &sched.messages[round[k]];
+            let (from, to) = (first.from, first.to);
+            let mut end = k + 1;
+            while end < round.len()
+                && sched.messages[round[end]].from == from
+                && sched.messages[round[end]].to == to
+            {
+                end += 1;
+            }
+            let elements: u64 =
+                round[k..end].iter().map(|&mi| sched.messages[mi].elements).sum();
+            s.push_str(&format!(
+                "    p{from} -> p{to}: {elements} element(s), {} byte(s), one buffer \
+                 coalescing {} message(s)\n",
+                elements * sched.elem_size,
+                end - k,
+            ));
+            for &mi in &round[k..end] {
+                let m = &sched.messages[mi];
+                s.push_str(&format!("      part {}:\n", arrow(m.member)));
+                s.push_str(&message_text(
+                    member_name(m.member),
+                    op.members[m.member].copies[0].src,
+                    op.members[m.member].target,
+                    m,
+                    sched.elem_size,
+                    8,
+                ));
+            }
+            k = end;
+        }
+    }
+    for (i, m) in op.members.iter().enumerate() {
+        s.push_str(&format!(
+            "  live_{n}({t}) = .true.; status_{n} = {t}\n",
+            n = member_name(i),
+            t = m.target
+        ));
+    }
+    s.push_str("else\n");
+    s.push_str(
+        "  ! partial group: non-moving members drop out of the coalesced buffers \
+         (their wire parts are masked); below two movers every member runs its \
+         solo guarded remap (same compiled plans, Fig. 20)\n",
+    );
+    s.push_str("endif\n");
+    for m in &op.members {
+        s.push_str(&cleaning_text(p, m));
     }
     s
 }
@@ -287,6 +414,11 @@ fn body_text(p: &StaticProgram, body: &[SStmt], depth: usize, out: &mut String) 
             }
             SStmt::Remap(op) => {
                 for line in remap_text(p, op).lines() {
+                    out.push_str(&format!("{pad}{line}\n"));
+                }
+            }
+            SStmt::RemapGroup(op) => {
+                for line in remap_group_text(p, op).lines() {
                     out.push_str(&format!("{pad}{line}\n"));
                 }
             }

@@ -54,7 +54,7 @@ pub use hpfc_rgraph::{OptConfig, OptStats};
 pub use hpfc_runtime::{CostModel, Machine, NetStats};
 
 /// Compilation options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct CompileOptions {
     /// The remapping-graph optimizations (App. C/D). Defaults to all on;
     /// [`OptConfig::none`] is the naive baseline.
@@ -62,18 +62,40 @@ pub struct CompileOptions {
     /// Loop-invariant remapping motion (Fig. 16 → 17). Off by default —
     /// it is a separate ablation in the paper.
     pub loop_motion: bool,
+    /// Directive-level remap grouping (Fig. 3 template impact): the
+    /// remaps one directive issues for several arrays are aggregated
+    /// into a merged caterpillar schedule with coalesced same-pair
+    /// wire messages. On by default (in naive mode too — it is a
+    /// scheduling property, not a dataflow optimization); turn off via
+    /// [`CompileOptions::ungrouped`] for the one-schedule-per-array
+    /// baseline.
+    pub group_remaps: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { opt: OptConfig::default(), loop_motion: false, group_remaps: true }
+    }
 }
 
 impl CompileOptions {
     /// Everything off: the translation is still array copies, but no
     /// dataflow optimization is applied.
     pub fn naive() -> Self {
-        CompileOptions { opt: OptConfig::none(), loop_motion: false }
+        CompileOptions { opt: OptConfig::none(), ..CompileOptions::default() }
     }
 
     /// Everything on, including loop motion.
     pub fn max() -> Self {
-        CompileOptions { opt: OptConfig::default(), loop_motion: true }
+        CompileOptions { loop_motion: true, ..CompileOptions::default() }
+    }
+
+    /// The same options with directive-level remap grouping disabled —
+    /// every array of a directive gets its own solo schedule (the
+    /// pre-coalescing behavior, kept as a measurable baseline).
+    pub fn ungrouped(mut self) -> Self {
+        self.group_remaps = false;
+        self
     }
 }
 
@@ -141,7 +163,11 @@ pub fn compile(src: &str, options: &CompileOptions) -> Result<Compiled, Vec<Diag
         match hpfc_rgraph::build(unit) {
             Ok(mut rg) => {
                 let opt_stats = hpfc_rgraph::optimize(&mut rg, options.opt);
-                let (program, codegen_stats) = hpfc_codegen::lower(unit, &rg);
+                let (program, codegen_stats) = hpfc_codegen::lower_with(
+                    unit,
+                    &rg,
+                    &hpfc_codegen::LowerOptions { group_remaps: options.group_remaps },
+                );
                 order.push(unit.name.clone());
                 units.insert(
                     unit.name.clone(),

@@ -328,6 +328,42 @@ impl<'a> Executor<'a> {
                 }
                 Flow::Normal
             }
+            SStmt::RemapGroup(op) => {
+                // One directive's remap group: every member's solo plan
+                // is already seeded in its array's cache; the runtime
+                // moves the members whose state matches their planned
+                // copy over the merged schedule (coalesced same-pair
+                // wire messages, one latency per pair per round) and
+                // runs the rest as ordinary guarded no-op remaps.
+                {
+                    // Borrow each member's ArrayRt simultaneously —
+                    // member array ids are distinct and ascending.
+                    let mut rest: &mut [ArrayRt] = &mut frame.arrays;
+                    let mut base = 0usize;
+                    let mut members: Vec<hpfc_runtime::GroupMember<'_>> =
+                        Vec::with_capacity(op.members.len());
+                    for m in &op.members {
+                        let at = m.array.0 as usize - base;
+                        let (head, tail) = std::mem::take(&mut rest).split_at_mut(at + 1);
+                        rest = tail;
+                        base = m.array.0 as usize + 1;
+                        members.push(hpfc_runtime::GroupMember {
+                            rt: &mut head[at],
+                            src: m.copies[0].src,
+                            target: m.target,
+                            may_live: &m.may_live,
+                            skip_if_current: &m.skip_if_current,
+                        });
+                    }
+                    hpfc_runtime::remap_group(&mut self.machine, &mut members, &op.planned);
+                }
+                if self.config.evict_live_copies {
+                    for m in &op.members {
+                        self.evict_all(frame, m.array);
+                    }
+                }
+                Flow::Normal
+            }
             SStmt::SaveStatus { array, slot } => {
                 frame.slots[*slot as usize] = frame.arrays[array.0 as usize].status;
                 Flow::Normal

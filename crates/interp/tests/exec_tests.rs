@@ -249,6 +249,82 @@ fn remap_time_reflects_caterpillar_rounds() {
     );
 }
 
+/// Two arrays aligned to one dynamic template: the redistribution
+/// remaps both at the same vertex (Fig. 3), so lowering must aggregate
+/// them into one `RemapGroupOp` whose merged caterpillar schedule has
+/// strictly fewer rounds than the two solo schedules combined.
+const GROUPED_PAIR: &str = "\
+subroutine grp(s)
+  real :: a(16), b(16)
+!hpf$ processors p(4)
+!hpf$ template t(16)
+!hpf$ dynamic t
+!hpf$ align with t :: a, b
+!hpf$ distribute t(block) onto p
+  a = 1.0
+  b = 2.0
+!hpf$ redistribute t(cyclic) onto p
+  x = a(1) + b(2)
+end subroutine
+";
+
+fn first_group(body: &[hpfc::codegen::ir::SStmt]) -> Option<&hpfc::codegen::ir::RemapGroupOp> {
+    body.iter().find_map(|s| match s {
+        hpfc::codegen::ir::SStmt::RemapGroup(op) => Some(op),
+        _ => None,
+    })
+}
+
+#[test]
+fn grouped_remap_time_reflects_merged_rounds() {
+    // Each array's solo schedule is a 4-proc all-to-all: 12
+    // one-element messages in 3 contention-free rounds — 2 × 3 = 6
+    // solo rounds in total. Merged, the same-pair messages share
+    // rounds and wire buffers: still 3 rounds, 12 wire messages of 2
+    // elements each, and the run is billed exactly 3 rounds of paired
+    // latencies + 16 bytes each way — half the solo-sum latency cost.
+    let compiled = hpfc::compile(GROUPED_PAIR, &CompileOptions::naive()).unwrap();
+    let p = &compiled.units["grp"].program;
+    let op = first_group(&p.body).expect("the directive lowers to one remap group");
+    assert_eq!(op.members.len(), 2, "both aligned arrays are members");
+    assert_eq!(op.planned.schedule.n_rounds(), 3);
+    assert_eq!(op.planned.solo_rounds(), 6, "solo sum");
+    assert!(op.planned.schedule.n_rounds() < op.planned.solo_rounds());
+    assert_eq!(op.planned.schedule.n_wire_messages(), 12);
+    assert_eq!(op.planned.schedule.messages.len(), 24, "12 per member");
+
+    let r = run_naive(GROUPED_PAIR, &[("s", 0.0)]);
+    assert_eq!(r.stats.remap_groups_coalesced, 1, "{:?}", r.stats);
+    assert_eq!(r.stats.remaps_performed, 2, "each member still counts");
+    assert_eq!(r.stats.messages, 12, "coalesced wire messages, not 24");
+    assert_eq!(r.stats.bytes, 24 * 8, "both arrays' bytes travel");
+    assert_eq!(r.stats.plans_computed, 0, "{:?}", r.stats);
+    let cost = hpfc::CostModel::default();
+    // 3 merged rounds x (send + recv latency + 2 x 16 coalesced bytes).
+    let per_round = 2.0 * cost.latency_us + 2.0 * 16.0 / cost.bandwidth_bytes_per_us;
+    assert!(
+        (r.stats.time_us - 3.0 * per_round).abs() < 1e-9,
+        "time {} != 3 merged rounds × {per_round}",
+        r.stats.time_us
+    );
+    // The solo-sum baseline books the same traffic in twice the
+    // rounds' latency: strictly slower in the model.
+    let ungrouped = {
+        let mut cfg = ExecConfig::default();
+        cfg = cfg.with_scalar("s", 0.0);
+        compile_and_run(GROUPED_PAIR, &CompileOptions::naive().ungrouped(), cfg)
+            .expect("compile+run")
+            .1
+    };
+    assert_eq!(ungrouped.stats.messages, 24);
+    assert_eq!(ungrouped.stats.bytes, r.stats.bytes);
+    assert!(ungrouped.stats.time_us > r.stats.time_us);
+    assert_eq!(ungrouped.arrays, r.arrays, "grouping never changes values");
+    // Values: both arrays arrive intact through the coalesced rounds.
+    assert!(r.arrays["a"].iter().all(|&v| v == 1.0));
+    assert!(r.arrays["b"].iter().all(|&v| v == 2.0));
+}
+
 /// A Fig. 15/18 program driven by a scalar so both restore arms are
 /// reachable deterministically: CYCLIC initially, CYCLIC(2) on the
 /// taken branch, BLOCK for the callee dummy — over 4 procs both

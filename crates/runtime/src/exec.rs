@@ -127,8 +127,11 @@ pub struct CopyProgram {
     /// The (source, destination) mapping pair the triples were
     /// compiled for — replay refuses to apply them to any other pair
     /// (precompiled positions are meaningless against different block
-    /// layouts).
-    pub mappings: Box<(hpfc_mapping::NormalizedMapping, hpfc_mapping::NormalizedMapping)>,
+    /// layouts). The `Arc` is shared with
+    /// [`crate::RedistPlan::mappings`]: a cached
+    /// [`crate::PlannedRemap`] stores the pair once, halving its
+    /// mapping footprint.
+    pub mappings: std::sync::Arc<(hpfc_mapping::NormalizedMapping, hpfc_mapping::NormalizedMapping)>,
     /// Flat `(src_pos, dst_pos, len)` triples, unit ranges index this.
     pub runs: Vec<CopyRun>,
     /// Local units (`provider == receiver`), sorted by receiver — one
@@ -164,19 +167,37 @@ impl CopyProgram {
     /// elements). Callers fall back to the table engine
     /// ([`crate::VersionData::copy_values_from_plan`]).
     pub fn try_compile(plan: &RedistPlan, schedule: &CommSchedule) -> Option<CopyProgram> {
+        CopyProgram::compile_inner(plan, schedule, false)
+    }
+
+    /// [`CopyProgram::try_compile`], parameterized over whether empty
+    /// rounds are kept: a member program of a [`GroupCopyProgram`] is
+    /// compiled against the *merged* schedule of its whole remap group,
+    /// and must keep one (possibly empty) unit list per merged round so
+    /// round `r` means the same wire round for every member.
+    fn compile_inner(
+        plan: &RedistPlan,
+        schedule: &CommSchedule,
+        keep_empty_rounds: bool,
+    ) -> Option<CopyProgram> {
         let (src, dst) = plan.mappings.as_deref()?;
         let rank = src.array_extents.rank();
         if rank == 0 || plan.dims.len() != rank {
             return None;
         }
-        let mappings = Box::new((src.clone(), dst.clone()));
+        let mappings = std::sync::Arc::clone(plan.mappings.as_ref().expect("checked above"));
         if plan.dims.iter().any(|e| e.is_empty()) {
-            // Empty array: a program with nothing to do.
+            // Empty array: a program with nothing to do (round-aligned
+            // when asked, so group replay can still index by round).
             return Some(CopyProgram {
                 mappings,
                 runs: Vec::new(),
                 local: Vec::new(),
-                rounds: Vec::new(),
+                rounds: if keep_empty_rounds {
+                    vec![Vec::new(); schedule.rounds.len()]
+                } else {
+                    Vec::new()
+                },
                 total_elements: 0,
             });
         }
@@ -270,7 +291,9 @@ impl CopyProgram {
         for round in &mut rounds {
             round.sort_by_key(|u| u.receiver);
         }
-        rounds.retain(|r| !r.is_empty());
+        if !keep_empty_rounds {
+            rounds.retain(|r| !r.is_empty());
+        }
         debug_assert_eq!(
             total_elements,
             plan.local_elements + plan.remote_elements(),
@@ -337,55 +360,118 @@ impl CopyProgram {
                 }
                 continue;
             }
-            // Pair units (sorted by receiver) with their blocks.
-            let mut paired: Vec<(&mut LocalBlock, &CopyUnit)> = Vec::with_capacity(round.len());
-            let mut units = round.iter().peekable();
-            for (r, slot) in dst.blocks.iter_mut().enumerate() {
-                match units.peek() {
-                    Some(u) if u.receiver == r as u64 => {
-                        paired.push((slot.as_mut().expect("receiver allocates the data"), u));
-                        units.next();
-                    }
-                    Some(_) => {}
-                    None => break,
-                }
+            let mut paired: Vec<PairedUnit<'_>> = Vec::with_capacity(round.len());
+            pair_round_units(round, &self.runs, src, dst, &mut paired);
+            replay_chunked(paired, total, threads);
+        }
+    }
+}
+
+/// One parallel-replay work item: the receiving block, the providing
+/// block, the unit, and the run table its range indexes.
+pub(crate) type PairedUnit<'a> = (&'a mut LocalBlock, &'a LocalBlock, CopyUnit, &'a [CopyRun]);
+
+/// Pair one program's round units with their receiving blocks in a
+/// single pass over the destination block table — valid because units
+/// are sorted by receiver and receivers within a round are distinct
+/// (the caterpillar contention-freedom), so every `&mut` handed out is
+/// unique. Appends to `out` so callers can pool several programs'
+/// units (the group replay) before spawning.
+pub(crate) fn pair_round_units<'a>(
+    units: &'a [CopyUnit],
+    runs: &'a [CopyRun],
+    src: &'a VersionData,
+    dst: &'a mut VersionData,
+    out: &mut Vec<PairedUnit<'a>>,
+) {
+    let mut it = units.iter().peekable();
+    for (rank, slot) in dst.blocks.iter_mut().enumerate() {
+        match it.peek() {
+            Some(u) if u.receiver == rank as u64 => {
+                let db = slot.as_mut().expect("receiver allocates the data");
+                let sb = src.blocks[u.provider as usize]
+                    .as_ref()
+                    .expect("provider holds the data");
+                out.push((db, sb, **u, runs));
+                it.next();
             }
-            debug_assert!(units.next().is_none(), "round receivers are sorted and distinct");
-            let target = total.div_ceil(threads as u64).max(1);
-            let runs = &self.runs;
-            std::thread::scope(|scope| {
-                let mut rest = paired;
-                while !rest.is_empty() {
-                    let mut weight = 0u64;
-                    let mut take = 0usize;
-                    while take < rest.len() && (take == 0 || weight < target) {
-                        weight += rest[take].1.elements;
-                        take += 1;
-                    }
-                    let tail = rest.split_off(take);
-                    let chunk = std::mem::replace(&mut rest, tail);
-                    scope.spawn(move || {
-                        for (dst_block, unit) in chunk {
-                            let src_block = src.blocks[unit.provider as usize]
-                                .as_ref()
-                                .expect("provider holds the data");
-                            replay_unit(runs, *unit, src_block, dst_block);
-                        }
-                    });
+            Some(_) => {}
+            None => break,
+        }
+    }
+    debug_assert!(it.next().is_none(), "round receivers are sorted and distinct");
+}
+
+/// Split paired units into contiguous chunks balanced by element count
+/// (`total` elements across `threads` workers) and replay each chunk
+/// on a scoped worker thread. Receivers are pairwise distinct across
+/// the whole `paired` list by construction, so no locks are needed.
+pub(crate) fn replay_chunked(paired: Vec<PairedUnit<'_>>, total: u64, threads: usize) {
+    let target = total.div_ceil(threads as u64).max(1);
+    std::thread::scope(|scope| {
+        let mut rest = paired;
+        while !rest.is_empty() {
+            let mut weight = 0u64;
+            let mut take = 0usize;
+            while take < rest.len() && (take == 0 || weight < target) {
+                weight += rest[take].2.elements;
+                take += 1;
+            }
+            let tail = rest.split_off(take);
+            let chunk = std::mem::replace(&mut rest, tail);
+            scope.spawn(move || {
+                for (db, sb, unit, runs) in chunk {
+                    replay_unit(runs, unit, sb, db);
                 }
             });
         }
+    });
+}
+
+/// The compiled data movement of a whole remap group: one round-aligned
+/// member [`CopyProgram`] per member plan of the group's merged
+/// [`CommSchedule`]. Every member's `rounds[r]` holds its units of
+/// merged wire round `r` (empty rounds kept), so the group replay
+/// ([`crate::group::remap_group`]) can walk the rounds once and move
+/// every member array's units of that round together — serially in
+/// member order (receiving *blocks* are distinct across members: each
+/// member writes its own array's storage) or split across scoped worker
+/// threads in [`ExecMode::Parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupCopyProgram {
+    /// One round-aligned program per member plan, in group order; every
+    /// member has exactly `n_rounds` round unit lists.
+    pub members: Vec<CopyProgram>,
+    /// Merged wire round count (`== merged schedule's rounds.len()`).
+    pub n_rounds: usize,
+    /// Total elements delivered across all members (local + remote,
+    /// replicas counted).
+    pub total_elements: u64,
+}
+
+impl GroupCopyProgram {
+    /// Compile every member plan against the group's merged schedule.
+    /// Returns `None` if any member cannot drive a compiled program
+    /// (the group then falls back to per-member solo remaps).
+    pub fn try_compile(plans: &[&RedistPlan], merged: &CommSchedule) -> Option<GroupCopyProgram> {
+        let members: Vec<CopyProgram> = plans
+            .iter()
+            .map(|p| CopyProgram::compile_inner(p, merged, true))
+            .collect::<Option<_>>()?;
+        debug_assert!(members.iter().all(|m| m.rounds.len() == merged.rounds.len()));
+        let total_elements = members.iter().map(|m| m.total_elements).sum();
+        Some(GroupCopyProgram { members, n_rounds: merged.rounds.len(), total_elements })
     }
 }
 
 /// Below this many elements a round is replayed inline even in
 /// [`ExecMode::Parallel`] — the scoped-thread spawns would cost more
 /// than the copy itself.
-const PARALLEL_THRESHOLD: u64 = 1 << 15;
+pub(crate) const PARALLEL_THRESHOLD: u64 = 1 << 15;
 
 /// Replay one unit's precompiled runs.
 #[inline]
-fn replay_unit(runs: &[CopyRun], unit: CopyUnit, src: &LocalBlock, dst: &mut LocalBlock) {
+pub(crate) fn replay_unit(runs: &[CopyRun], unit: CopyUnit, src: &LocalBlock, dst: &mut LocalBlock) {
     let (lo, hi) = unit.runs;
     for r in &runs[lo as usize..hi as usize] {
         let (s, d, len) = (r.src_pos as usize, r.dst_pos as usize, r.len as usize);

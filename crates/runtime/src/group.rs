@@ -1,0 +1,482 @@
+//! Directive-level remap groups: several arrays remapped by **one**
+//! directive, moved over **one** aggregated caterpillar schedule.
+//!
+//! When a `distribute`/`align` directive hits a template, *every* array
+//! aligned to it remaps at the same program vertex (the paper's Fig. 3
+//! template-impact situation). Scheduled independently, each array pays
+//! the full per-pair round latency on the same processor pairs, N times
+//! over. A [`PlannedGroup`] instead merges the member plans' messages:
+//! same-pair messages share a caterpillar round and a wire buffer
+//! ([`CommSchedule::from_plans`]), so the group's makespan is one round
+//! sweep — never more rounds than the members' solo sum, and strictly
+//! fewer whenever two members talk over the same pairs.
+//!
+//! [`remap_group`] is the executable form: it checks, per member, that
+//! the exact compile-time-planned copy is the one the runtime would
+//! perform (current status is the planned source, target copy not
+//! live). Members that would not move data (status noop, live-copy
+//! reuse, partial-impact skip, first instantiation) are executed as
+//! ordinary [`ArrayRt::remap_guarded`] no-ops and **masked out** of the
+//! accounting — the coalesced wire buffers simply shrink — while the
+//! remaining movers are costed over the merged rounds
+//! ([`CommSchedule::round_triples_masked`]) and replayed round by round
+//! from the group's compiled [`GroupCopyProgram`]. The replay is
+//! allocation-free in steady state (same contract as a solo cached
+//! remap) and safe under [`ExecMode::Parallel`]: within a merged round,
+//! every receiving *block* is written by exactly one unit — receivers
+//! are distinct per member, and different members write different
+//! arrays' storage.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::exec::{pair_round_units, replay_chunked, replay_unit, CopyProgram, CopyUnit,
+                  ExecMode, GroupCopyProgram, PairedUnit, PARALLEL_THRESHOLD};
+use crate::machine::Machine;
+use crate::redist::RedistPlan;
+use crate::schedule::CommSchedule;
+use crate::status::{ArrayRt, PlannedRemap};
+use crate::store::VersionData;
+
+/// The compile-time artifact of one directive's remap group: the
+/// members' solo plans (shared `Arc`s with each member's own
+/// [`PlannedRemap`], so nothing is planned twice), their messages
+/// merged into one aggregated caterpillar schedule, and the group copy
+/// program that replays every member's units round by round.
+#[derive(Debug, Clone)]
+pub struct PlannedGroup {
+    /// The member remaps, in group order (one per array, each with its
+    /// own plan + solo schedule + solo program — the fallback path).
+    pub members: Vec<Arc<PlannedRemap>>,
+    /// The merged schedule: all members' same-pair messages share
+    /// rounds and wire buffers.
+    pub schedule: CommSchedule,
+    /// The group replay program, round-aligned to `schedule`. `None`
+    /// when some member cannot drive a compiled program — the group
+    /// then always falls back to solo remaps.
+    pub program: Option<GroupCopyProgram>,
+}
+
+impl PlannedGroup {
+    /// Merge the members' plans into the aggregated schedule and
+    /// compile the group program. The members' plans are borrowed, not
+    /// replanned.
+    pub fn compile(members: Vec<Arc<PlannedRemap>>) -> PlannedGroup {
+        let plans: Vec<&RedistPlan> = members.iter().map(|m| &m.plan).collect();
+        let schedule = CommSchedule::from_plans(&plans);
+        let program = GroupCopyProgram::try_compile(&plans, &schedule);
+        PlannedGroup { members, schedule, program }
+    }
+
+    /// Sum of the members' *solo* round counts — what the same remaps
+    /// would cost in rounds if scheduled one array at a time. The
+    /// merged schedule has `schedule.n_rounds() <=` this, strictly less
+    /// whenever members share processor pairs.
+    pub fn solo_rounds(&self) -> usize {
+        self.members.iter().map(|m| m.schedule.n_rounds()).sum()
+    }
+}
+
+/// One member's runtime binding for [`remap_group`]: the array's
+/// runtime descriptor plus the compile-time facts of its remap op
+/// (single planned source, target, liveness sets — the fields of
+/// `hpfc-codegen`'s `RemapOp` the runtime needs).
+pub struct GroupMember<'a> {
+    /// The array's runtime state.
+    pub rt: &'a mut ArrayRt,
+    /// The single compile-time-planned source version of this member's
+    /// copy.
+    pub src: u32,
+    /// Target version.
+    pub target: u32,
+    /// Copies to keep alive past the remap (`M_A(v)`).
+    pub may_live: &'a BTreeSet<u32>,
+    /// Partial-impact guard: statuses under which this member skips.
+    pub skip_if_current: &'a BTreeSet<u32>,
+}
+
+impl<'a> GroupMember<'a> {
+    /// Would this member, right now, perform exactly its planned copy
+    /// (source → target data movement)? Everything else — status noop,
+    /// live-copy reuse, partial-impact skip, first instantiation —
+    /// moves no data and is handled by the ordinary remap path.
+    fn moves_data(&self) -> bool {
+        self.rt.status == Some(self.src)
+            && !self.rt.live[self.target as usize]
+            && !self.skip_if_current.contains(&self.src)
+    }
+}
+
+/// Execute one directive's remap group.
+///
+/// Members whose state matches their compile-time-planned copy are
+/// moved **coalesced**: one masked accounting sweep over the merged
+/// caterpillar rounds (each communicating pair pays one latency per
+/// round, not one per array), one round-by-round replay of the group
+/// copy program. All other members (and every member, if fewer than two
+/// would move data or the group has no compiled program) go through
+/// [`ArrayRt::remap_guarded`] — with their solo plan seeded into the
+/// array's cache first, so even the fallback never plans at run time.
+///
+/// `members` must be in group order (matching `planned.members`).
+/// Groups larger than 64 members never coalesce (the mover mask is a
+/// `u64`); lowering emits groups of at most 64, so lowered programs
+/// never hit that fallback. Returns the number of members that moved
+/// through the coalesced path (0 when the group fell back entirely).
+pub fn remap_group(
+    machine: &mut Machine,
+    members: &mut [GroupMember<'_>],
+    planned: &PlannedGroup,
+) -> usize {
+    assert_eq!(members.len(), planned.members.len(), "group member mismatch");
+    // Seed every member's solo plan (a no-op when already present):
+    // whichever path executes below, nothing plans at run time.
+    for (i, m) in members.iter_mut().enumerate() {
+        m.rt.seed_plan(m.src, m.target, Arc::clone(&planned.members[i]));
+    }
+    let mut mask = 0u64;
+    let mut movers = 0usize;
+    if planned.program.is_some() && members.len() <= 64 {
+        for (i, m) in members.iter().enumerate() {
+            if m.moves_data() {
+                mask |= 1 << i;
+                movers += 1;
+            }
+        }
+    }
+    if movers < 2 {
+        // Nothing to coalesce: ordinary guarded remaps (cache hits).
+        for m in members.iter_mut() {
+            m.rt.remap_guarded(machine, m.target, m.may_live, false, m.skip_if_current);
+        }
+        return 0;
+    }
+    // Non-movers first: their remap is a no-op plus cleaning, fully
+    // independent of the movers (different arrays).
+    for (i, m) in members.iter_mut().enumerate() {
+        if mask & (1 << i) == 0 {
+            m.rt.remap_guarded(machine, m.target, m.may_live, false, m.skip_if_current);
+        }
+    }
+    // The coalesced movement: allocate targets, cost the merged rounds
+    // restricted to the movers, replay the group program.
+    for (i, m) in members.iter_mut().enumerate() {
+        if mask & (1 << i) != 0 {
+            m.rt.ensure_allocated(machine, m.target);
+        }
+    }
+    for r in 0..planned.schedule.rounds.len() {
+        machine.account_phase(planned.schedule.round_triples_masked(r, mask));
+    }
+    let prog = planned.program.as_ref().expect("movers imply a compiled group program");
+    let mode = machine.exec_mode;
+    match mode {
+        ExecMode::Parallel(t) if t > 1 => replay_parallel(members, prog, mask, t),
+        _ => replay_serial(members, prog, mask),
+    }
+    machine.stats.remap_groups_coalesced += 1;
+    for (i, m) in members.iter_mut().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        let mp = &prog.members[i];
+        machine.stats.remaps_performed += 1;
+        machine.stats.runs_copied += mp.n_runs();
+        machine.stats.bytes_moved += mp.n_elements() * m.rt.elem_size;
+        machine.stats.local_elements += planned.members[i].plan.local_elements;
+        m.rt.live[m.target as usize] = true;
+        m.rt.status = Some(m.target);
+        // Cleaning, exactly as `remap_guarded`'s tail.
+        for v in 0..m.rt.live.len() as u32 {
+            if v != m.target && m.rt.live[v as usize] && !m.may_live.contains(&v) {
+                m.rt.free_copy(machine, v);
+            }
+        }
+    }
+    movers
+}
+
+/// The member's (source, destination) version storage, borrowed
+/// simultaneously from its copies table (the two versions are distinct
+/// by construction — a planned copy never has `src == target`).
+fn member_pair<'a>(
+    rt: &'a mut ArrayRt,
+    src: u32,
+    dst: u32,
+) -> (&'a VersionData, &'a mut VersionData) {
+    let (s, d) = (src as usize, dst as usize);
+    debug_assert_ne!(s, d, "planned copies move between distinct versions");
+    if s < d {
+        let (lo, hi) = rt.copies.split_at_mut(d);
+        (
+            lo[s].as_ref().expect("source copy is allocated"),
+            hi[0].as_mut().expect("target copy is allocated"),
+        )
+    } else {
+        let (lo, hi) = rt.copies.split_at_mut(s);
+        (
+            hi[0].as_ref().expect("source copy is allocated"),
+            lo[d].as_mut().expect("target copy is allocated"),
+        )
+    }
+}
+
+/// A member program's units of one group round (`None` = the local,
+/// never-on-the-wire group).
+fn units_of(mp: &CopyProgram, round: Option<usize>) -> &[CopyUnit] {
+    match round {
+        None => &mp.local,
+        Some(r) => &mp.rounds[r],
+    }
+}
+
+/// Serial group replay: walk the merged rounds (local group first) and
+/// move every masked-in member's units of that round. Allocation-free —
+/// the steady-state coalesced bounce performs zero heap allocations,
+/// like a solo cached remap.
+fn replay_serial(members: &mut [GroupMember<'_>], prog: &GroupCopyProgram, mask: u64) {
+    for round in std::iter::once(None).chain((0..prog.n_rounds).map(Some)) {
+        replay_round_inline(members, prog, mask, round);
+    }
+}
+
+/// One round of serial (or inline-parallel) replay.
+fn replay_round_inline(
+    members: &mut [GroupMember<'_>],
+    prog: &GroupCopyProgram,
+    mask: u64,
+    round: Option<usize>,
+) {
+    for (i, m) in members.iter_mut().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        let mp = &prog.members[i];
+        let units = units_of(mp, round);
+        if units.is_empty() {
+            continue;
+        }
+        let (src, dst) = member_pair(m.rt, m.src, m.target);
+        for unit in units {
+            let sb = src.blocks[unit.provider as usize]
+                .as_ref()
+                .expect("provider holds the data");
+            let db = dst.blocks[unit.receiver as usize]
+                .as_mut()
+                .expect("receiver allocates the data");
+            replay_unit(&mp.runs, *unit, sb, db);
+        }
+    }
+}
+
+/// Parallel group replay: per merged round, pair every masked-in
+/// member's units with their receiving blocks — distinct per member
+/// (schedule contention-freedom) and across members (different arrays'
+/// storage) — then split the round into weight-balanced chunks across
+/// scoped worker threads. Rounds below [`PARALLEL_THRESHOLD`] elements
+/// replay inline, spawning nothing.
+fn replay_parallel(
+    members: &mut [GroupMember<'_>],
+    prog: &GroupCopyProgram,
+    mask: u64,
+    threads: usize,
+) {
+    for round in std::iter::once(None).chain((0..prog.n_rounds).map(Some)) {
+        let total: u64 = prog
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, mp)| units_of(mp, round).iter().map(|u| u.elements).sum::<u64>())
+            .sum();
+        if total == 0 {
+            continue;
+        }
+        if total < PARALLEL_THRESHOLD {
+            replay_round_inline(members, prog, mask, round);
+            continue;
+        }
+        // Pool every masked-in member's round units, paired with their
+        // receiving blocks (distinct per member by contention-freedom,
+        // distinct across members because each member writes its own
+        // array's storage), then split across scoped workers.
+        let mut paired: Vec<PairedUnit<'_>> = Vec::new();
+        for (i, m) in members.iter_mut().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let mp = &prog.members[i];
+            let units = units_of(mp, round);
+            if units.is_empty() {
+                continue;
+            }
+            let (src, dst) = member_pair(m.rt, m.src, m.target);
+            pair_round_units(units, &mp.runs, src, dst, &mut paired);
+        }
+        replay_chunked(paired, total, threads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redist::plan_redistribution;
+    use hpfc_mapping::{testing::mapping_1d as mk, DimFormat, NormalizedMapping};
+
+    fn planned_pair(
+        src: &NormalizedMapping,
+        dst: &NormalizedMapping,
+    ) -> Arc<PlannedRemap> {
+        Arc::new(PlannedRemap::compile(plan_redistribution(src, dst, 8)))
+    }
+
+    fn two_array_group(
+        n: u64,
+        p: u64,
+        f0: DimFormat,
+        f1: DimFormat,
+    ) -> (Machine, ArrayRt, ArrayRt, PlannedGroup, PlannedGroup) {
+        let v0 = mk(n, p, f0);
+        let v1 = mk(n, p, f1);
+        let m = Machine::new(p);
+        let mut a = ArrayRt::new("a", vec![v0.clone(), v1.clone()], 8);
+        let mut b = ArrayRt::new("b", vec![v0.clone(), v1.clone()], 8);
+        let mut machine = m;
+        a.current(&mut machine, 0).fill(|pt| pt[0] as f64);
+        b.current(&mut machine, 0).fill(|pt| 1000.0 + pt[0] as f64);
+        let fwd = PlannedGroup::compile(vec![planned_pair(&v0, &v1), planned_pair(&v0, &v1)]);
+        let back = PlannedGroup::compile(vec![planned_pair(&v1, &v0), planned_pair(&v1, &v0)]);
+        (machine, a, b, fwd, back)
+    }
+
+    #[test]
+    fn merged_schedule_has_fewer_rounds_and_same_bytes() {
+        let (_, _, _, fwd, _) =
+            two_array_group(16, 4, DimFormat::Block(None), DimFormat::Cyclic(None));
+        // Two identical block->cyclic all-to-alls: solo 3 rounds each,
+        // merged still 3 rounds — strictly fewer than the solo sum of 6.
+        assert_eq!(fwd.schedule.n_rounds(), 3);
+        assert_eq!(fwd.solo_rounds(), 6);
+        // Bytes are the sum of the members'; wire messages coalesce to
+        // one per pair per round (12, not 24).
+        let solo_bytes: u64 = fwd.members.iter().map(|m| m.plan.total_bytes()).sum();
+        assert_eq!(fwd.schedule.total_bytes(), solo_bytes);
+        assert_eq!(fwd.schedule.messages.len(), 24);
+        assert_eq!(fwd.schedule.n_wire_messages(), 12);
+        // The group program delivers every member's (local + remote)
+        // elements exactly once.
+        let prog = fwd.program.as_ref().expect("1-D members compile");
+        let deliveries: u64 = fwd
+            .members
+            .iter()
+            .map(|m| m.plan.local_elements + m.plan.remote_elements())
+            .sum();
+        assert_eq!(prog.total_elements, deliveries);
+    }
+
+    #[test]
+    fn coalesced_group_moves_both_arrays_with_one_latency_per_pair_round() {
+        let (mut machine, mut a, mut b, fwd, _) =
+            two_array_group(16, 4, DimFormat::Block(None), DimFormat::Cyclic(None));
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        let skip = BTreeSet::new();
+        let moved = {
+            let mut members = [
+                GroupMember { rt: &mut a, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut machine, &mut members, &fwd)
+        };
+        assert_eq!(moved, 2);
+        assert_eq!(machine.stats.remap_groups_coalesced, 1);
+        assert_eq!(machine.stats.remaps_performed, 2);
+        // 12 coalesced wire messages (not 24), each carrying 2 arrays'
+        // elements; bytes are both plans' sums.
+        assert_eq!(machine.stats.messages, 12);
+        assert_eq!(machine.stats.bytes, 2 * 12 * 8);
+        // Values arrived intact for both arrays.
+        for i in 0..16u64 {
+            assert_eq!(a.get(&[i]), i as f64);
+            assert_eq!(b.get(&[i]), 1000.0 + i as f64);
+        }
+        // Time is 3 merged rounds, one send+recv latency per processor
+        // per round, 2 x 16 bytes per direction.
+        let cost = machine.cost;
+        let per_round = 2.0 * cost.latency_us + 2.0 * 16.0 / cost.bandwidth_bytes_per_us;
+        assert!((machine.stats.time_us - 3.0 * per_round).abs() < 1e-9,
+            "time {} != 3 x {per_round}", machine.stats.time_us);
+        // Nothing planned at run time (solo plans were seeded).
+        assert_eq!(machine.stats.plans_computed, 0);
+    }
+
+    #[test]
+    fn ineligible_member_masks_out_of_the_coalesced_accounting() {
+        let (mut machine, mut a, mut b, fwd, back) =
+            two_array_group(16, 4, DimFormat::Block(None), DimFormat::Cyclic(None));
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        let skip = BTreeSet::new();
+        {
+            let mut members = [
+                GroupMember { rt: &mut a, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut machine, &mut members, &fwd);
+        }
+        // Stale only a's old copy: on the way back, b's version-0 copy
+        // is still live — b reuses it and must not be billed.
+        a.set(&[0], 99.0);
+        let bytes_before = machine.stats.bytes;
+        let moved = {
+            let mut members = [
+                GroupMember { rt: &mut a, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut machine, &mut members, &back)
+        };
+        // Only one mover: the group falls back to solo guarded remaps.
+        assert_eq!(moved, 0);
+        assert_eq!(machine.stats.remaps_reused_live, 1);
+        // a's solo return trip is 12 messages of 8 bytes.
+        assert_eq!(machine.stats.bytes, bytes_before + 12 * 8);
+        assert_eq!(machine.stats.plans_computed, 0, "fallback was seeded, never plans");
+        assert_eq!(a.get(&[0]), 99.0);
+        assert_eq!(b.get(&[3]), 1003.0);
+    }
+
+    #[test]
+    fn serial_and_parallel_group_replay_agree() {
+        // Large enough that parallel rounds cross the inline threshold
+        // and really spawn scoped workers across both arrays' units.
+        let run = |mode: ExecMode| {
+            let (machine, mut a, mut b, fwd, back) =
+                two_array_group(1 << 18, 4, DimFormat::Block(None), DimFormat::Cyclic(Some(3)));
+            let mut machine = machine.with_exec_mode(mode);
+            let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+            let skip = BTreeSet::new();
+            for round in 0..3 {
+                {
+                    let mut members = [
+                        GroupMember { rt: &mut a, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                        GroupMember { rt: &mut b, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                    ];
+                    assert_eq!(remap_group(&mut machine, &mut members, &fwd), 2);
+                }
+                a.set(&[0], round as f64);
+                b.set(&[1], round as f64);
+                {
+                    let mut members = [
+                        GroupMember { rt: &mut a, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+                        GroupMember { rt: &mut b, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+                    ];
+                    assert_eq!(remap_group(&mut machine, &mut members, &back), 2);
+                }
+                a.set(&[2], round as f64);
+                b.set(&[3], round as f64);
+            }
+            let av = a.copies[a.status.unwrap() as usize].as_ref().unwrap().to_dense();
+            let bv = b.copies[b.status.unwrap() as usize].as_ref().unwrap().to_dense();
+            (av, bv, machine.stats.bytes, machine.stats.messages)
+        };
+        assert_eq!(run(ExecMode::Serial), run(ExecMode::Parallel(4)));
+    }
+}

@@ -24,6 +24,11 @@
 //!   flat `(src_pos, dst_pos, len)` triples at plan time, replayed
 //!   allocation-free per copy and optionally in parallel per
 //!   caterpillar round (`HPFC_THREADS` / [`exec::ExecMode`]);
+//! * [`group::PlannedGroup`] — several arrays remapped by one directive
+//!   (Fig. 3 template impact) merged into one aggregated schedule:
+//!   same-pair messages share rounds and wire buffers
+//!   ([`schedule::CommSchedule::from_plans`]), and
+//!   [`group::remap_group`] replays the whole group round by round;
 //! * [`store::VersionData`] — actual per-processor storage of array
 //!   versions, so kernels can be executed end-to-end and checked for
 //!   distribution-independent results;
@@ -36,13 +41,15 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod group;
 pub mod machine;
 pub mod redist;
 pub mod schedule;
 pub mod status;
 pub mod store;
 
-pub use exec::{CopyProgram, CopyRun, CopyUnit, ExecMode};
+pub use exec::{CopyProgram, CopyRun, CopyUnit, ExecMode, GroupCopyProgram};
+pub use group::{remap_group, GroupMember, PlannedGroup};
 pub use machine::{CostModel, Machine, NetStats};
 pub use redist::{plan_by_enumeration, plan_redistribution, RedistPlan, Transfer};
 pub use schedule::{CommSchedule, MsgDim, PackedMessage};

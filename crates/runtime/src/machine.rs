@@ -78,6 +78,11 @@ pub struct NetStats {
     /// status-check noop or live-copy reuse moves nothing, otherwise
     /// the arm's cached copy program is replayed).
     pub restores_replayed: u64,
+    /// Directive-level remap groups executed over their merged
+    /// caterpillar schedule (≥2 member arrays moved coalesced — each
+    /// member still counts in `remaps_performed`; a group whose members
+    /// fall back to solo remaps does not count here).
+    pub remap_groups_coalesced: u64,
 }
 
 impl NetStats {
@@ -96,13 +101,15 @@ impl NetStats {
         self.bytes_moved += o.bytes_moved;
         self.runs_copied += o.runs_copied;
         self.restores_replayed += o.restores_replayed;
+        self.remap_groups_coalesced += o.remap_groups_coalesced;
     }
 
     /// One-line human-readable digest (experiment drivers, examples).
     pub fn summary(&self) -> String {
         format!(
             "msgs {} | wire {} B | moved {} B in {} runs | local els {} | time {:.1} µs | \
-             remaps {} (noop {}, live {}, dead {}) | restores {} | plans {} (+{} cache hits)",
+             remaps {} (noop {}, live {}, dead {}) | restores {} | groups {} | \
+             plans {} (+{} cache hits)",
             self.messages,
             self.bytes,
             self.bytes_moved,
@@ -114,6 +121,7 @@ impl NetStats {
             self.remaps_reused_live,
             self.remaps_dead_values,
             self.restores_replayed,
+            self.remap_groups_coalesced,
             self.plans_computed,
             self.plan_cache_hits,
         )

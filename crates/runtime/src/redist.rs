@@ -39,6 +39,7 @@
 //! property tests.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use hpfc_mapping::{DimSource, Extents, NormalizedMapping, PeriodicSet};
 
@@ -95,7 +96,10 @@ pub struct RedistPlan {
     pub dims: Vec<Vec<DimContribution>>,
     /// The (source, destination) mapping pair this plan was computed
     /// for — the copy engine refuses to apply `dims` to any other pair.
-    pub mappings: Option<Box<(NormalizedMapping, NormalizedMapping)>>,
+    /// Shared by `Arc` with the compiled [`crate::CopyProgram`] of the
+    /// same pair, so a cached `PlannedRemap` stores the two mappings
+    /// once, not twice.
+    pub mappings: Option<Arc<(NormalizedMapping, NormalizedMapping)>>,
 }
 
 impl PartialEq for RedistPlan {
@@ -466,7 +470,7 @@ pub fn plan_redistribution(
             local_elements: 0,
             elem_size,
             dims: per_dim,
-            mappings: Some(Box::new((src.clone(), dst.clone()))),
+            mappings: Some(Arc::new((src.clone(), dst.clone()))),
         };
     }
 
@@ -508,7 +512,7 @@ fn compact(
         local_elements: local,
         elem_size,
         dims,
-        mappings: Some(Box::new((src.clone(), dst.clone()))),
+        mappings: Some(Arc::new((src.clone(), dst.clone()))),
     }
 }
 

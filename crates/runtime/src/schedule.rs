@@ -11,6 +11,15 @@
 //! every round is contention-free (each processor talks to at most one
 //! partner) instead of one undifferentiated BSP phase.
 //!
+//! A schedule can aggregate **several plans at once**
+//! ([`CommSchedule::from_plans`]): when one `distribute`/`align`
+//! directive remaps every array aligned to the redistributed template
+//! (the paper's Fig. 3 situation), the member plans' messages for the
+//! same (sender, receiver) pair share a caterpillar round and a wire
+//! buffer — [`CommSchedule::round_triples`] coalesces them into one
+//! message per pair per round, so the pair pays the per-message latency
+//! once instead of once per array.
+//!
 //! The same structure serves two layers:
 //!
 //! * the code generator (`hpfc-codegen`'s `render`) prints a schedule
@@ -69,6 +78,12 @@ pub struct PackedMessage {
     /// unpack loops. Empty for schedules built from plans without
     /// descriptors (the enumeration oracle).
     pub dims: Vec<MsgDim>,
+    /// Which member plan of a [`CommSchedule::from_plans`] aggregate
+    /// this message belongs to (always 0 for single-plan schedules).
+    /// Same-pair messages of different members share a round and a wire
+    /// buffer; the member index keeps the per-array pack/unpack loops
+    /// attributable.
+    pub member: usize,
 }
 
 impl PackedMessage {
@@ -78,23 +93,33 @@ impl PackedMessage {
     }
 }
 
-/// A complete message-level schedule for one redistribution: every
-/// remote pair's packed message, ordered into contention-free
-/// caterpillar rounds.
+/// A complete message-level schedule for one redistribution — or for
+/// the aggregate of several redistributions issued by one directive
+/// ([`CommSchedule::from_plans`]): every remote pair's packed message,
+/// ordered into contention-free caterpillar rounds.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommSchedule {
-    /// Element size in bytes.
+    /// Element size in bytes (member plans of an aggregate all share
+    /// it — enforced by [`CommSchedule::from_plans`]).
     pub elem_size: u64,
     /// Elements that never cross the network (receiver already holds
-    /// them under the source mapping).
+    /// them under the source mapping); summed over members.
     pub local_elements: u64,
-    /// All remote messages, sorted by `(from, to)`.
+    /// All remote messages, member-major, each member's sorted by
+    /// `(from, to)`.
     pub messages: Vec<PackedMessage>,
     /// Caterpillar rounds: indices into `messages`, grouped so that
     /// within a round every processor exchanges with at most one
-    /// partner (messages in both directions of a pair share a round).
-    /// Empty rounds are dropped.
+    /// partner (messages in both directions of a pair — and of every
+    /// member — share a round). Within a round, indices are sorted by
+    /// `(from, to, member)`, so same-pair messages of different members
+    /// are adjacent — the invariant the coalescing
+    /// [`CommSchedule::round_triples`] iterator relies on. Empty rounds
+    /// are dropped.
     pub rounds: Vec<Vec<usize>>,
+    /// Number of member plans aggregated into this schedule (1 for
+    /// [`CommSchedule::from_plan`]).
+    pub n_members: usize,
 }
 
 impl CommSchedule {
@@ -109,45 +134,40 @@ impl CommSchedule {
     /// oracle) still get sized messages and caterpillar rounds, just no
     /// loop structure.
     pub fn from_plan(plan: &RedistPlan) -> CommSchedule {
-        let maps = plan.mappings.as_deref();
-        // Per-dimension entry index keyed by the (source, destination)
-        // coordinate pair, built once — resolving a transfer is then a
-        // lookup, not a scan of the P_src·P_dst contribution table.
-        let by_coords: Vec<DimIndex> = match maps {
-            Some(_) if !plan.dims.is_empty() => plan
-                .dims
-                .iter()
-                .map(|entries| {
-                    entries.iter().enumerate().map(|(i, e)| ((e.src, e.dst), i)).collect()
-                })
-                .collect(),
-            _ => Vec::new(),
-        };
-        let messages: Vec<PackedMessage> = plan
-            .transfers
-            .iter()
-            .map(|t| {
-                let dims = match maps {
-                    Some((src, dst)) if !plan.dims.is_empty() => {
-                        message_dims(plan, &by_coords, src, dst, t.from, t.to)
-                    }
-                    _ => Vec::new(),
-                };
-                debug_assert!(
-                    dims.is_empty()
-                        || dims.iter().map(MsgDim::count).product::<u64>() == t.elements,
-                    "descriptor product disagrees with planned transfer size"
-                );
-                PackedMessage { from: t.from, to: t.to, elements: t.elements, dims }
-            })
-            .collect();
-        let rounds = caterpillar_rounds(&messages);
-        CommSchedule {
-            elem_size: plan.elem_size,
-            local_elements: plan.local_elements,
-            messages,
-            rounds,
+        CommSchedule::from_plans(&[plan])
+    }
+
+    /// Build one aggregated schedule over several plans — the remap
+    /// group of one directive (Fig. 3: every array aligned to the
+    /// redistributed template remaps at the same program vertex).
+    ///
+    /// Messages of all member plans are pooled and every unordered
+    /// processor pair is assigned exactly one caterpillar round, so
+    /// same-pair messages of *different arrays* travel in the same
+    /// round and — through the coalescing
+    /// [`CommSchedule::round_triples`] — as **one** wire message per
+    /// direction: the pair pays one latency per round, not one per
+    /// array. The round count is that of the pooled pair set, which is
+    /// never more than the sum of the members' solo round counts (and
+    /// strictly less whenever two members talk over the same pairs).
+    ///
+    /// All member plans must share `elem_size` (lowering only groups
+    /// remaps of equal element size).
+    pub fn from_plans(plans: &[&RedistPlan]) -> CommSchedule {
+        assert!(!plans.is_empty(), "a schedule aggregates at least one plan");
+        let elem_size = plans[0].elem_size;
+        assert!(
+            plans.iter().all(|p| p.elem_size == elem_size),
+            "aggregated plans must share the element size"
+        );
+        let mut messages = Vec::with_capacity(plans.iter().map(|p| p.transfers.len()).sum());
+        let mut local_elements = 0u64;
+        for (member, plan) in plans.iter().enumerate() {
+            plan_messages(plan, member, &mut messages);
+            local_elements += plan.local_elements;
         }
+        let rounds = caterpillar_rounds(&messages);
+        CommSchedule { elem_size, local_elements, messages, rounds, n_members: plans.len() }
     }
 
     /// Number of wire rounds.
@@ -156,23 +176,43 @@ impl CommSchedule {
     }
 
     /// Total bytes crossing the network (matches
-    /// [`RedistPlan::total_bytes`]).
+    /// [`RedistPlan::total_bytes`], summed over members).
     pub fn total_bytes(&self) -> u64 {
         self.messages.iter().map(|m| m.bytes(self.elem_size)).sum()
     }
 
+    /// Number of messages actually put on the wire: same-pair member
+    /// messages coalesced within each round. Equals `messages.len()`
+    /// for single-member schedules.
+    pub fn n_wire_messages(&self) -> u64 {
+        (0..self.rounds.len()).map(|r| self.round_triples(r).count() as u64).sum()
+    }
+
     /// The `(from, to, bytes)` triples of one round, for
-    /// [`Machine::account_phase`].
-    pub fn round_triples(&self, round: usize) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
-        self.rounds[round].iter().map(move |&i| {
-            let m = &self.messages[i];
-            (m.from, m.to, m.bytes(self.elem_size))
-        })
+    /// [`Machine::account_phase`] — same-pair messages (different
+    /// members sharing the round) are **coalesced into one triple**:
+    /// the wire carries one packed buffer per (sender, receiver) pair
+    /// per round, whatever mix of arrays is inside.
+    pub fn round_triples(&self, round: usize) -> RoundTriples<'_> {
+        self.round_triples_masked(round, u64::MAX)
+    }
+
+    /// [`CommSchedule::round_triples`] restricted to the member plans
+    /// whose bit is set in `mask` (member `i` participates iff
+    /// `mask & (1 << i) != 0`; members beyond bit 63 are always
+    /// included — callers cap group sizes well below that). This is how
+    /// a partially applicable remap group is costed: members that turn
+    /// out not to move data at run time (status noop, live-copy reuse)
+    /// simply drop out of every round's coalesced buffers.
+    pub fn round_triples_masked(&self, round: usize, mask: u64) -> RoundTriples<'_> {
+        RoundTriples { sched: self, idxs: &self.rounds[round], at: 0, mask }
     }
 
     /// Each message's (sender, receiver) pair with its caterpillar
     /// round index — how [`crate::CopyProgram::try_compile`] assigns
     /// compiled copy units to the round their message travels in.
+    /// Aggregated schedules yield a pair once per member; collecting
+    /// into a map collapses the duplicates (same pair ⇒ same round).
     pub fn round_of_pairs(&self) -> impl Iterator<Item = ((u64, u64), usize)> + '_ {
         self.rounds.iter().enumerate().flat_map(move |(r, round)| {
             round.iter().map(move |&i| {
@@ -181,6 +221,89 @@ impl CommSchedule {
             })
         })
     }
+}
+
+/// Iterator over one round's coalesced `(from, to, bytes)` wire
+/// triples (see [`CommSchedule::round_triples`]). Allocation-free: it
+/// walks the round's `(from, to, member)`-sorted message indices and
+/// merges adjacent same-pair entries on the fly.
+pub struct RoundTriples<'a> {
+    sched: &'a CommSchedule,
+    idxs: &'a [usize],
+    at: usize,
+    mask: u64,
+}
+
+impl<'a> RoundTriples<'a> {
+    fn included(&self, member: usize) -> bool {
+        member >= 64 || self.mask & (1u64 << member) != 0
+    }
+}
+
+impl<'a> Iterator for RoundTriples<'a> {
+    type Item = (u64, u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64, u64)> {
+        loop {
+            let &i = self.idxs.get(self.at)?;
+            self.at += 1;
+            let m = &self.sched.messages[i];
+            if !self.included(m.member) {
+                continue;
+            }
+            let (from, to) = (m.from, m.to);
+            let mut bytes = m.bytes(self.sched.elem_size);
+            while let Some(&j) = self.idxs.get(self.at) {
+                let n = &self.sched.messages[j];
+                if n.from != from || n.to != to {
+                    break;
+                }
+                self.at += 1;
+                if self.included(n.member) {
+                    bytes += n.bytes(self.sched.elem_size);
+                }
+            }
+            if bytes == 0 {
+                // Every same-pair message was masked out: no wire
+                // message for this pair this round.
+                continue;
+            }
+            return Some((from, to, bytes));
+        }
+    }
+}
+
+/// Resolve one plan's transfers into [`PackedMessage`]s tagged with
+/// `member`, appending to `out` in `(from, to)` order (the transfer
+/// order).
+fn plan_messages(plan: &RedistPlan, member: usize, out: &mut Vec<PackedMessage>) {
+    let maps = plan.mappings.as_deref();
+    // Per-dimension entry index keyed by the (source, destination)
+    // coordinate pair, built once — resolving a transfer is then a
+    // lookup, not a scan of the P_src·P_dst contribution table.
+    let by_coords: Vec<DimIndex> = match maps {
+        Some(_) if !plan.dims.is_empty() => plan
+            .dims
+            .iter()
+            .map(|entries| {
+                entries.iter().enumerate().map(|(i, e)| ((e.src, e.dst), i)).collect()
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    out.extend(plan.transfers.iter().map(|t| {
+        let dims = match maps {
+            Some((src, dst)) if !plan.dims.is_empty() => {
+                message_dims(plan, &by_coords, src, dst, t.from, t.to)
+            }
+            _ => Vec::new(),
+        };
+        debug_assert!(
+            dims.is_empty() || dims.iter().map(MsgDim::count).product::<u64>() == t.elements,
+            "descriptor product disagrees with planned transfer size"
+        );
+        PackedMessage { from: t.from, to: t.to, elements: t.elements, dims, member }
+    }));
 }
 
 /// One dimension's contribution-entry index: entry position keyed by
@@ -253,6 +376,12 @@ fn caterpillar_rounds(messages: &[PackedMessage]) -> Vec<Vec<usize>> {
     for (i, msg) in messages.iter().enumerate() {
         let key = (msg.from.min(msg.to), msg.from.max(msg.to));
         rounds[round_of[&key]].push(i);
+    }
+    // Same-pair messages adjacent within a round (the coalescing
+    // invariant of `CommSchedule::round_triples`); a no-op for
+    // single-member schedules, whose messages are already pair-sorted.
+    for round in &mut rounds {
+        round.sort_by_key(|&i| (messages[i].from, messages[i].to, messages[i].member));
     }
     rounds.retain(|r| !r.is_empty());
     rounds

@@ -536,6 +536,25 @@ mod tests {
     }
 
     #[test]
+    fn planned_remap_shares_one_mapping_pair_between_plan_and_program() {
+        // The (src, dst) mapping pair is stored once per cached
+        // `PlannedRemap`: the compiled program's `mappings` is the very
+        // Arc the plan carries, not a clone — with restore arms
+        // multiplying cached entries, this halves the mapping storage
+        // per entry.
+        let (mut m, mut a) = rt();
+        a.current(&mut m, 0).fill(|p| p[0] as f64);
+        a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
+        let planned = a.planned(&mut m, 0, 1);
+        let plan_pair = planned.plan.mappings.as_ref().expect("closed-form plan");
+        let prog_pair = &planned.program.as_ref().expect("1-D plan compiles").mappings;
+        assert!(Arc::ptr_eq(plan_pair, prog_pair), "pair must be shared, not cloned");
+        // Exactly the two holders above (plan + program): compiling did
+        // not leave extra clones behind.
+        assert_eq!(Arc::strong_count(plan_pair), 2);
+    }
+
+    #[test]
     fn dead_values_move_no_data() {
         let (mut m, mut a) = rt();
         a.current(&mut m, 0).fill(|p| p[0] as f64);

@@ -24,7 +24,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use hpfc_mapping::{testing::mapping_1d as mk, DimFormat};
 use hpfc_runtime::{
-    plan_redistribution, ArrayRt, CommSchedule, CopyProgram, ExecMode, Machine, VersionData,
+    plan_redistribution, remap_group, ArrayRt, CommSchedule, CopyProgram, ExecMode, GroupMember,
+    Machine, PlannedGroup, PlannedRemap, VersionData,
 };
 
 /// `System`, with every allocation on the opted-in thread counted.
@@ -171,4 +172,73 @@ fn steady_state_remap_allocates_nothing() {
     assert_eq!(machine.stats.restores_replayed, restored + 10);
     assert_eq!(machine.stats.remaps_performed, performed + 20, "every bounce moved data");
     assert_eq!(machine.stats.plans_computed, 2, "restore replays never plan");
+
+    // --- 4. A cached remap GROUP bounce is allocation-free too, under
+    // both engines. Two arrays remapped by one directive share merged
+    // caterpillar rounds: the coalesced path is eligibility checks
+    // (mask bits), masked accounting in the machine scratch arena, and
+    // a round-by-round replay of the precompiled group program. At
+    // n = 4096 every merged round is below the parallel inline
+    // threshold, so ExecMode::Parallel(4) replays inline — the
+    // steady-state contract holds for both engines.
+    for mode in [ExecMode::Serial, ExecMode::Parallel(4)] {
+        let src = mk(n, 4, DimFormat::Block(None));
+        let dst = mk(n, 4, DimFormat::Cyclic(Some(3)));
+        let mut machine = Machine::new(4).with_exec_mode(mode);
+        let mut a = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+        let mut b = ArrayRt::new("b", vec![src.clone(), dst.clone()], 8);
+        a.current(&mut machine, 0).fill(|p| p[0] as f64);
+        b.current(&mut machine, 0).fill(|p| 2.0 * p[0] as f64);
+        let solo = |s: &_, d: &_| {
+            std::sync::Arc::new(PlannedRemap::compile(plan_redistribution(s, d, 8)))
+        };
+        let fwd = PlannedGroup::compile(vec![solo(&src, &dst), solo(&src, &dst)]);
+        let back = PlannedGroup::compile(vec![solo(&dst, &src), solo(&dst, &src)]);
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        let skip = BTreeSet::new();
+        // Warm up: allocate both versions of both arrays, seed the
+        // caches, grow the accounting scratch.
+        for _ in 0..2 {
+            let mut members = [
+                GroupMember { rt: &mut a, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut machine, &mut members, &fwd);
+            a.set(&[0], 1.0);
+            b.set(&[0], 1.0);
+            let mut members = [
+                GroupMember { rt: &mut a, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut machine, &mut members, &back);
+            a.set(&[1], 1.0);
+            b.set(&[1], 1.0);
+        }
+        let groups = machine.stats.remap_groups_coalesced;
+        let performed = machine.stats.remaps_performed;
+        for i in 0..10u64 {
+            a.set(&[0], i as f64); // outside the measured window
+            b.set(&[0], i as f64);
+            let before = allocations();
+            let mut members = [
+                GroupMember { rt: &mut a, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut machine, &mut members, &fwd);
+            assert_eq!(allocations(), before, "group bounce {i} ({mode:?}) ->1 allocated");
+            a.set(&[1], i as f64);
+            b.set(&[1], i as f64);
+            let before = allocations();
+            let mut members = [
+                GroupMember { rt: &mut a, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+            ];
+            remap_group(&mut machine, &mut members, &back);
+            assert_eq!(allocations(), before, "group bounce {i} ({mode:?}) ->0 allocated");
+        }
+        // Every measured bounce coalesced both arrays' movement.
+        assert_eq!(machine.stats.remap_groups_coalesced, groups + 20);
+        assert_eq!(machine.stats.remaps_performed, performed + 40);
+        assert_eq!(machine.stats.plans_computed, 0, "group members were precompiled");
+    }
 }

@@ -5,7 +5,7 @@
 //! a Fig. 18 flow-dependent restore must render as a switch on the
 //! saved tag whose arms are the same packed send/recv loops.
 
-use hpfc::codegen::ir::{RemapOp, RestoreOp, SStmt};
+use hpfc::codegen::ir::{RemapGroupOp, RemapOp, RestoreOp, SStmt};
 use hpfc::{compile, CompileOptions};
 
 /// A 2-D array aligned with stride 2 into a template, remapped from a
@@ -103,6 +103,165 @@ endif
     // explicitly: per-pair messages, no whole-array copy statements.
     assert!(!text.contains("a_1 = a_0"));
     assert!(text.matches("send sbuf").count() == 2 && text.matches("recv rbuf").count() == 2);
+}
+
+/// Fig. 3's situation at golden scale: two arrays aligned to one
+/// dynamic template, remapped together by a single redistribution —
+/// the directive must lower to ONE remap group whose rounds carry
+/// coalesced per-pair wire buffers with one packed part per array,
+/// not two back-to-back solo remaps.
+const GROUPED_2ARRAY: &str = "\
+subroutine grp2
+  real :: a(8), b(8)
+!hpf$ processors p(2)
+!hpf$ template t(8)
+!hpf$ dynamic t
+!hpf$ align with t :: a, b
+!hpf$ distribute t(block) onto p
+  a = 1.0
+  b = 2.0
+!hpf$ redistribute t(cyclic) onto p
+  x = a(1) + b(2)
+end subroutine
+";
+
+fn first_group(body: &[SStmt]) -> Option<&RemapGroupOp> {
+    body.iter().find_map(|s| match s {
+        SStmt::RemapGroup(op) => Some(op),
+        _ => None,
+    })
+}
+
+#[test]
+fn two_array_directive_renders_one_grouped_remap() {
+    let compiled = compile(GROUPED_2ARRAY, &CompileOptions::default()).unwrap();
+    let p = &compiled.units["grp2"].program;
+    let op = first_group(&p.body).expect("the directive's remap group");
+    assert_eq!(op.members.len(), 2);
+    let text = hpfc::codegen::render::remap_group_text(p, op);
+    let expected = "\
+! remap group (one directive, 2 arrays): a_0 -> a_1, b_0 -> b_1
+! merged schedule: 2 wire message(s), 64 byte(s), 1 round(s) (solo sum: 2 round(s))
+if (status_a == 0 .and. .not. live_a(1) .and. status_b == 0 .and. .not. live_b(1)) then  ! coalesced bounce
+  allocate a_1, b_1 if needed
+  copy local runs a_0 \u{2229} a_1 across ranks (4 element(s) total, no communication)
+  copy local runs b_0 \u{2229} b_1 across ranks (4 element(s) total, no communication)
+  round 1:
+    p0 -> p1: 4 element(s), 32 byte(s), one buffer coalescing 2 message(s)
+      part a_0 -> a_1:
+        p0 -> p1: 2 element(s), 16 byte(s)
+          on p0:  ! pack
+            k = 0
+            do (lo0, hi0) in runs(d0: {[0,4)} \u{2229} {[1,2)+2k})
+              sbuf(k : k+hi0-lo0) = a_0(pos_0(lo0) : pos_0(hi0)); k += hi0-lo0
+            send sbuf(0:2) -> p1  ! 16 bytes
+          on p1:  ! unpack
+            recv rbuf(0:2) <- p0  ! 16 bytes
+            k = 0
+            do (lo0, hi0) in runs(d0: {[0,4)} \u{2229} {[1,2)+2k})
+              a_1(pos_1(lo0) : pos_1(hi0)) = rbuf(k : k+hi0-lo0); k += hi0-lo0
+      part b_0 -> b_1:
+        p0 -> p1: 2 element(s), 16 byte(s)
+          on p0:  ! pack
+            k = 0
+            do (lo0, hi0) in runs(d0: {[0,4)} \u{2229} {[1,2)+2k})
+              sbuf(k : k+hi0-lo0) = b_0(pos_0(lo0) : pos_0(hi0)); k += hi0-lo0
+            send sbuf(0:2) -> p1  ! 16 bytes
+          on p1:  ! unpack
+            recv rbuf(0:2) <- p0  ! 16 bytes
+            k = 0
+            do (lo0, hi0) in runs(d0: {[0,4)} \u{2229} {[1,2)+2k})
+              b_1(pos_1(lo0) : pos_1(hi0)) = rbuf(k : k+hi0-lo0); k += hi0-lo0
+    p1 -> p0: 4 element(s), 32 byte(s), one buffer coalescing 2 message(s)
+      part a_0 -> a_1:
+        p1 -> p0: 2 element(s), 16 byte(s)
+          on p1:  ! pack
+            k = 0
+            do (lo0, hi0) in runs(d0: {[4,8)} \u{2229} {[0,1)+2k})
+              sbuf(k : k+hi0-lo0) = a_0(pos_0(lo0) : pos_0(hi0)); k += hi0-lo0
+            send sbuf(0:2) -> p0  ! 16 bytes
+          on p0:  ! unpack
+            recv rbuf(0:2) <- p1  ! 16 bytes
+            k = 0
+            do (lo0, hi0) in runs(d0: {[4,8)} \u{2229} {[0,1)+2k})
+              a_1(pos_1(lo0) : pos_1(hi0)) = rbuf(k : k+hi0-lo0); k += hi0-lo0
+      part b_0 -> b_1:
+        p1 -> p0: 2 element(s), 16 byte(s)
+          on p1:  ! pack
+            k = 0
+            do (lo0, hi0) in runs(d0: {[4,8)} \u{2229} {[0,1)+2k})
+              sbuf(k : k+hi0-lo0) = b_0(pos_0(lo0) : pos_0(hi0)); k += hi0-lo0
+            send sbuf(0:2) -> p0  ! 16 bytes
+          on p0:  ! unpack
+            recv rbuf(0:2) <- p1  ! 16 bytes
+            k = 0
+            do (lo0, hi0) in runs(d0: {[4,8)} \u{2229} {[0,1)+2k})
+              b_1(pos_1(lo0) : pos_1(hi0)) = rbuf(k : k+hi0-lo0); k += hi0-lo0
+  live_a(1) = .true.; status_a = 1
+  live_b(1) = .true.; status_b = 1
+else
+  ! partial group: non-moving members drop out of the coalesced buffers (their wire parts are masked); below two movers every member runs its solo guarded remap (same compiled plans, Fig. 20)
+endif
+if (live_a(0)) then
+  free a_0
+  live_a(0) = .false.
+endif
+if (live_b(0)) then
+  free b_0
+  live_b(0) = .false.
+endif
+";
+    assert_eq!(text, expected);
+
+    // The two old back-to-back solo remap texts are gone from the
+    // whole program: no solo Fig. 20 guards, no per-array allocate
+    // lines, and only one round structure for the directive.
+    let program = hpfc::codegen::render::program_text(p);
+    assert!(!program.contains("if (status_a /= 1) then"), "{program}");
+    assert!(!program.contains("if (status_b /= 1) then"), "{program}");
+    assert!(!program.contains("allocate a_1 if needed"), "{program}");
+    assert!(!program.contains("allocate b_1 if needed"), "{program}");
+    assert!(!program.contains("! a_0 -> a_1: "), "solo schedule header gone: {program}");
+    assert!(!program.contains("! b_0 -> b_1: "), "solo schedule header gone: {program}");
+    assert_eq!(program.matches("round 1:").count(), 1, "one merged round structure");
+    // And the ungrouped baseline still renders exactly those two solo
+    // remaps — the assertion above is about grouping, not renaming.
+    let solo = compile(GROUPED_2ARRAY, &CompileOptions::default().ungrouped()).unwrap();
+    let solo_text = hpfc::codegen::render::program_text(&solo.units["grp2"].program);
+    assert!(solo_text.contains("if (status_a /= 1) then"));
+    assert!(solo_text.contains("if (status_b /= 1) then"));
+    assert_eq!(solo_text.matches("round 1:").count(), 2);
+}
+
+#[test]
+fn grouped_schedule_matches_member_plans_message_for_message() {
+    let compiled = compile(GROUPED_2ARRAY, &CompileOptions::default()).unwrap();
+    let p = &compiled.units["grp2"].program;
+    let op = first_group(&p.body).expect("group");
+    let sched = &op.planned.schedule;
+    // Per member: the merged schedule contains exactly the member
+    // plan's transfers, tagged with the member index.
+    for (i, member) in op.members.iter().enumerate() {
+        let decl = p.array(member.array);
+        let plan = hpfc::runtime::plan_redistribution(
+            &decl.versions[member.copies[0].src as usize],
+            &decl.versions[member.target as usize],
+            decl.elem_size,
+        );
+        let member_msgs: Vec<_> =
+            sched.messages.iter().filter(|m| m.member == i).collect();
+        assert_eq!(member_msgs.len() as u64, plan.total_messages());
+        for (m, t) in member_msgs.iter().zip(&plan.transfers) {
+            assert_eq!((m.from, m.to, m.elements), (t.from, t.to, t.elements));
+        }
+    }
+    // Costing the merged schedule books the coalesced wire messages
+    // but the full byte volume.
+    let mut machine = hpfc::Machine::new(p.nprocs);
+    let t = machine.account_schedule(sched);
+    assert!(t > 0.0);
+    assert_eq!(machine.stats.messages, sched.n_wire_messages());
+    assert_eq!(machine.stats.bytes, sched.total_bytes());
 }
 
 /// Fig. 18's situation at golden scale: the mapping reaching the call
