@@ -12,7 +12,8 @@ fn run(programs: &std::collections::BTreeMap<String, hpfc::StaticProgram>, main:
         programs,
         main,
         ExecConfig::default().with_scalar("t", t).with_scalar("m", 1.0),
-    );
+    )
+    .expect("kernel executes cleanly");
     std::hint::black_box(r);
 }
 

@@ -275,6 +275,44 @@ fn bench_group_remap(c: &mut Criterion) {
     g.finish();
 }
 
+/// What the failure model costs when it is off — and when it is on.
+/// The cached remap bounce of `redist/remap_loop`, re-measured under
+/// the fault/validation configurations: `validation_off` is the
+/// default machine (no `FaultPlan`, `ValidationLevel::Off`) and must
+/// be indistinguishable from the plain cached bounce — the guarded
+/// ladder is compiled out of the path by one branch; `counts_on` adds
+/// the per-round conservation check (an integer sum the replay already
+/// has); `checksums_on` pays one extra read pass over source and
+/// destination words per round — the price of detecting single-word
+/// corruption.
+fn bench_fault_overhead(c: &mut Criterion) {
+    use hpfc::runtime::ValidationLevel;
+
+    let n = 16384u64;
+    let mut g = c.benchmark_group("redist/fault_overhead");
+    let src = mk(n, 16, DimFormat::Block(None));
+    let dst = mk(n, 16, DimFormat::Cyclic(Some(4)));
+    let keep: std::collections::BTreeSet<u32> = [0u32, 1].into_iter().collect();
+
+    let bounce = |validation: ValidationLevel, b: &mut criterion::Bencher| {
+        let mut m = Machine::new(16).with_validation(validation);
+        let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+        rt.current(&mut m, 0).fill(|p| p[0] as f64);
+        b.iter(|| {
+            rt.remap(&mut m, 1, &keep, false);
+            rt.set(&[0], 1.0); // stale the other copy: data moves every time
+            rt.remap(&mut m, 0, &keep, false);
+            rt.set(&[1], 1.0);
+            std::hint::black_box(&rt);
+        })
+    };
+
+    g.bench_function("validation_off", |b| bounce(ValidationLevel::Off, b));
+    g.bench_function("counts_on", |b| bounce(ValidationLevel::Counts, b));
+    g.bench_function("checksums_on", |b| bounce(ValidationLevel::Checksums, b));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_plan_closed_form,
@@ -285,6 +323,7 @@ criterion_group!(
     bench_procs_sweep,
     bench_remap_loop_caching,
     bench_restore_bounce,
-    bench_group_remap
+    bench_group_remap,
+    bench_fault_overhead
 );
 criterion_main!(benches);

@@ -111,7 +111,13 @@ fn main() {
 
     if run {
         let main = compiled.order[0].clone();
-        let r = execute(&compiled.programs(), &main, exec);
+        let r = match execute(&compiled.programs(), &main, exec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("execution of `{main}` failed: {e}");
+                std::process::exit(1);
+            }
+        };
         println!("--- simulated execution ---");
         println!("messages:        {}", r.stats.messages);
         println!("bytes:           {}", r.stats.bytes);

@@ -16,7 +16,8 @@
 //!     &compiled.programs(),
 //!     "remap",
 //!     ExecConfig::default().with_scalar("m", 1.0).with_scalar("t", 2.0),
-//! );
+//! )
+//! .unwrap(); // execution failures are typed `ExecError`s, not panics
 //! assert!(result.stats.bytes > 0); // remapping traffic was simulated
 //! ```
 //!
@@ -51,7 +52,7 @@ pub use hpfc_interp::{execute, ExecConfig, ExecResult, Executor};
 pub use hpfc_lang::figures;
 pub use hpfc_lang::{Diagnostic, Severity};
 pub use hpfc_rgraph::{OptConfig, OptStats};
-pub use hpfc_runtime::{CostModel, Machine, NetStats};
+pub use hpfc_runtime::{CostModel, ExecError, Machine, NetStats};
 
 /// Compilation options.
 #[derive(Debug, Clone, Copy)]
@@ -191,7 +192,10 @@ pub fn compile(src: &str, options: &CompileOptions) -> Result<Compiled, Vec<Diag
 }
 
 /// Compile and run in one call; returns the compiled artifacts and the
-/// execution result of the main routine.
+/// execution result of the main routine. A compiled program executing
+/// cleanly is this facade's contract, so an [`runtime::ExecError`]
+/// (which [`execute`] returns as a value) panics here; call
+/// [`execute`] directly to handle execution errors as data.
 pub fn compile_and_run(
     src: &str,
     options: &CompileOptions,
@@ -200,7 +204,8 @@ pub fn compile_and_run(
     let compiled = compile(src, options)?;
     let programs = compiled.programs();
     let main = compiled.order[0].clone();
-    let result = execute(&programs, &main, exec);
+    let result = execute(&programs, &main, exec)
+        .unwrap_or_else(|e| panic!("execution of `{main}` failed: {e}"));
     Ok((compiled, result))
 }
 

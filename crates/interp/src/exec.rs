@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use hpfc_codegen::ir::{SStmt, StaticProgram};
 use hpfc_lang::ast::{Expr, Intent};
 use hpfc_mapping::ArrayId;
-use hpfc_runtime::{ArrayRt, Machine, NetStats};
+use hpfc_runtime::{ArrayRt, ExecError, Machine, NetStats};
 
 use crate::eval::EvalCtx;
 
@@ -52,11 +52,14 @@ pub struct ExecResult {
 }
 
 /// One-shot convenience: execute `routine` from a compiled program set.
+/// Execution failures — a missing routine, a violated interpreter
+/// invariant, or an unrecoverable remap — come back as typed
+/// [`ExecError`]s instead of panics.
 pub fn execute(
     programs: &BTreeMap<String, StaticProgram>,
     routine: &str,
     config: ExecConfig,
-) -> ExecResult {
+) -> Result<ExecResult, ExecError> {
     let nprocs = programs.values().map(|p| p.nprocs).max().unwrap_or(1);
     let mut ex = Executor { programs, machine: Machine::new(nprocs), config };
     ex.run(routine)
@@ -89,9 +92,13 @@ struct Frame {
 
 impl<'a> Executor<'a> {
     /// Run a routine as the entry point: dummies are initialized with a
-    /// deterministic fill (`value = 1 + linear index`).
-    pub fn run(&mut self, routine: &str) -> ExecResult {
-        let p = self.programs.get(routine).unwrap_or_else(|| panic!("no routine `{routine}`"));
+    /// deterministic fill (`value = 1 + linear index`). Execution
+    /// failures return a typed [`ExecError`]; nothing on this path
+    /// panics across the interpreter boundary.
+    pub fn run(&mut self, routine: &str) -> Result<ExecResult, ExecError> {
+        let p = self.programs.get(routine).ok_or_else(|| ExecError::Interp {
+            what: format!("no routine `{routine}`"),
+        })?;
         let mut inputs: BTreeMap<ArrayId, Vec<f64>> = BTreeMap::new();
         for a in &p.arrays {
             if a.is_dummy {
@@ -99,7 +106,7 @@ impl<'a> Executor<'a> {
                 inputs.insert(a.id, (0..n).map(|i| 1.0 + i as f64).collect());
             }
         }
-        let frame = self.run_frame(p, self.config.scalar_args.clone(), inputs, 0);
+        let frame = self.run_frame(p, self.config.scalar_args.clone(), inputs, 0)?;
         let mut arrays = BTreeMap::new();
         for decl in &p.arrays {
             let dense = frame.results.get(&decl.id).cloned().unwrap_or_else(|| {
@@ -107,12 +114,12 @@ impl<'a> Executor<'a> {
             });
             arrays.insert(decl.name.clone(), dense);
         }
-        ExecResult {
+        Ok(ExecResult {
             stats: self.machine.stats,
             peak_mem_bytes: self.machine.mem.max_peak(),
             arrays,
             scalars: frame.scalars,
-        }
+        })
     }
 
     fn run_frame(
@@ -121,8 +128,12 @@ impl<'a> Executor<'a> {
         scalars: BTreeMap<String, f64>,
         array_inputs: BTreeMap<ArrayId, Vec<f64>>,
         depth: u32,
-    ) -> Frame {
-        assert!(depth < self.config.max_depth, "call depth limit exceeded");
+    ) -> Result<Frame, ExecError> {
+        if depth >= self.config.max_depth {
+            return Err(ExecError::Interp {
+                what: format!("call depth limit {} exceeded", self.config.max_depth),
+            });
+        }
         let mut frame = Frame {
             arrays: p
                 .arrays
@@ -159,19 +170,25 @@ impl<'a> Executor<'a> {
                 cur.set(&pt, dense[i]);
             }
         }
-        let _ = self.exec_body(p, &mut frame, &p.body, depth);
-        let _ = self.exec_body(p, &mut frame, &p.exit_block, depth);
-        frame
+        self.exec_body(p, &mut frame, &p.body, depth)?;
+        self.exec_body(p, &mut frame, &p.exit_block, depth)?;
+        Ok(frame)
     }
 
-    fn exec_body(&mut self, p: &StaticProgram, frame: &mut Frame, body: &[SStmt], depth: u32) -> Flow {
+    fn exec_body(
+        &mut self,
+        p: &StaticProgram,
+        frame: &mut Frame,
+        body: &[SStmt],
+        depth: u32,
+    ) -> Result<Flow, ExecError> {
         for s in body {
-            match self.exec_stmt(p, frame, s, depth) {
+            match self.exec_stmt(p, frame, s, depth)? {
                 Flow::Normal => {}
-                Flow::Return => return Flow::Return,
+                Flow::Return => return Ok(Flow::Return),
             }
         }
-        Flow::Normal
+        Ok(Flow::Normal)
     }
 
     /// Make sure every array referenced by `e` has a current copy
@@ -196,7 +213,13 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn exec_stmt(&mut self, p: &StaticProgram, frame: &mut Frame, s: &SStmt, depth: u32) -> Flow {
+    fn exec_stmt(
+        &mut self,
+        p: &StaticProgram,
+        frame: &mut Frame,
+        s: &SStmt,
+        depth: u32,
+    ) -> Result<Flow, ExecError> {
         match s {
             SStmt::Assign { lhs, rhs, expected } => {
                 self.ensure_refs(frame, rhs, expected);
@@ -270,7 +293,7 @@ impl<'a> Executor<'a> {
                         frame.scalars.insert(lhs.name.clone(), value);
                     }
                 }
-                Flow::Normal
+                Ok(Flow::Normal)
             }
             SStmt::If { cond, then_body, else_body } => {
                 self.ensure_refs(frame, cond, &[]);
@@ -301,32 +324,36 @@ impl<'a> Executor<'a> {
                     };
                     (ctx.eval(lo), ctx.eval(hi), step.as_ref().map(|e| ctx.eval(e)).unwrap_or(1.0))
                 };
-                assert!(step_v != 0.0, "zero DO step");
+                if step_v == 0.0 {
+                    return Err(ExecError::Interp {
+                        what: format!("zero DO step for loop variable `{var}`"),
+                    });
+                }
                 let mut i = lo_v;
                 loop {
                     if (step_v > 0.0 && i > hi_v) || (step_v < 0.0 && i < hi_v) {
                         break;
                     }
                     frame.scalars.insert(var.clone(), i);
-                    if let Flow::Return = self.exec_body(p, frame, body, depth) {
-                        return Flow::Return;
+                    if let Flow::Return = self.exec_body(p, frame, body, depth)? {
+                        return Ok(Flow::Return);
                     }
                     i += step_v;
                 }
-                Flow::Normal
+                Ok(Flow::Normal)
             }
             SStmt::Remap(op) => {
-                frame.arrays[op.array.0 as usize].remap_guarded(
+                frame.arrays[op.array.0 as usize].try_remap_guarded(
                     &mut self.machine,
                     op.target,
                     &op.may_live,
                     op.no_data,
                     &op.skip_if_current,
-                );
+                )?;
                 if self.config.evict_live_copies {
                     self.evict_all(frame, op.array);
                 }
-                Flow::Normal
+                Ok(Flow::Normal)
             }
             SStmt::RemapGroup(op) => {
                 // One directive's remap group: every member's solo plan
@@ -355,18 +382,18 @@ impl<'a> Executor<'a> {
                             skip_if_current: &m.skip_if_current,
                         });
                     }
-                    hpfc_runtime::remap_group(&mut self.machine, &mut members, &op.planned);
+                    hpfc_runtime::try_remap_group(&mut self.machine, &mut members, &op.planned)?;
                 }
                 if self.config.evict_live_copies {
                     for m in &op.members {
                         self.evict_all(frame, m.array);
                     }
                 }
-                Flow::Normal
+                Ok(Flow::Normal)
             }
             SStmt::SaveStatus { array, slot } => {
                 frame.slots[*slot as usize] = frame.arrays[array.0 as usize].status;
-                Flow::Normal
+                Ok(Flow::Normal)
             }
             SStmt::RestoreStatus(op) => {
                 if let Some(v) = frame.slots[op.slot as usize] {
@@ -378,37 +405,39 @@ impl<'a> Executor<'a> {
                     // violated and we fail loudly rather than plan
                     // lazily.
                     let rt = &mut frame.arrays[op.array.0 as usize];
-                    let arm = op.arm_for(v).unwrap_or_else(|| {
-                        panic!(
+                    let arm = op.arm_for(v).ok_or_else(|| ExecError::Interp {
+                        what: format!(
                             "restore of `{}`: saved tag {v} has no compiled arm \
                              (possible: {:?})",
                             rt.name, op.possible
-                        )
-                    });
+                        ),
+                    })?;
                     if let Some(cur) = rt.status {
-                        assert!(
-                            cur == arm.target
-                                || op.no_data
-                                || arm.copies.iter().any(|c| c.src == cur),
-                            "restore of `{}` to {}: live version {cur} not among the \
-                             arm's planned sources {:?}",
-                            rt.name,
-                            arm.target,
-                            op.reaching
-                        );
+                        if !(cur == arm.target
+                            || op.no_data
+                            || arm.copies.iter().any(|c| c.src == cur))
+                        {
+                            return Err(ExecError::Interp {
+                                what: format!(
+                                    "restore of `{}` to {}: live version {cur} not among \
+                                     the arm's planned sources {:?}",
+                                    rt.name, arm.target, op.reaching
+                                ),
+                            });
+                        }
                     }
-                    rt.restore(&mut self.machine, arm.target, &op.may_live, op.no_data);
+                    rt.try_restore(&mut self.machine, arm.target, &op.may_live, op.no_data)?;
                     if self.config.evict_live_copies {
                         self.evict_all(frame, op.array);
                     }
                 }
-                Flow::Normal
+                Ok(Flow::Normal)
             }
             SStmt::Call { name, args, mapped } => {
-                self.exec_call(p, frame, name, args, mapped, depth);
-                Flow::Normal
+                self.exec_call(p, frame, name, args, mapped, depth)?;
+                Ok(Flow::Normal)
             }
-            SStmt::Return => Flow::Return,
+            SStmt::Return => Ok(Flow::Return),
             SStmt::ExitCleanup => {
                 for decl in &p.arrays {
                     let rt = &mut frame.arrays[decl.id.0 as usize];
@@ -425,7 +454,7 @@ impl<'a> Executor<'a> {
                         }
                     }
                 }
-                Flow::Normal
+                Ok(Flow::Normal)
             }
         }
     }
@@ -445,7 +474,7 @@ impl<'a> Executor<'a> {
         args: &[Expr],
         mapped: &[(ArrayId, Intent, u32)],
         depth: u32,
-    ) {
+    ) -> Result<(), ExecError> {
         if let Some(callee) = self.programs.get(name) {
             // Full interprocedural execution: bind arguments by
             // position, hand dense values over (same placement on both
@@ -489,7 +518,7 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
-            let callee_frame = self.run_frame(callee, scalars, inputs, depth + 1);
+            let callee_frame = self.run_frame(callee, scalars, inputs, depth + 1)?;
             // Export inout/out results back through the dummy copy.
             for (ca, cid) in out_args {
                 let dense = callee_frame.results.get(&cid).cloned();
@@ -531,5 +560,6 @@ impl<'a> Executor<'a> {
                 }
             }
         }
+        Ok(())
     }
 }

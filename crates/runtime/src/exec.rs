@@ -62,15 +62,37 @@ pub enum ExecMode {
 }
 
 impl ExecMode {
+    /// Parse an `HPFC_THREADS`-style value: `0` or `1` mean
+    /// [`ExecMode::Serial`], any larger value means that many workers
+    /// per round, and anything unparsable is `None` (the caller decides
+    /// the fallback).
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s.trim().parse::<usize>() {
+            Ok(t) if t > 1 => Some(ExecMode::Parallel(t)),
+            Ok(_) => Some(ExecMode::Serial),
+            Err(_) => None,
+        }
+    }
+
     /// The mode selected by the `HPFC_THREADS` environment variable:
-    /// unset, unparsable, `0` or `1` mean [`ExecMode::Serial`]; any
-    /// larger value means that many workers per round.
+    /// unset, `0` or `1` mean [`ExecMode::Serial`]; any larger value
+    /// means that many workers per round. An **unparsable** value also
+    /// falls back to [`ExecMode::Serial`], but emits a one-time warning
+    /// on stderr — a typo in `HPFC_THREADS` silently serializing every
+    /// replay is exactly the kind of quiet misconfiguration the fault
+    /// model exists to surface.
     pub fn from_env() -> ExecMode {
         match std::env::var("HPFC_THREADS") {
-            Ok(s) => match s.trim().parse::<usize>() {
-                Ok(t) if t > 1 => ExecMode::Parallel(t),
-                _ => ExecMode::Serial,
-            },
+            Ok(s) => ExecMode::parse(&s).unwrap_or_else(|| {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "hpfc: unparsable HPFC_THREADS value {s:?}; \
+                         falling back to serial replay"
+                    );
+                });
+                ExecMode::Serial
+            }),
             Err(_) => ExecMode::Serial,
         }
     }
@@ -144,6 +166,39 @@ pub struct CopyProgram {
     /// Total elements delivered (local + remote, replicas counted) —
     /// equals `plan.local_elements + plan.remote_elements()`.
     pub total_elements: u64,
+    /// Integrity fingerprint over the triples and units, computed at
+    /// compile time. The guarded replay path recomputes it before
+    /// trusting a cached program ([`CopyProgram::integrity_ok`]): a
+    /// poisoned cache entry cannot keep its fingerprint consistent, so
+    /// corruption is detected *before* any position is dereferenced.
+    pub fingerprint: u64,
+}
+
+/// Why [`CopyProgram::compile_checked`] declined to compile a plan —
+/// the former silent `None` reasons, promoted to a typed result so the
+/// fallback decision is auditable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileDecline {
+    /// The plan carries no per-dimension descriptors (e.g. one built by
+    /// [`crate::plan_by_enumeration`]) or no mapping pair.
+    NoDescriptors,
+    /// Rank-0 scalar: the replica walk of the table engine is cheaper
+    /// than a compiled program.
+    Rank0,
+    /// Some local position or run index overflows `u32` (blocks beyond
+    /// 4 Gi elements); the table engine's `u64` arithmetic is the
+    /// fallback.
+    PositionOverflow,
+}
+
+impl std::fmt::Display for CompileDecline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileDecline::NoDescriptors => write!(f, "plan carries no descriptors"),
+            CompileDecline::Rank0 => write!(f, "rank-0 scalar"),
+            CompileDecline::PositionOverflow => write!(f, "local position overflows u32"),
+        }
+    }
 }
 
 impl CopyProgram {
@@ -165,9 +220,28 @@ impl CopyProgram {
     /// rank-0 scalar (the replica walk is cheaper than a program), or
     /// some local position overflows `u32` (blocks beyond 4 Gi
     /// elements). Callers fall back to the table engine
-    /// ([`crate::VersionData::copy_values_from_plan`]).
+    /// ([`crate::VersionData::copy_values_from_plan`]). The typed
+    /// reason is available from [`CopyProgram::compile_checked`].
     pub fn try_compile(plan: &RedistPlan, schedule: &CommSchedule) -> Option<CopyProgram> {
+        CopyProgram::compile_checked(plan, schedule).ok()
+    }
+
+    /// [`CopyProgram::try_compile`] with the decline reason made
+    /// explicit — the rank-0 / `u32`-overflow / no-descriptor debug
+    /// assumptions promoted into a typed result.
+    pub fn compile_checked(
+        plan: &RedistPlan,
+        schedule: &CommSchedule,
+    ) -> Result<CopyProgram, CompileDecline> {
         CopyProgram::compile_inner(plan, schedule, false)
+    }
+
+    /// Whether the stored fingerprint still matches the program's
+    /// contents — the cheap integrity check the guarded replay path
+    /// applies before trusting a cached program.
+    pub fn integrity_ok(&self) -> bool {
+        self.fingerprint
+            == program_fingerprint(&self.runs, &self.local, &self.rounds, self.total_elements)
     }
 
     /// [`CopyProgram::try_compile`], parameterized over whether empty
@@ -179,26 +253,32 @@ impl CopyProgram {
         plan: &RedistPlan,
         schedule: &CommSchedule,
         keep_empty_rounds: bool,
-    ) -> Option<CopyProgram> {
-        let (src, dst) = plan.mappings.as_deref()?;
+    ) -> Result<CopyProgram, CompileDecline> {
+        let (src, dst) = plan.mappings.as_deref().ok_or(CompileDecline::NoDescriptors)?;
         let rank = src.array_extents.rank();
-        if rank == 0 || plan.dims.len() != rank {
-            return None;
+        if rank == 0 {
+            return Err(CompileDecline::Rank0);
+        }
+        if plan.dims.len() != rank {
+            return Err(CompileDecline::NoDescriptors);
         }
         let mappings = std::sync::Arc::clone(plan.mappings.as_ref().expect("checked above"));
         if plan.dims.iter().any(|e| e.is_empty()) {
             // Empty array: a program with nothing to do (round-aligned
             // when asked, so group replay can still index by round).
-            return Some(CopyProgram {
+            let rounds = if keep_empty_rounds {
+                vec![Vec::new(); schedule.rounds.len()]
+            } else {
+                Vec::new()
+            };
+            let fingerprint = program_fingerprint(&[], &[], &rounds, 0);
+            return Ok(CopyProgram {
                 mappings,
                 runs: Vec::new(),
                 local: Vec::new(),
-                rounds: if keep_empty_rounds {
-                    vec![Vec::new(); schedule.rounds.len()]
-                } else {
-                    Vec::new()
-                },
+                rounds,
                 total_elements: 0,
+                fingerprint,
             });
         }
         let per_dim = &plan.dims;
@@ -206,10 +286,33 @@ impl CopyProgram {
         // Message (from, to) -> caterpillar round, from the schedule.
         let round_of: BTreeMap<(u64, u64), usize> = schedule.round_of_pairs().collect();
 
-        // Materialize every entry's intersection runs and, per entry,
-        // the local extent of the owning block along that dimension on
-        // each side (`|src_set|` / `|dst_set|` — identical to the block
-        // dim-list lengths the storage layer allocates).
+        // Per entry, the local extent of the owning block along that
+        // dimension on each side (`|src_set|` / `|dst_set|` — identical
+        // to the block dim-list lengths the storage layer allocates).
+        let s_lens: Vec<Vec<u64>> =
+            per_dim.iter().map(|es| es.iter().map(|e| e.src_set.count()).collect()).collect();
+        let d_lens: Vec<Vec<u64>> =
+            per_dim.iter().map(|es| es.iter().map(|e| e.dst_set.count()).collect()).collect();
+
+        // Decline closed-form BEFORE materializing any intersection
+        // run: every recorded position is a prefix count into one
+        // rank's local block, bounded by that rank's per-dim count
+        // product — so when any side's largest local volume exceeds
+        // the u32 triple format, some position must overflow, and the
+        // program is refused in O(descriptor entries) instead of after
+        // enumerating gigabytes of runs and only then tripping the
+        // per-push `u32::try_from` (which stays as the exact backstop
+        // for run-count overflow on in-range extents).
+        let max_local = |lens: &[Vec<u64>]| {
+            lens.iter()
+                .map(|ls| ls.iter().copied().max().unwrap_or(0))
+                .fold(1u64, u64::saturating_mul)
+        };
+        if max_local(&s_lens) > u64::from(u32::MAX) || max_local(&d_lens) > u64::from(u32::MAX) {
+            return Err(CompileDecline::PositionOverflow);
+        }
+
+        // Materialize every entry's intersection runs.
         let n_of = |d: usize| src.array_extents.extent(d);
         let entry_runs: Vec<Vec<Vec<(u64, u64)>>> = per_dim
             .iter()
@@ -221,10 +324,6 @@ impl CopyProgram {
                     .collect()
             })
             .collect();
-        let s_lens: Vec<Vec<u64>> =
-            per_dim.iter().map(|es| es.iter().map(|e| e.src_set.count()).collect()).collect();
-        let d_lens: Vec<Vec<u64>> =
-            per_dim.iter().map(|es| es.iter().map(|e| e.dst_set.count()).collect()).collect();
 
         // Accumulate runs per (provider, receiver) pair — the planner's
         // shared combination walk (rank assembly, replica fan-out,
@@ -260,7 +359,7 @@ impl CopyProgram {
             }
         });
         if !fits_u32 {
-            return None;
+            return Err(CompileDecline::PositionOverflow);
         }
 
         // Assemble: flat run list, units partitioned into the local
@@ -273,10 +372,11 @@ impl CopyProgram {
         let mut rounds: Vec<Vec<CopyUnit>> = vec![Vec::new(); schedule.rounds.len()];
         let mut total_elements = 0u64;
         for ((provider, receiver), rs) in acc {
-            let start = u32::try_from(runs.len()).ok()?;
+            let start =
+                u32::try_from(runs.len()).map_err(|_| CompileDecline::PositionOverflow)?;
             let elements: u64 = rs.iter().map(|r| r.len as u64).sum();
             runs.extend(rs);
-            let end = u32::try_from(runs.len()).ok()?;
+            let end = u32::try_from(runs.len()).map_err(|_| CompileDecline::PositionOverflow)?;
             total_elements += elements;
             let unit = CopyUnit { provider, receiver, runs: (start, end), elements };
             if provider == receiver {
@@ -299,7 +399,8 @@ impl CopyProgram {
             plan.local_elements + plan.remote_elements(),
             "compiled program delivers exactly the planned volume"
         );
-        Some(CopyProgram { mappings, runs, local, rounds, total_elements })
+        let fingerprint = program_fingerprint(&runs, &local, &rounds, total_elements);
+        Ok(CopyProgram { mappings, runs, local, rounds, total_elements, fingerprint })
     }
 
     /// Whether this program was compiled for exactly the
@@ -456,11 +557,17 @@ impl GroupCopyProgram {
     pub fn try_compile(plans: &[&RedistPlan], merged: &CommSchedule) -> Option<GroupCopyProgram> {
         let members: Vec<CopyProgram> = plans
             .iter()
-            .map(|p| CopyProgram::compile_inner(p, merged, true))
+            .map(|p| CopyProgram::compile_inner(p, merged, true).ok())
             .collect::<Option<_>>()?;
         debug_assert!(members.iter().all(|m| m.rounds.len() == merged.rounds.len()));
         let total_elements = members.iter().map(|m| m.total_elements).sum();
         Some(GroupCopyProgram { members, n_rounds: merged.rounds.len(), total_elements })
+    }
+
+    /// Whether every member program's fingerprint still matches its
+    /// contents (see [`CopyProgram::integrity_ok`]).
+    pub fn integrity_ok(&self) -> bool {
+        self.members.iter().all(CopyProgram::integrity_ok)
     }
 }
 
@@ -546,6 +653,124 @@ fn record_combination(
             *ri = 0;
         }
     }
+}
+
+/// One 64-bit mixing step (splitmix64 finalizer) — shared by the
+/// program fingerprint and the fault plan's site hashing.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Fingerprint of a program's executable content: every triple, every
+/// unit boundary, and the totals. Any single-field corruption of a
+/// cached program changes the value, and memory corruption cannot keep
+/// the stored fingerprint consistent with recomputation.
+fn program_fingerprint(
+    runs: &[CopyRun],
+    local: &[CopyUnit],
+    rounds: &[Vec<CopyUnit>],
+    total_elements: u64,
+) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    h = mix64(h ^ total_elements);
+    h = mix64(h ^ runs.len() as u64);
+    for r in runs {
+        h = mix64(h ^ (((r.src_pos as u64) << 32) | r.dst_pos as u64));
+        h = mix64(h ^ r.len as u64);
+    }
+    h = mix64(h ^ rounds.len() as u64);
+    for u in local.iter().chain(rounds.iter().flatten()) {
+        h = mix64(h ^ (u.provider.rotate_left(32) ^ u.receiver));
+        h = mix64(h ^ (((u.runs.0 as u64) << 32) | u.runs.1 as u64));
+        h = mix64(h ^ u.elements);
+    }
+    h
+}
+
+/// Sum of the *source* words one unit reads, as raw `f64` bits
+/// (wrapping). Together with [`unit_dst_sum`] this is the per-unit
+/// checksum of `HPFC_VALIDATE=checksums`: after a clean replay the two
+/// sums are equal; any scribbled destination word breaks the equality.
+pub(crate) fn unit_src_sum(runs: &[CopyRun], unit: CopyUnit, src: &LocalBlock) -> u64 {
+    let (lo, hi) = unit.runs;
+    let mut sum = 0u64;
+    for r in &runs[lo as usize..hi as usize] {
+        let (s, len) = (r.src_pos as usize, r.len as usize);
+        for w in &src.data[s..s + len] {
+            sum = sum.wrapping_add(w.to_bits());
+        }
+    }
+    sum
+}
+
+/// Sum of the *destination* words one unit wrote (see [`unit_src_sum`]).
+pub(crate) fn unit_dst_sum(runs: &[CopyRun], unit: CopyUnit, dst: &LocalBlock) -> u64 {
+    let (lo, hi) = unit.runs;
+    let mut sum = 0u64;
+    for r in &runs[lo as usize..hi as usize] {
+        let (d, len) = (r.dst_pos as usize, r.len as usize);
+        for w in &dst.data[d..d + len] {
+            sum = sum.wrapping_add(w.to_bits());
+        }
+    }
+    sum
+}
+
+/// Flip one bit of the first word a unit delivered — the
+/// `CorruptRound` fault's scribble. Returns `false` when the unit has
+/// no runs to corrupt.
+pub(crate) fn flip_unit_word(runs: &[CopyRun], unit: CopyUnit, dst: &mut LocalBlock) -> bool {
+    let (lo, hi) = unit.runs;
+    for r in &runs[lo as usize..hi as usize] {
+        if r.len > 0 {
+            let d = r.dst_pos as usize;
+            dst.data[d] = f64::from_bits(dst.data[d].to_bits() ^ 1);
+            return true;
+        }
+    }
+    false
+}
+
+/// [`replay_chunked`], with fault-injection hooks: when `panic_chunk`
+/// is `Some(i)`, the worker running chunk `i` panics halfway through
+/// its units (the `WorkerPanic` fault) — `std::thread::scope`
+/// propagates that panic to the caller at join, where the guarded
+/// replay catches it with `catch_unwind` and degrades the round.
+pub(crate) fn replay_chunked_guarded(
+    paired: Vec<PairedUnit<'_>>,
+    total: u64,
+    threads: usize,
+    panic_chunk: Option<usize>,
+) {
+    let target = total.div_ceil(threads as u64).max(1);
+    std::thread::scope(|scope| {
+        let mut rest = paired;
+        let mut idx = 0usize;
+        while !rest.is_empty() {
+            let mut weight = 0u64;
+            let mut take = 0usize;
+            while take < rest.len() && (take == 0 || weight < target) {
+                weight += rest[take].2.elements;
+                take += 1;
+            }
+            let tail = rest.split_off(take);
+            let chunk = std::mem::replace(&mut rest, tail);
+            let boom = panic_chunk == Some(idx);
+            scope.spawn(move || {
+                let half = chunk.len() / 2;
+                for (i, (db, sb, unit, runs)) in chunk.into_iter().enumerate() {
+                    if boom && i == half {
+                        std::panic::panic_any(crate::fault::InjectedPanic);
+                    }
+                    replay_unit(runs, unit, sb, db);
+                }
+            });
+            idx += 1;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -636,5 +861,58 @@ mod tests {
         assert_eq!(ExecMode::Serial.threads(), 1);
         assert_eq!(ExecMode::Parallel(4).threads(), 4);
         assert_eq!(ExecMode::Parallel(0).threads(), 1);
+    }
+
+    #[test]
+    fn exec_mode_parse_distinguishes_unparsable_values() {
+        assert_eq!(ExecMode::parse("4"), Some(ExecMode::Parallel(4)));
+        assert_eq!(ExecMode::parse(" 2 "), Some(ExecMode::Parallel(2)));
+        assert_eq!(ExecMode::parse("1"), Some(ExecMode::Serial));
+        assert_eq!(ExecMode::parse("0"), Some(ExecMode::Serial));
+        // Unparsable values are `None`, so `from_env` can warn instead
+        // of silently serializing.
+        assert_eq!(ExecMode::parse("four"), None);
+        assert_eq!(ExecMode::parse(""), None);
+        assert_eq!(ExecMode::parse("-3"), None);
+    }
+
+    #[test]
+    fn compile_checked_reports_typed_declines() {
+        // Enumeration-oracle plans carry no descriptors.
+        let src = mk(12, 3, DimFormat::Block(None));
+        let dst = mk(12, 3, DimFormat::Cyclic(None));
+        let plan = crate::redist::plan_by_enumeration(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        assert_eq!(
+            CopyProgram::compile_checked(&plan, &schedule),
+            Err(CompileDecline::NoDescriptors)
+        );
+        // A single 6 Gi-element block: local positions exceed u32::MAX.
+        // Declined closed-form from the descriptor counts — nothing
+        // here allocates 6 Gi of data or a single triple.
+        let n = 6u64 << 30;
+        let src = mk(n, 1, DimFormat::Block(None));
+        let dst = mk(n, 1, DimFormat::Cyclic(Some(3)));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        assert_eq!(
+            CopyProgram::compile_checked(&plan, &schedule),
+            Err(CompileDecline::PositionOverflow)
+        );
+    }
+
+    #[test]
+    fn fingerprint_detects_single_field_corruption() {
+        let src = mk(64, 4, DimFormat::Block(None));
+        let dst = mk(64, 4, DimFormat::Cyclic(Some(3)));
+        let (_, mut prog) = compiled(&src, &dst);
+        assert!(prog.integrity_ok());
+        let orig = prog.runs[0];
+        prog.runs[0].src_pos = prog.runs[0].src_pos.wrapping_add(1);
+        assert!(!prog.integrity_ok(), "a scribbled triple must be detected");
+        prog.runs[0] = orig;
+        assert!(prog.integrity_ok());
+        prog.fingerprint ^= 1;
+        assert!(!prog.integrity_ok(), "a scribbled fingerprint must be detected");
     }
 }

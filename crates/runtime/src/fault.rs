@@ -1,0 +1,703 @@
+//! Fault injection, detection, and the self-healing recovery ladder of
+//! the remap engine.
+//!
+//! The engine trusts artifacts it compiled earlier: cached
+//! [`crate::CopyProgram`]s are replayed with no integrity check, and a
+//! worker panic inside a parallel round would unwind through
+//! `thread::scope`. Before the plan cache is shared between sessions
+//! (the ROADMAP's remap-as-a-service leg) the engine needs a failure
+//! model: a poisoned cache entry or one bad round must degrade, not
+//! take down every session. This module provides the three pieces:
+//!
+//! * **Injection** — a seedable, deterministic [`FaultPlan`]
+//!   (`Machine::with_faults` or the `HPFC_FAULTS` environment
+//!   variable). Faults are decided by a pure hash of
+//!   `(seed, remap epoch, round, attempt)`, so a failing execution
+//!   replays bit-identically, and a *retry* of the same round rolls a
+//!   fresh decision — exactly the recoverable-transient regime the
+//!   ladder is built for. The deterministic caterpillar round structure
+//!   makes the injection points well-defined: a fault hits *a chosen
+//!   round of a chosen remap*, never a vague interleaving.
+//! * **Detection** — per-round conservation counts (elements replayed
+//!   vs. schedule-planned), optional per-unit checksums over the copied
+//!   words ([`ValidationLevel::Checksums`]), and a compile-time
+//!   fingerprint over every cached program's triples
+//!   ([`crate::CopyProgram::integrity_ok`]).
+//! * **Recovery** — the ladder in `remap_guarded` / `remap_group`:
+//!   bounded retry of the failed round → recompile the program from the
+//!   cached plan (and repair the cache entry) → fall back to the table
+//!   engine → a typed [`ExecError`]. Worker panics are caught with
+//!   `catch_unwind` and degrade `Parallel(t)` → `Serial` for that round
+//!   only.
+//!
+//! When no faults are configured and validation is
+//! [`ValidationLevel::Off`], none of this is on the remap path: the
+//! cached bounce takes the exact pre-existing unguarded replay
+//! (allocation-free, pinned by `alloc_free.rs` and the
+//! `redist/fault_overhead` bench).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::exec::{
+    flip_unit_word, mix64, pair_round_units, replay_chunked_guarded, replay_unit, unit_dst_sum,
+    unit_src_sum, CopyProgram, CopyRun, CopyUnit, ExecMode, PARALLEL_THRESHOLD,
+};
+use crate::machine::Machine;
+use crate::status::PlannedRemap;
+use crate::store::VersionData;
+
+/// One injectable fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Scribble one delivered word of the round after replaying it
+    /// (a wire bit-flip). Detected by checksums.
+    CorruptRound,
+    /// Replay only the first half of the round's units (a short wire
+    /// read). Detected by conservation counts.
+    TruncateRound,
+    /// Replay none of the round's units (a lost message batch).
+    /// Detected by conservation counts.
+    DropRound,
+    /// Panic a parallel worker halfway through its chunk. Caught with
+    /// `catch_unwind`; the round degrades to serial replay.
+    WorkerPanic,
+    /// Corrupt the cached compiled program before the replay starts.
+    /// Detected by the program fingerprint; healed by recompiling from
+    /// the cached plan.
+    PoisonProgram,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 5] = [
+        FaultKind::CorruptRound,
+        FaultKind::TruncateRound,
+        FaultKind::DropRound,
+        FaultKind::WorkerPanic,
+        FaultKind::PoisonProgram,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            FaultKind::CorruptRound => 1,
+            FaultKind::TruncateRound => 2,
+            FaultKind::DropRound => 4,
+            FaultKind::WorkerPanic => 8,
+            FaultKind::PoisonProgram => 16,
+        }
+    }
+
+    /// The wire-level (per-round) kinds; `PoisonProgram` is decided
+    /// once per remap instead.
+    const WIRE: [FaultKind; 4] = [
+        FaultKind::CorruptRound,
+        FaultKind::TruncateRound,
+        FaultKind::DropRound,
+        FaultKind::WorkerPanic,
+    ];
+}
+
+/// A seedable, deterministic fault-injection plan. Decisions are a pure
+/// hash of `(seed, remap epoch, round, attempt)`: the same execution
+/// faults identically every run, and retrying a round re-rolls the
+/// decision, so bounded retries converge unless the rate is 100%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Injection probability per decision point, in percent (0–100).
+    rate: u32,
+    kinds: u8,
+}
+
+impl FaultPlan {
+    /// A plan injecting the given kinds at `rate` percent per decision
+    /// point.
+    pub fn new(seed: u64, rate: u32, kinds: &[FaultKind]) -> FaultPlan {
+        let mask = kinds.iter().fold(0u8, |m, k| m | k.bit());
+        FaultPlan { seed, rate: rate.min(100), kinds: mask }
+    }
+
+    /// A plan injecting **every** fault class at `rate` percent.
+    pub fn all(seed: u64, rate: u32) -> FaultPlan {
+        FaultPlan::new(seed, rate, &FaultKind::ALL)
+    }
+
+    /// The plan selected by the `HPFC_FAULTS` environment variable, if
+    /// set. Accepted forms:
+    ///
+    /// * a bare integer — the seed, with a 10% rate and all kinds;
+    /// * a comma-separated list of `seed=N`, `rate=N` (percent) and
+    ///   `kinds=a+b+c` with kinds among `corrupt`, `truncate`, `drop`,
+    ///   `panic`, `poison`.
+    ///
+    /// Unrecognized fragments are ignored (chaos configuration must
+    /// never itself crash the engine). Realistic use pairs this with
+    /// `HPFC_VALIDATE=checksums` so injected corruption is detected,
+    /// not silently absorbed.
+    pub fn from_env() -> Option<FaultPlan> {
+        let raw = std::env::var("HPFC_FAULTS").ok()?;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return None;
+        }
+        if let Ok(seed) = raw.parse::<u64>() {
+            return Some(FaultPlan::all(seed, 10));
+        }
+        let mut plan = FaultPlan::all(0, 10);
+        for part in raw.split(',') {
+            let Some((key, value)) = part.split_once('=') else { continue };
+            match key.trim() {
+                "seed" => {
+                    if let Ok(s) = value.trim().parse() {
+                        plan.seed = s;
+                    }
+                }
+                "rate" => {
+                    if let Ok(r) = value.trim().parse::<u32>() {
+                        plan.rate = r.min(100);
+                    }
+                }
+                "kinds" => {
+                    let mut mask = 0u8;
+                    for k in value.split('+') {
+                        mask |= match k.trim() {
+                            "corrupt" => FaultKind::CorruptRound.bit(),
+                            "truncate" => FaultKind::TruncateRound.bit(),
+                            "drop" => FaultKind::DropRound.bit(),
+                            "panic" => FaultKind::WorkerPanic.bit(),
+                            "poison" => FaultKind::PoisonProgram.bit(),
+                            _ => 0,
+                        };
+                    }
+                    if mask != 0 {
+                        plan.kinds = mask;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(plan)
+    }
+
+    fn site_hash(&self, epoch: u64, stream: u32, round: u32, attempt: u32) -> u64 {
+        let site = ((stream as u64) << 48) ^ ((round as u64) << 16) ^ attempt as u64;
+        mix64(self.seed ^ mix64(epoch.wrapping_mul(0x9E37_79B9).wrapping_add(site)))
+    }
+
+    /// The wire-level fault (if any) for one `(remap epoch, round,
+    /// attempt)` decision point, plus a salt for victim selection.
+    /// `stream` separates the original program's decision stream from a
+    /// recompiled one's.
+    pub(crate) fn round_fault(
+        &self,
+        epoch: u64,
+        stream: u32,
+        round: u32,
+        attempt: u32,
+    ) -> Option<(FaultKind, u64)> {
+        let h = self.site_hash(epoch, stream, round, attempt);
+        if (h % 100) as u32 >= self.rate {
+            return None;
+        }
+        let enabled: Vec<FaultKind> =
+            FaultKind::WIRE.iter().copied().filter(|k| self.kinds & k.bit() != 0).collect();
+        if enabled.is_empty() {
+            return None;
+        }
+        let pick = ((h >> 32) as usize) % enabled.len();
+        Some((enabled[pick], h))
+    }
+
+    /// Whether this remap's cached program gets poisoned (decided once
+    /// per remap epoch, before the replay starts).
+    pub(crate) fn poison_fires(&self, epoch: u64) -> bool {
+        if self.kinds & FaultKind::PoisonProgram.bit() == 0 {
+            return false;
+        }
+        let h = self.site_hash(epoch, 3, u32::MAX, 0);
+        ((h % 100) as u32) < self.rate
+    }
+}
+
+/// How much the guarded replay verifies per round. `Checksums` implies
+/// the conservation counts of `Counts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ValidationLevel {
+    /// No verification — with no faults configured this selects the
+    /// unguarded allocation-free fast path.
+    #[default]
+    Off,
+    /// Per-round conservation counts: elements replayed must equal the
+    /// round's planned elements (catches dropped/truncated rounds).
+    Counts,
+    /// `Counts` plus per-unit checksums over the copied words: the sum
+    /// of source words read must equal the sum of destination words
+    /// written (catches any single-word corruption).
+    Checksums,
+}
+
+impl ValidationLevel {
+    /// The level selected by the `HPFC_VALIDATE` environment variable:
+    /// `counts`, `checksums`, anything else (or unset) is `Off`.
+    pub fn from_env() -> ValidationLevel {
+        match std::env::var("HPFC_VALIDATE").as_deref().map(str::trim) {
+            Ok("counts") => ValidationLevel::Counts,
+            Ok("checksums") => ValidationLevel::Checksums,
+            _ => ValidationLevel::Off,
+        }
+    }
+}
+
+/// A typed execution error — what the remap engine returns when the
+/// recovery ladder cannot produce a correct result, replacing the
+/// panic sites on the execution path. The interpreter propagates these
+/// across its boundary instead of aborting the process.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// Source and destination extents differ — the promoted form of the
+    /// replay's shape debug-assertion.
+    ShapeMismatch {
+        /// Source-side extents (debug rendering).
+        src: String,
+        /// Destination-side extents (debug rendering).
+        dst: String,
+    },
+    /// A version copy the remap needs is not allocated.
+    MissingCopy {
+        /// Array name.
+        array: String,
+        /// The missing version subscript.
+        version: u32,
+    },
+    /// A local block a compiled program references is unallocated.
+    MissingBlock {
+        /// Processor rank of the missing block.
+        rank: u64,
+        /// `"provider"` or `"receiver"`.
+        side: &'static str,
+    },
+    /// The recovery ladder was exhausted without a clean replay.
+    Unrecovered {
+        /// What was being replayed.
+        context: String,
+    },
+    /// A remap group's runtime member list disagrees with its planned
+    /// group.
+    GroupMismatch {
+        /// Planned member count.
+        planned: usize,
+        /// Runtime member count.
+        got: usize,
+    },
+    /// An interpreter-level invariant violation, reported instead of
+    /// panicked.
+    Interp {
+        /// Description of the violated invariant.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::ShapeMismatch { src, dst } => {
+                write!(f, "shape mismatch: source extents {src}, destination extents {dst}")
+            }
+            ExecError::MissingCopy { array, version } => {
+                write!(f, "array `{array}`: version {version} copy is not allocated")
+            }
+            ExecError::MissingBlock { rank, side } => {
+                write!(f, "compiled program references unallocated {side} block on rank {rank}")
+            }
+            ExecError::Unrecovered { context } => {
+                write!(f, "recovery ladder exhausted: {context}")
+            }
+            ExecError::GroupMismatch { planned, got } => {
+                write!(f, "remap group has {got} members but {planned} were planned")
+            }
+            ExecError::Interp { what } => write!(f, "interpreter invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The payload of an injected [`FaultKind::WorkerPanic`] — a marker
+/// type so genuine panics remain distinguishable in captured output.
+#[derive(Debug)]
+pub struct InjectedPanic;
+
+/// Corrupt a compiled program in place — the `PoisonProgram` fault.
+/// Zeroing the source positions keeps every run in bounds (because
+/// `pos + len <= block_len` implies `len <= block_len`) while changing
+/// what the program copies; the fingerprint catches it either way.
+pub(crate) fn poison_program(p: &mut CopyProgram) {
+    for r in &mut p.runs {
+        r.src_pos = 0;
+    }
+    if p.integrity_ok() {
+        // Degenerate program unchanged by the scribble (e.g. every
+        // src_pos already 0): corrupt the fingerprint itself instead.
+        p.fingerprint ^= 0x5A5A_5A5A;
+    }
+}
+
+/// How one guarded round replay failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoundFailure {
+    /// Checksum mismatch between words read and words written.
+    Mismatch,
+    /// The replay (or one of its workers) panicked.
+    Panicked,
+}
+
+/// Per-round facts the retry ladder needs to pick applicable faults
+/// and validate conservation.
+pub(crate) struct RoundCtx {
+    /// Planned elements of the round (sum of its units' elements).
+    pub expected: u64,
+    /// Number of units in the round.
+    pub units: usize,
+    /// Round number for fault hashing (0 = the local group).
+    pub round_no: u32,
+}
+
+/// Bound on replay attempts per round (1 initial + retries +
+/// potentially one degraded re-run).
+const MAX_ROUND_ATTEMPTS: u32 = 4;
+
+/// Is `kind` a fault that can physically happen to this round under
+/// this mode? (A worker can only panic if workers are actually
+/// spawned; wire loss needs something on the wire.)
+fn applicable(kind: FaultKind, mode: ExecMode, ctx: &RoundCtx) -> bool {
+    match kind {
+        FaultKind::WorkerPanic => {
+            mode.threads() > 1 && ctx.expected >= PARALLEL_THRESHOLD && ctx.units > 0
+        }
+        FaultKind::CorruptRound | FaultKind::TruncateRound | FaultKind::DropRound => {
+            ctx.expected > 0 && ctx.units > 0
+        }
+        FaultKind::PoisonProgram => false,
+    }
+}
+
+/// The per-round rungs of the recovery ladder, shared by the solo and
+/// group replays: decide an injected fault, run the round through
+/// `replay`, validate counts, and on failure degrade a panicked
+/// parallel round to serial or retry (bounded). Returns the round's
+/// `(runs, elements)` on success, `Err(())` when the round is stuck
+/// (the caller escalates: recompile, then the table engine).
+pub(crate) fn run_round_ladder(
+    machine: &mut Machine,
+    ctx: &RoundCtx,
+    epoch: u64,
+    stream: u32,
+    mut replay: impl FnMut(ExecMode, bool, Option<(FaultKind, u64)>) -> Result<(u64, u64), RoundFailure>,
+) -> Result<(u64, u64), ()> {
+    let mut mode = machine.exec_mode;
+    let checksums = machine.validation == ValidationLevel::Checksums;
+    let counts = machine.validation >= ValidationLevel::Counts;
+    let mut attempt = 0u32;
+    loop {
+        let fault = machine
+            .faults
+            .as_ref()
+            .and_then(|f| f.round_fault(epoch, stream, ctx.round_no, attempt))
+            .filter(|(k, _)| applicable(*k, mode, ctx));
+        if fault.is_some() {
+            machine.stats.faults_injected += 1;
+        }
+        let outcome = replay(mode, checksums, fault);
+        let failure = match outcome {
+            Ok((runs, elements)) => {
+                if !counts || elements == ctx.expected {
+                    return Ok((runs, elements));
+                }
+                None // short round: conservation-count violation
+            }
+            Err(f) => Some(f),
+        };
+        if failure == Some(RoundFailure::Panicked) && mode.threads() > 1 {
+            // A panicked worker: degrade this round to serial replay.
+            machine.stats.parallel_degradations += 1;
+            mode = ExecMode::Serial;
+        } else if attempt + 1 < MAX_ROUND_ATTEMPTS {
+            machine.stats.rounds_retried += 1;
+        } else {
+            return Err(());
+        }
+        attempt += 1;
+    }
+}
+
+/// Replay one round of a solo program under the guarded regime:
+/// apply wire-loss faults to the unit list, catch panics from the copy
+/// phase, scribble the corruption victim, and verify checksums.
+#[allow(clippy::type_complexity)]
+pub(crate) fn replay_round_guarded(
+    runs: &[CopyRun],
+    units: &[CopyUnit],
+    src: &VersionData,
+    dst: &mut VersionData,
+    mode: ExecMode,
+    checksums: bool,
+    fault: Option<(FaultKind, u64)>,
+) -> Result<(u64, u64), RoundFailure> {
+    let effective: &[CopyUnit] = match fault {
+        Some((FaultKind::DropRound, _)) => &[],
+        Some((FaultKind::TruncateRound, _)) => &units[..units.len() / 2],
+        _ => units,
+    };
+    let weight: u64 = effective.iter().map(|u| u.elements).sum();
+    let copied = catch_unwind(AssertUnwindSafe(|| {
+        if mode.threads() > 1 && weight >= PARALLEL_THRESHOLD {
+            let mut paired = Vec::with_capacity(effective.len());
+            pair_round_units(effective, runs, src, dst, &mut paired);
+            let boom = matches!(fault, Some((FaultKind::WorkerPanic, _))).then_some(0);
+            replay_chunked_guarded(paired, weight, mode.threads(), boom);
+        } else {
+            for unit in effective {
+                let sb = src.blocks[unit.provider as usize]
+                    .as_ref()
+                    .expect("provider holds the data");
+                let db = dst.blocks[unit.receiver as usize]
+                    .as_mut()
+                    .expect("receiver allocates the data");
+                replay_unit(runs, *unit, sb, db);
+            }
+        }
+    }));
+    if copied.is_err() {
+        return Err(RoundFailure::Panicked);
+    }
+    if let Some((FaultKind::CorruptRound, salt)) = fault {
+        if !effective.is_empty() {
+            let victim = effective[(salt % effective.len() as u64) as usize];
+            let db = dst.blocks[victim.receiver as usize]
+                .as_mut()
+                .expect("receiver allocates the data");
+            flip_unit_word(runs, victim, db);
+        }
+    }
+    if checksums {
+        let mut read = 0u64;
+        let mut written = 0u64;
+        for unit in effective {
+            let sb =
+                src.blocks[unit.provider as usize].as_ref().expect("provider holds the data");
+            let db =
+                dst.blocks[unit.receiver as usize].as_ref().expect("receiver allocates the data");
+            read = read.wrapping_add(unit_src_sum(runs, *unit, sb));
+            written = written.wrapping_add(unit_dst_sum(runs, *unit, db));
+        }
+        if read != written {
+            return Err(RoundFailure::Mismatch);
+        }
+    }
+    let n_runs: u64 = effective.iter().map(|u| (u.runs.1 - u.runs.0) as u64).sum();
+    Ok((n_runs, weight))
+}
+
+/// All rounds of one solo program under the guarded regime. `stream`
+/// separates the fault-decision stream of the original program from a
+/// recompiled one's (so a full re-replay after recompilation rolls
+/// fresh decisions).
+fn replay_rounds_guarded(
+    machine: &mut Machine,
+    prog: &CopyProgram,
+    src: &VersionData,
+    dst: &mut VersionData,
+    epoch: u64,
+    stream: u32,
+) -> Result<(u64, u64), ()> {
+    let mut total_runs = 0u64;
+    let mut total_elements = 0u64;
+    for (ri, units) in
+        std::iter::once(&prog.local).chain(prog.rounds.iter()).enumerate()
+    {
+        if units.is_empty() {
+            continue;
+        }
+        let ctx = RoundCtx {
+            expected: units.iter().map(|u| u.elements).sum(),
+            units: units.len(),
+            round_no: ri as u32,
+        };
+        let (r, e) = run_round_ladder(machine, &ctx, epoch, stream, |mode, checksums, fault| {
+            replay_round_guarded(&prog.runs, units, src, dst, mode, checksums, fault)
+        })?;
+        total_runs += r;
+        total_elements += e;
+    }
+    Ok((total_runs, total_elements))
+}
+
+/// Every block a program references must exist before the replay
+/// starts — the promoted form of the replay's `expect`s, returned as a
+/// typed error instead of a panic.
+fn validate_blocks(
+    prog: &CopyProgram,
+    src: &VersionData,
+    dst: &mut VersionData,
+) -> Result<(), ExecError> {
+    for unit in prog.local.iter().chain(prog.rounds.iter().flatten()) {
+        if src.blocks[unit.provider as usize].is_none() {
+            return Err(ExecError::MissingBlock { rank: unit.provider, side: "provider" });
+        }
+        if dst.blocks[unit.receiver as usize].is_none() {
+            return Err(ExecError::MissingBlock { rank: unit.receiver, side: "receiver" });
+        }
+    }
+    Ok(())
+}
+
+/// What a recovered solo replay hands back to `remap_guarded`.
+pub(crate) struct ReplayOutcome {
+    /// Runs the authoritative copy replayed.
+    pub runs: u64,
+    /// Elements the authoritative copy delivered.
+    pub elements: u64,
+    /// A freshly compiled program, when the ladder recompiled — the
+    /// caller repairs the plan-cache entry with it.
+    pub repaired: Option<CopyProgram>,
+}
+
+/// The solo recovery ladder: replay `planned`'s data movement from
+/// `src` into `dst`, healing injected or real faults.
+///
+/// Rungs: (1) bounded retry of a failed round (worker panics degrade
+/// the round to serial first); (2) recompile the program from the
+/// cached plan and re-replay (idempotent: every destination position is
+/// rewritten); (3) fall back to the table engine, which shares no state
+/// with the compiled program. When no faults are configured and
+/// validation is off, this is exactly the pre-existing unguarded replay
+/// (the allocation-free fast path).
+pub(crate) fn replay_with_recovery(
+    machine: &mut Machine,
+    planned: &PlannedRemap,
+    src: &VersionData,
+    dst: &mut VersionData,
+    epoch: u64,
+) -> Result<ReplayOutcome, ExecError> {
+    let guarded = machine.faults.is_some() || machine.validation != ValidationLevel::Off;
+    if !guarded {
+        let (runs, elements) = match &planned.program {
+            Some(p) => dst.copy_values_from_program(src, p, machine.exec_mode),
+            None => {
+                machine.stats.fallbacks_to_tables += 1;
+                dst.copy_values_from_plan(src, &planned.plan)
+            }
+        };
+        return Ok(ReplayOutcome { runs, elements, repaired: None });
+    }
+    if src.mapping.array_extents != dst.mapping.array_extents {
+        return Err(ExecError::ShapeMismatch {
+            src: format!("{:?}", src.mapping.array_extents),
+            dst: format!("{:?}", dst.mapping.array_extents),
+        });
+    }
+    let mut repaired: Option<CopyProgram> = None;
+    let mut active: Option<&CopyProgram> = planned.program.as_ref();
+    if let Some(p) = active {
+        if !p.compiled_for(src, dst) || !p.integrity_ok() {
+            // Poisoned (or foreign) cached program: recompile from the
+            // cached plan — rung 2 entered straight away.
+            machine.stats.programs_recompiled += 1;
+            repaired = CopyProgram::try_compile(&planned.plan, &planned.schedule)
+                .filter(|f| f.compiled_for(src, dst));
+            active = repaired.as_ref();
+        }
+    }
+    let mut replayed: Option<(u64, u64)> = None;
+    if let Some(prog) = active {
+        validate_blocks(prog, src, dst)?;
+        replayed = replay_rounds_guarded(machine, prog, src, dst, epoch, 0).ok();
+    }
+    if replayed.is_none() && planned.program.is_some() && repaired.is_none() {
+        // Rung 2: recompile once and re-replay everything (idempotent).
+        machine.stats.programs_recompiled += 1;
+        if let Some(fresh) = CopyProgram::try_compile(&planned.plan, &planned.schedule)
+            .filter(|f| f.compiled_for(src, dst))
+        {
+            replayed = replay_rounds_guarded(machine, &fresh, src, dst, epoch, 1).ok();
+            repaired = Some(fresh);
+        }
+    }
+    let (runs, elements) = match replayed {
+        Some(t) => t,
+        None => {
+            // Rung 3: the table engine — re-derives every position from
+            // the plan's descriptors, shares nothing with the compiled
+            // program, and is never fault-injected.
+            machine.stats.fallbacks_to_tables += 1;
+            dst.copy_values_from_plan(src, &planned.plan)
+        }
+    };
+    Ok(ReplayOutcome { runs, elements, repaired })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_decisions_are_deterministic_and_rate_bounded() {
+        let plan = FaultPlan::all(42, 30);
+        let mut fired = 0usize;
+        for epoch in 0..200u64 {
+            let a = plan.round_fault(epoch, 0, 1, 0);
+            let b = plan.round_fault(epoch, 0, 1, 0);
+            assert_eq!(a, b, "same site must decide identically");
+            if a.is_some() {
+                fired += 1;
+            }
+        }
+        // ~30% of 200 decision points; generous determinism-safe bounds.
+        assert!((20..=100).contains(&fired), "fired {fired} of 200 at rate 30");
+        // A retry rolls a fresh decision (attempt is part of the site).
+        let differs = (0..100u64).any(|e| {
+            plan.round_fault(e, 0, 1, 0).map(|(k, _)| k)
+                != plan.round_fault(e, 0, 1, 1).map(|(k, _)| k)
+        });
+        assert!(differs, "attempt must re-roll the decision");
+    }
+
+    #[test]
+    fn rate_zero_and_disabled_kinds_never_fire() {
+        let silent = FaultPlan::all(7, 0);
+        assert!((0..500u64).all(|e| silent.round_fault(e, 0, 0, 0).is_none()));
+        assert!((0..500u64).all(|e| !silent.poison_fires(e)));
+        let poison_only = FaultPlan::new(7, 100, &[FaultKind::PoisonProgram]);
+        assert!((0..100u64).all(|e| poison_only.round_fault(e, 0, 0, 0).is_none()));
+        assert!(poison_only.poison_fires(3));
+        let wire_only = FaultPlan::new(7, 100, &[FaultKind::DropRound]);
+        assert!((0..100u64).all(|e| !wire_only.poison_fires(e)));
+    }
+
+    #[test]
+    fn env_forms_parse() {
+        // `from_env` reads the process environment, which is shared
+        // across test threads — exercise the parser through a plan
+        // constructed from the same fragments instead.
+        let p = FaultPlan::new(9, 120, &[FaultKind::DropRound]);
+        assert_eq!(p.rate, 100, "rate saturates at 100");
+        assert_eq!(p.kinds, FaultKind::DropRound.bit());
+        let all = FaultPlan::all(1, 10);
+        assert_eq!(all.kinds, 0b11111);
+    }
+
+    #[test]
+    fn validation_levels_are_ordered() {
+        assert!(ValidationLevel::Off < ValidationLevel::Counts);
+        assert!(ValidationLevel::Counts < ValidationLevel::Checksums);
+        assert_eq!(ValidationLevel::default(), ValidationLevel::Off);
+    }
+
+    #[test]
+    fn exec_error_displays() {
+        let e = ExecError::MissingCopy { array: "a".into(), version: 2 };
+        assert!(e.to_string().contains("version 2"));
+        let e = ExecError::Unrecovered { context: "round 3".into() };
+        assert!(e.to_string().contains("round 3"));
+    }
+}

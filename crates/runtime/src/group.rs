@@ -28,10 +28,14 @@
 //! arrays' storage.
 
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use crate::exec::{pair_round_units, replay_chunked, replay_unit, CopyProgram, CopyUnit,
-                  ExecMode, GroupCopyProgram, PairedUnit, PARALLEL_THRESHOLD};
+use crate::exec::{flip_unit_word, pair_round_units, replay_chunked, replay_chunked_guarded,
+                  replay_unit, unit_dst_sum, unit_src_sum, CopyProgram, CopyUnit, ExecMode,
+                  GroupCopyProgram, PairedUnit, PARALLEL_THRESHOLD};
+use crate::fault::{poison_program, run_round_ladder, ExecError, FaultKind, RoundCtx,
+                   RoundFailure, ValidationLevel};
 use crate::machine::Machine;
 use crate::redist::RedistPlan;
 use crate::schedule::CommSchedule;
@@ -128,7 +132,30 @@ pub fn remap_group(
     members: &mut [GroupMember<'_>],
     planned: &PlannedGroup,
 ) -> usize {
-    assert_eq!(members.len(), planned.members.len(), "group member mismatch");
+    match try_remap_group(machine, members, planned) {
+        Ok(n) => n,
+        Err(e) => panic!("remap group: {e}"),
+    }
+}
+
+/// [`remap_group`] returning a typed [`ExecError`] instead of
+/// panicking: a member-count mismatch with the planned group and any
+/// unrecoverable member remap surface as errors. With faults or
+/// validation configured on the machine, the coalesced replay runs
+/// through the same recovery ladder as a solo remap (retry failed
+/// rounds → recompile the group program → per-member table-engine
+/// fallback), with worker panics degrading the round to serial.
+pub fn try_remap_group(
+    machine: &mut Machine,
+    members: &mut [GroupMember<'_>],
+    planned: &PlannedGroup,
+) -> Result<usize, ExecError> {
+    if members.len() != planned.members.len() {
+        return Err(ExecError::GroupMismatch {
+            planned: planned.members.len(),
+            got: members.len(),
+        });
+    }
     // Seed every member's solo plan (a no-op when already present):
     // whichever path executes below, nothing plans at run time.
     for (i, m) in members.iter_mut().enumerate() {
@@ -147,15 +174,15 @@ pub fn remap_group(
     if movers < 2 {
         // Nothing to coalesce: ordinary guarded remaps (cache hits).
         for m in members.iter_mut() {
-            m.rt.remap_guarded(machine, m.target, m.may_live, false, m.skip_if_current);
+            m.rt.try_remap_guarded(machine, m.target, m.may_live, false, m.skip_if_current)?;
         }
-        return 0;
+        return Ok(0);
     }
     // Non-movers first: their remap is a no-op plus cleaning, fully
     // independent of the movers (different arrays).
     for (i, m) in members.iter_mut().enumerate() {
         if mask & (1 << i) == 0 {
-            m.rt.remap_guarded(machine, m.target, m.may_live, false, m.skip_if_current);
+            m.rt.try_remap_guarded(machine, m.target, m.may_live, false, m.skip_if_current)?;
         }
     }
     // The coalesced movement: allocate targets, cost the merged rounds
@@ -168,21 +195,26 @@ pub fn remap_group(
     for r in 0..planned.schedule.rounds.len() {
         machine.account_phase(planned.schedule.round_triples_masked(r, mask));
     }
-    let prog = planned.program.as_ref().expect("movers imply a compiled group program");
-    let mode = machine.exec_mode;
-    match mode {
-        ExecMode::Parallel(t) if t > 1 => replay_parallel(members, prog, mask, t),
-        _ => replay_serial(members, prog, mask),
-    }
+    let epoch = machine.next_fault_epoch();
+    // `None`: the fast path ran — bill the compiled program's planned
+    // per-member figures. `Some`: the guarded ladder ran and reports
+    // what the authoritative replay actually delivered per member.
+    let per_member = replay_group_with_recovery(machine, members, planned, mask, epoch);
     machine.stats.remap_groups_coalesced += 1;
     for (i, m) in members.iter_mut().enumerate() {
         if mask & (1 << i) == 0 {
             continue;
         }
-        let mp = &prog.members[i];
+        let (runs, elements) = match &per_member {
+            Some(v) => v[i],
+            None => {
+                let mp = &planned.program.as_ref().expect("movers imply a program").members[i];
+                (mp.n_runs(), mp.n_elements())
+            }
+        };
         machine.stats.remaps_performed += 1;
-        machine.stats.runs_copied += mp.n_runs();
-        machine.stats.bytes_moved += mp.n_elements() * m.rt.elem_size;
+        machine.stats.runs_copied += runs;
+        machine.stats.bytes_moved += elements * m.rt.elem_size;
         machine.stats.local_elements += planned.members[i].plan.local_elements;
         m.rt.live[m.target as usize] = true;
         m.rt.status = Some(m.target);
@@ -193,17 +225,13 @@ pub fn remap_group(
             }
         }
     }
-    movers
+    Ok(movers)
 }
 
 /// The member's (source, destination) version storage, borrowed
 /// simultaneously from its copies table (the two versions are distinct
 /// by construction — a planned copy never has `src == target`).
-fn member_pair<'a>(
-    rt: &'a mut ArrayRt,
-    src: u32,
-    dst: u32,
-) -> (&'a VersionData, &'a mut VersionData) {
+fn member_pair(rt: &mut ArrayRt, src: u32, dst: u32) -> (&VersionData, &mut VersionData) {
     let (s, d) = (src as usize, dst as usize);
     debug_assert_ne!(s, d, "planned copies move between distinct versions");
     if s < d {
@@ -315,6 +343,278 @@ fn replay_parallel(
         }
         replay_chunked(paired, total, threads);
     }
+}
+
+/// Replay the coalesced movement, guarded when the machine carries
+/// faults or a validation level (otherwise the pre-existing
+/// allocation-free fast path, returning `None`). Guarded: integrity-
+/// check the group program (a poisoned program is recompiled from the
+/// cached member plans), run every merged round through the shared
+/// retry ladder, and escalate a stuck round to a one-shot group
+/// recompile and finally to per-member table-engine copies. Returns
+/// the per-member `(runs, elements)` the authoritative replay
+/// delivered.
+fn replay_group_with_recovery(
+    machine: &mut Machine,
+    members: &mut [GroupMember<'_>],
+    planned: &PlannedGroup,
+    mask: u64,
+    epoch: u64,
+) -> Option<Vec<(u64, u64)>> {
+    let base = planned.program.as_ref().expect("movers imply a compiled group program");
+    let guarded = machine.faults.is_some() || machine.validation != ValidationLevel::Off;
+    if !guarded {
+        match machine.exec_mode {
+            ExecMode::Parallel(t) if t > 1 => replay_parallel(members, base, mask, t),
+            _ => replay_serial(members, base, mask),
+        }
+        return None;
+    }
+    // PoisonProgram: replay a corrupted clone of the group program —
+    // what a damaged shared plan registry would serve. (The planned
+    // group itself is borrowed, so unlike the solo cache the poison
+    // cannot persist past this call.)
+    let mut poisoned: Option<GroupCopyProgram> = None;
+    if machine.faults.is_some_and(|f| f.poison_fires(epoch)) {
+        let mut bad = base.clone();
+        for mp in &mut bad.members {
+            poison_program(mp);
+        }
+        machine.stats.faults_injected += 1;
+        poisoned = Some(bad);
+    }
+    let mut active: &GroupCopyProgram = poisoned.as_ref().unwrap_or(base);
+    let recompiled: Option<GroupCopyProgram>;
+    if !active.integrity_ok() {
+        machine.stats.programs_recompiled += 1;
+        let plans: Vec<&RedistPlan> = planned.members.iter().map(|m| &m.plan).collect();
+        recompiled = GroupCopyProgram::try_compile(&plans, &planned.schedule);
+        match &recompiled {
+            Some(fresh) => active = fresh,
+            None => return Some(group_tables_fallback(machine, members, planned, mask)),
+        }
+    } else {
+        recompiled = None;
+    }
+    if let Ok(v) = replay_group_rounds_guarded(machine, members, active, mask, epoch, 0) {
+        return Some(v);
+    }
+    if recompiled.is_none() {
+        // Rung 2: recompile the whole group once and re-replay
+        // (idempotent: every destination position is rewritten).
+        machine.stats.programs_recompiled += 1;
+        let plans: Vec<&RedistPlan> = planned.members.iter().map(|m| &m.plan).collect();
+        if let Some(fresh) = GroupCopyProgram::try_compile(&plans, &planned.schedule) {
+            if let Ok(v) = replay_group_rounds_guarded(machine, members, &fresh, mask, epoch, 1) {
+                return Some(v);
+            }
+        }
+    }
+    Some(group_tables_fallback(machine, members, planned, mask))
+}
+
+/// The group's last rung: an independent full table-engine copy per
+/// masked member (re-derives every position from the plan descriptors,
+/// shares nothing with the compiled programs, never fault-injected).
+fn group_tables_fallback(
+    machine: &mut Machine,
+    members: &mut [GroupMember<'_>],
+    planned: &PlannedGroup,
+    mask: u64,
+) -> Vec<(u64, u64)> {
+    let mut out = vec![(0u64, 0u64); members.len()];
+    for (i, m) in members.iter_mut().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        machine.stats.fallbacks_to_tables += 1;
+        let (src, dst) = member_pair(m.rt, m.src, m.target);
+        out[i] = dst.copy_values_from_plan(src, &planned.members[i].plan);
+    }
+    out
+}
+
+/// All merged rounds of the group under the guarded regime, each
+/// through the shared retry ladder. Per-member `(runs, elements)`
+/// totals count only the authoritative (final successful) attempt of
+/// every round.
+fn replay_group_rounds_guarded(
+    machine: &mut Machine,
+    members: &mut [GroupMember<'_>],
+    prog: &GroupCopyProgram,
+    mask: u64,
+    epoch: u64,
+    stream: u32,
+) -> Result<Vec<(u64, u64)>, ()> {
+    let mut per_member = vec![(0u64, 0u64); members.len()];
+    let mut scratch = vec![(0u64, 0u64); members.len()];
+    for (ri, round) in std::iter::once(None).chain((0..prog.n_rounds).map(Some)).enumerate() {
+        let mut expected = 0u64;
+        let mut n_units = 0usize;
+        for (i, mp) in prog.members.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let us = units_of(mp, round);
+            n_units += us.len();
+            expected += us.iter().map(|u| u.elements).sum::<u64>();
+        }
+        if n_units == 0 {
+            continue;
+        }
+        let ctx = RoundCtx { expected, units: n_units, round_no: ri as u32 };
+        run_round_ladder(machine, &ctx, epoch, stream, |mode, checksums, fault| {
+            scratch.iter_mut().for_each(|s| *s = (0, 0));
+            replay_group_round_guarded(
+                members, prog, mask, round, mode, checksums, fault, &mut scratch,
+            )
+        })?;
+        for (acc, s) in per_member.iter_mut().zip(scratch.iter()) {
+            acc.0 += s.0;
+            acc.1 += s.1;
+        }
+    }
+    Ok(per_member)
+}
+
+/// One merged round under the guarded regime. Wire-loss faults apply
+/// to the round's **concatenated** unit list (members in group order,
+/// units in program order): truncation replays the first half of that
+/// list, corruption picks its victim by global index — so a fault can
+/// land on any member, exactly like a fault on the shared wire buffer.
+/// Writes each member's delivered `(runs, elements)` into `per_member`.
+#[allow(clippy::too_many_arguments)]
+fn replay_group_round_guarded(
+    members: &mut [GroupMember<'_>],
+    prog: &GroupCopyProgram,
+    mask: u64,
+    round: Option<usize>,
+    mode: ExecMode,
+    checksums: bool,
+    fault: Option<(FaultKind, u64)>,
+    per_member: &mut [(u64, u64)],
+) -> Result<(u64, u64), RoundFailure> {
+    let masked = |i: usize| mask & (1 << i) != 0;
+    let total_units: usize = prog
+        .members
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| masked(*i))
+        .map(|(_, mp)| units_of(mp, round).len())
+        .sum();
+    let cut = match fault {
+        Some((FaultKind::DropRound, _)) => 0,
+        Some((FaultKind::TruncateRound, _)) => total_units / 2,
+        _ => total_units,
+    };
+    // taken[i]: member i's prefix of units under the concatenated cut.
+    let mut taken = vec![0usize; members.len()];
+    let mut idx = 0usize;
+    for (i, mp) in prog.members.iter().enumerate() {
+        let n = if masked(i) { units_of(mp, round).len() } else { 0 };
+        taken[i] = n.min(cut.saturating_sub(idx));
+        idx += n;
+    }
+    let weight: u64 = prog
+        .members
+        .iter()
+        .enumerate()
+        .map(|(i, mp)| units_of(mp, round)[..taken[i]].iter().map(|u| u.elements).sum::<u64>())
+        .sum();
+    let copied = catch_unwind(AssertUnwindSafe(|| {
+        if mode.threads() > 1 && weight >= PARALLEL_THRESHOLD {
+            let mut paired: Vec<PairedUnit<'_>> = Vec::new();
+            for (i, m) in members.iter_mut().enumerate() {
+                if taken[i] == 0 {
+                    continue;
+                }
+                let mp = &prog.members[i];
+                let units = &units_of(mp, round)[..taken[i]];
+                let (src, dst) = member_pair(m.rt, m.src, m.target);
+                pair_round_units(units, &mp.runs, src, dst, &mut paired);
+            }
+            let boom = matches!(fault, Some((FaultKind::WorkerPanic, _))).then_some(0);
+            replay_chunked_guarded(paired, weight, mode.threads(), boom);
+        } else {
+            for (i, m) in members.iter_mut().enumerate() {
+                if taken[i] == 0 {
+                    continue;
+                }
+                let mp = &prog.members[i];
+                let units = &units_of(mp, round)[..taken[i]];
+                let (src, dst) = member_pair(m.rt, m.src, m.target);
+                for unit in units {
+                    let sb = src.blocks[unit.provider as usize]
+                        .as_ref()
+                        .expect("provider holds the data");
+                    let db = dst.blocks[unit.receiver as usize]
+                        .as_mut()
+                        .expect("receiver allocates the data");
+                    replay_unit(&mp.runs, *unit, sb, db);
+                }
+            }
+        }
+    }));
+    if copied.is_err() {
+        return Err(RoundFailure::Panicked);
+    }
+    if let Some((FaultKind::CorruptRound, salt)) = fault {
+        if total_units > 0 {
+            let mut v = (salt % total_units as u64) as usize;
+            for (i, m) in members.iter_mut().enumerate() {
+                if !masked(i) {
+                    continue;
+                }
+                let units = units_of(&prog.members[i], round);
+                if v < units.len() {
+                    let victim = units[v];
+                    let (_, dst) = member_pair(m.rt, m.src, m.target);
+                    let db = dst.blocks[victim.receiver as usize]
+                        .as_mut()
+                        .expect("receiver allocates the data");
+                    flip_unit_word(&prog.members[i].runs, victim, db);
+                    break;
+                }
+                v -= units.len();
+            }
+        }
+    }
+    let mut read = 0u64;
+    let mut written = 0u64;
+    let mut runs_total = 0u64;
+    let mut elems_total = 0u64;
+    for (i, m) in members.iter_mut().enumerate() {
+        if taken[i] == 0 {
+            continue;
+        }
+        let mp = &prog.members[i];
+        let units = &units_of(mp, round)[..taken[i]];
+        let (src, dst) = member_pair(m.rt, m.src, m.target);
+        let mut mruns = 0u64;
+        let mut melems = 0u64;
+        for unit in units {
+            mruns += (unit.runs.1 - unit.runs.0) as u64;
+            melems += unit.elements;
+            if checksums {
+                let sb = src.blocks[unit.provider as usize]
+                    .as_ref()
+                    .expect("provider holds the data");
+                let db = dst.blocks[unit.receiver as usize]
+                    .as_ref()
+                    .expect("receiver allocates the data");
+                read = read.wrapping_add(unit_src_sum(&mp.runs, *unit, sb));
+                written = written.wrapping_add(unit_dst_sum(&mp.runs, *unit, db));
+            }
+        }
+        per_member[i].0 += mruns;
+        per_member[i].1 += melems;
+        runs_total += mruns;
+        elems_total += melems;
+    }
+    if checksums && read != written {
+        return Err(RoundFailure::Mismatch);
+    }
+    Ok((runs_total, elems_total))
 }
 
 #[cfg(test)]

@@ -35,12 +35,18 @@
 //! * [`status::ArrayRt`] — the per-array runtime descriptor of Sec. 5.1:
 //!   current-version *status*, per-version *live* flags, lazy
 //!   instantiation, guarded copies, liveness cleaning, and
-//!   memory-pressure eviction with later regeneration.
+//!   memory-pressure eviction with later regeneration;
+//! * [`fault::FaultPlan`] — deterministic fault injection
+//!   (`HPFC_FAULTS`), per-round validation (`HPFC_VALIDATE`), and the
+//!   self-healing recovery ladder behind [`status::ArrayRt::remap_guarded`]
+//!   and [`group::remap_group`]: retry → recompile → table-engine
+//!   fallback → typed [`fault::ExecError`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod fault;
 pub mod group;
 pub mod machine;
 pub mod redist;
@@ -48,8 +54,9 @@ pub mod schedule;
 pub mod status;
 pub mod store;
 
-pub use exec::{CopyProgram, CopyRun, CopyUnit, ExecMode, GroupCopyProgram};
-pub use group::{remap_group, GroupMember, PlannedGroup};
+pub use exec::{CompileDecline, CopyProgram, CopyRun, CopyUnit, ExecMode, GroupCopyProgram};
+pub use fault::{ExecError, FaultKind, FaultPlan, ValidationLevel};
+pub use group::{remap_group, try_remap_group, GroupMember, PlannedGroup};
 pub use machine::{CostModel, Machine, NetStats};
 pub use redist::{plan_by_enumeration, plan_redistribution, RedistPlan, Transfer};
 pub use schedule::{CommSchedule, MsgDim, PackedMessage};

@@ -83,6 +83,24 @@ pub struct NetStats {
     /// member still counts in `remaps_performed`; a group whose members
     /// fall back to solo remaps does not count here).
     pub remap_groups_coalesced: u64,
+    /// Faults injected by the configured [`crate::FaultPlan`] (chaos
+    /// testing only; zero in production runs).
+    pub faults_injected: u64,
+    /// Replay rounds retried by the recovery ladder after a detected
+    /// fault (rung 1).
+    pub rounds_retried: u64,
+    /// Copy programs recompiled from their cached plan after a round
+    /// could not be healed by retrying, or after a cached program
+    /// failed its integrity check (rung 2).
+    pub programs_recompiled: u64,
+    /// Remaps that fell back to the table engine — either because no
+    /// program could be compiled (rank-0 / position-overflow declines)
+    /// or because the recovery ladder exhausted the compiled rungs
+    /// (rung 3).
+    pub fallbacks_to_tables: u64,
+    /// Parallel rounds degraded to serial replay after a worker panic
+    /// was caught.
+    pub parallel_degradations: u64,
 }
 
 impl NetStats {
@@ -102,11 +120,19 @@ impl NetStats {
         self.runs_copied += o.runs_copied;
         self.restores_replayed += o.restores_replayed;
         self.remap_groups_coalesced += o.remap_groups_coalesced;
+        self.faults_injected += o.faults_injected;
+        self.rounds_retried += o.rounds_retried;
+        self.programs_recompiled += o.programs_recompiled;
+        self.fallbacks_to_tables += o.fallbacks_to_tables;
+        self.parallel_degradations += o.parallel_degradations;
     }
 
     /// One-line human-readable digest (experiment drivers, examples).
+    /// The recovery tail (`faults ... degraded ...`) is appended only
+    /// when something actually fired, so fault-free runs read as
+    /// before.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "msgs {} | wire {} B | moved {} B in {} runs | local els {} | time {:.1} µs | \
              remaps {} (noop {}, live {}, dead {}) | restores {} | groups {} | \
              plans {} (+{} cache hits)",
@@ -124,7 +150,23 @@ impl NetStats {
             self.remap_groups_coalesced,
             self.plans_computed,
             self.plan_cache_hits,
-        )
+        );
+        let recovery = self.faults_injected
+            + self.rounds_retried
+            + self.programs_recompiled
+            + self.fallbacks_to_tables
+            + self.parallel_degradations;
+        if recovery > 0 {
+            s.push_str(&format!(
+                " | faults {} (retried {}, recompiled {}, tables {}, degraded {})",
+                self.faults_injected,
+                self.rounds_retried,
+                self.programs_recompiled,
+                self.fallbacks_to_tables,
+                self.parallel_degradations,
+            ));
+        }
+        s
     }
 }
 
@@ -205,8 +247,20 @@ pub struct Machine {
     /// or scoped worker threads). Defaults to the `HPFC_THREADS`
     /// environment variable via [`ExecMode::from_env`].
     pub exec_mode: ExecMode,
+    /// Deterministic fault injection for chaos testing (`HPFC_FAULTS`
+    /// env or [`Machine::with_faults`]); `None` in production runs.
+    pub faults: Option<crate::fault::FaultPlan>,
+    /// How much the guarded replay verifies per round
+    /// (`HPFC_VALIDATE` env or [`Machine::with_validation`]). With
+    /// faults unset and validation [`crate::ValidationLevel::Off`], the
+    /// remap path is the unguarded allocation-free fast path.
+    pub validation: crate::fault::ValidationLevel,
     /// Reusable per-phase accounting buffers.
     scratch: PhaseScratch,
+    /// Monotonic counter handed to the fault plan: one epoch per
+    /// data-moving remap, making injection deterministic per operation
+    /// regardless of execution mode.
+    fault_epoch: u64,
 }
 
 impl Machine {
@@ -218,7 +272,10 @@ impl Machine {
             stats: NetStats::default(),
             mem: MemTracker::default(),
             exec_mode: ExecMode::from_env(),
+            faults: crate::fault::FaultPlan::from_env(),
+            validation: crate::fault::ValidationLevel::from_env(),
             scratch: PhaseScratch::default(),
+            fault_epoch: 0,
         }
     }
 
@@ -231,6 +288,27 @@ impl Machine {
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
         self
+    }
+
+    /// Builder-style fault-injection plan (chaos testing).
+    pub fn with_faults(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Builder-style validation level for the guarded replay.
+    pub fn with_validation(mut self, level: crate::fault::ValidationLevel) -> Self {
+        self.validation = level;
+        self
+    }
+
+    /// The next fault epoch — bumped once per data-moving remap so the
+    /// stateless [`crate::FaultPlan`] decides deterministically per
+    /// operation.
+    pub(crate) fn next_fault_epoch(&mut self) -> u64 {
+        let e = self.fault_epoch;
+        self.fault_epoch += 1;
+        e
     }
 
     /// Account one communication phase given per-(sender, receiver)

@@ -639,7 +639,7 @@ mod tests {
         // Each proc keeps its diagonal tile (n/p × n/p) and sends the
         // rest of its rows.
         assert_eq!(plan.local_elements, p * (n / p) * (n / p));
-        assert_eq!(plan.total_messages(), (p * (p - 1)) as u64);
+        assert_eq!(plan.total_messages(), p * (p - 1));
     }
 
     #[test]

@@ -328,10 +328,10 @@ fn message_dims(
     let d_coords = dst.grid_shape.delinearize(to);
     let rank = src.array_extents.rank();
     let mut dims = Vec::with_capacity(rank);
-    for d in 0..rank {
+    for (d, coords) in by_coords.iter().enumerate().take(rank) {
         let want_src = axis_driven_by_dim(src, d).map(|(ax, ..)| (ax, s_coords[ax]));
         let want_dst = axis_driven_by_dim(dst, d).map(|(ax, ..)| (ax, d_coords[ax]));
-        let entry = &plan.dims[d][*by_coords[d]
+        let entry = &plan.dims[d][*coords
             .get(&(want_src, want_dst))
             .expect("remote transfer implies a non-empty contribution per dimension")];
         dims.push(MsgDim { src_set: entry.src_set.clone(), dst_set: entry.dst_set.clone() });

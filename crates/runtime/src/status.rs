@@ -176,10 +176,23 @@ impl ArrayRt {
         self.remap_guarded(machine, target, may_live, values_dead, &BTreeSet::new())
     }
 
+    /// [`ArrayRt::remap`] returning a typed error instead of panicking
+    /// when the remap cannot complete.
+    pub fn try_remap(
+        &mut self,
+        machine: &mut Machine,
+        target: u32,
+        may_live: &BTreeSet<u32>,
+        values_dead: bool,
+    ) -> Result<(), crate::fault::ExecError> {
+        self.try_remap_guarded(machine, target, may_live, values_dead, &BTreeSet::new())
+    }
+
     /// [`ArrayRt::remap`] with a partial-impact guard: when the current
     /// status is in `skip_if_current`, this execution is unaffected by
     /// the directive (Fig. 5/6 flow-dependent alignment) — only the
-    /// liveness cleaning runs.
+    /// liveness cleaning runs. Panics on an unrecoverable execution
+    /// error; [`ArrayRt::try_remap_guarded`] is the typed-error form.
     pub fn remap_guarded(
         &mut self,
         machine: &mut Machine,
@@ -188,6 +201,30 @@ impl ArrayRt {
         values_dead: bool,
         skip_if_current: &BTreeSet<u32>,
     ) {
+        if let Err(e) =
+            self.try_remap_guarded(machine, target, may_live, values_dead, skip_if_current)
+        {
+            panic!("remap of `{}` to version {target}: {e}", self.name);
+        }
+    }
+
+    /// The full remap semantics with the recovery ladder and typed
+    /// errors. When the machine carries a [`crate::FaultPlan`] or a
+    /// validation level, the data movement runs guarded: a poisoned
+    /// cached program is detected by its fingerprint and recompiled
+    /// from the cached plan (the cache entry is repaired in place),
+    /// failed rounds are retried then escalated (recompile → table
+    /// engine), and worker panics degrade the round to serial. With
+    /// neither configured this is exactly the unguarded
+    /// allocation-free path.
+    pub fn try_remap_guarded(
+        &mut self,
+        machine: &mut Machine,
+        target: u32,
+        may_live: &BTreeSet<u32>,
+        values_dead: bool,
+        skip_if_current: &BTreeSet<u32>,
+    ) -> Result<(), crate::fault::ExecError> {
         if self.status.is_some_and(|c| skip_if_current.contains(&c)) {
             machine.stats.remaps_skipped_noop += 1;
         } else if self.status == Some(target) {
@@ -205,31 +242,53 @@ impl ArrayRt {
                         // The actual remapping communication: the
                         // cached compiled program drives the copy, its
                         // caterpillar schedule the time accounting.
+                        let epoch = machine.next_fault_epoch();
+                        if machine.faults.is_some_and(|f| f.poison_fires(epoch)) {
+                            // PoisonProgram: corrupt the cached entry's
+                            // compiled program before it is served —
+                            // exactly what a damaged shared plan
+                            // registry would hand out.
+                            if let Some(entry) = self.plan_cache.get_mut(&(src, target)) {
+                                if let Some(p) = Arc::make_mut(entry).program.as_mut() {
+                                    crate::fault::poison_program(p);
+                                    machine.stats.faults_injected += 1;
+                                }
+                            }
+                        }
                         let planned = self.planned(machine, src, target);
                         machine.account_schedule(&planned.schedule);
                         machine.stats.remaps_performed += 1;
                         // Take the source copy out instead of cloning
                         // it (src != target here: the status==target
                         // case was handled above), then put it back.
-                        let src_data = self.copies[src as usize]
-                            .take()
-                            .expect("status copy is allocated");
+                        let src_data = self.copies[src as usize].take().ok_or_else(|| {
+                            crate::fault::ExecError::MissingCopy {
+                                array: self.name.clone(),
+                                version: src,
+                            }
+                        })?;
                         let dst_data = self.copies[target as usize].as_mut().unwrap();
-                        // Replay the compiled program (allocation-free;
-                        // parallel rounds under ExecMode::Parallel);
-                        // fall back to the descriptor tables when no
-                        // program could be compiled.
-                        let (runs, elements) = match &planned.program {
-                            Some(prog) => dst_data.copy_values_from_program(
-                                &src_data,
-                                prog,
-                                machine.exec_mode,
-                            ),
-                            None => dst_data.copy_values_from_plan(&src_data, &planned.plan),
-                        };
-                        machine.stats.runs_copied += runs;
-                        machine.stats.bytes_moved += elements * self.elem_size;
+                        // Replay through the recovery ladder (which is
+                        // the plain unguarded program replay — or table
+                        // fallback — when no faults/validation are
+                        // configured). The source copy goes back in
+                        // before any error propagates.
+                        let replayed = crate::fault::replay_with_recovery(
+                            machine, &planned, &src_data, dst_data, epoch,
+                        );
                         self.copies[src as usize] = Some(src_data);
+                        let outcome = replayed?;
+                        machine.stats.runs_copied += outcome.runs;
+                        machine.stats.bytes_moved += outcome.elements * self.elem_size;
+                        drop(planned);
+                        if let Some(fresh) = outcome.repaired {
+                            // Cache repair: the recompiled program
+                            // replaces the poisoned/stale one, so the
+                            // next bounce is healthy again.
+                            if let Some(entry) = self.plan_cache.get_mut(&(src, target)) {
+                                Arc::make_mut(entry).program = Some(fresh);
+                            }
+                        }
                     }
                     (Some(_), true) => {
                         // KILL: copy allocated, values dead — no data.
@@ -256,6 +315,7 @@ impl ArrayRt {
                 self.free_copy(machine, v);
             }
         }
+        Ok(())
     }
 
     /// Fig. 18's restore, executed: remap back to the `saved` status
@@ -274,8 +334,22 @@ impl ArrayRt {
         may_live: &BTreeSet<u32>,
         values_dead: bool,
     ) {
+        if let Err(e) = self.try_restore(machine, saved, may_live, values_dead) {
+            panic!("restore of `{}` to version {saved}: {e}", self.name);
+        }
+    }
+
+    /// [`ArrayRt::restore`] returning a typed error instead of
+    /// panicking when the underlying remap cannot complete.
+    pub fn try_restore(
+        &mut self,
+        machine: &mut Machine,
+        saved: u32,
+        may_live: &BTreeSet<u32>,
+        values_dead: bool,
+    ) -> Result<(), crate::fault::ExecError> {
         machine.stats.restores_replayed += 1;
-        self.remap(machine, saved, may_live, values_dead);
+        self.try_remap(machine, saved, may_live, values_dead)
     }
 
     /// Current copy for reading, instantiating version `v_default`

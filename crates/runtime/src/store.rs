@@ -124,8 +124,8 @@ impl VersionData {
                 continue;
             }
             pos.iter_mut().for_each(|p| *p = 0);
-            for d in 0..rank {
-                point[d] = block.dims[d][0];
+            for (p, dim) in point.iter_mut().zip(block.dims.iter()) {
+                *p = dim[0];
             }
             let len = block.data.len();
             for i in 0..len {

@@ -78,6 +78,22 @@ fn allocations() -> u64 {
 #[test]
 fn steady_state_remap_allocates_nothing() {
     COUNTED.with(|c| c.set(true));
+    // The zero-allocation contract below holds for the DISABLED
+    // fault/validation configuration — the default. With a FaultPlan or
+    // a validation level configured, remaps take the guarded recovery
+    // path instead, which may allocate (checksum walks, recompiles,
+    // table fallbacks) by design. Pin the precondition so a future
+    // default change trips loudly here rather than silently weakening
+    // the measured windows.
+    {
+        let m = Machine::new(4);
+        assert!(m.faults.is_none(), "fault injection must default off");
+        assert_eq!(
+            m.validation,
+            hpfc_runtime::ValidationLevel::Off,
+            "validation must default off"
+        );
+    }
     let n = 4096u64;
     let src = mk(n, 4, DimFormat::Block(None));
     let dst = mk(n, 4, DimFormat::Cyclic(Some(3)));

@@ -1,0 +1,408 @@
+//! Chaos harness for the self-healing remap engine: inject every fault
+//! class at deterministic `(remap, round)` sites and assert the engine
+//! heals — final contents equal a per-point oracle, wire accounting
+//! books each remap exactly once (retried rounds are never re-billed),
+//! recovery never plans (`plans_computed == 0` with seeded caches), and
+//! unrecoverable situations surface as typed [`ExecError`]s, never as
+//! a panic across the API boundary.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use hpfc_mapping::{
+    AlignTarget, Alignment, DimFormat, Distribution, Extents, GridId, Mapping, NormalizedMapping,
+    ProcGrid, Template, TemplateId,
+};
+use hpfc_runtime::{
+    plan_redistribution, remap_group, try_remap_group, ArrayRt, ExecError, ExecMode, FaultKind,
+    FaultPlan, GroupMember, Machine, PlannedGroup, PlannedRemap, ValidationLevel,
+};
+use proptest::prelude::*;
+
+fn mk1d(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
+    hpfc_mapping::testing::mapping_1d(n, p, fmt)
+}
+
+/// A fresh array bouncing between BLOCK and CYCLIC(3) over `p` procs,
+/// with both plan-cache directions pre-seeded (so recovery can be
+/// asserted to never plan at run time).
+fn seeded_array(n: u64, p: u64) -> ArrayRt {
+    let src = mk1d(n, p, DimFormat::Block(None));
+    let dst = mk1d(n, p, DimFormat::Cyclic(Some(3)));
+    let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+    rt.seed_plan(0, 1, Arc::new(PlannedRemap::compile(plan_redistribution(&src, &dst, 8))));
+    rt.seed_plan(1, 0, Arc::new(PlannedRemap::compile(plan_redistribution(&dst, &src, 8))));
+    rt
+}
+
+/// Bounce `rt` between versions 0 and 1 `bounces` times, writing a
+/// fresh value after every hop (so every hop moves data), and return
+/// the expected final contents as a per-point oracle.
+fn bounce_and_oracle(machine: &mut Machine, rt: &mut ArrayRt, n: u64, bounces: u32) -> Vec<f64> {
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    rt.current(machine, 0).fill(|p| p[0] as f64 + 1.0);
+    let mut shadow: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+    for b in 0..bounces {
+        rt.remap(machine, 1 - (b % 2), &keep, false);
+        let touched = (7 * b as u64 + 3) % n;
+        rt.set(&[touched], 1000.0 + b as f64);
+        shadow[touched as usize] = 1000.0 + b as f64;
+    }
+    shadow
+}
+
+fn assert_matches_oracle(rt: &ArrayRt, shadow: &[f64], what: &str) {
+    for (i, want) in shadow.iter().enumerate() {
+        let got = rt.get(&[i as u64]);
+        assert_eq!(got, *want, "{what}: element {i} diverged from the oracle");
+    }
+}
+
+/// CorruptRound at rate 100 with checksums: every attempt of every
+/// round is corrupted, so retries and the recompiled program all fail
+/// and each remap lands on the table engine — and the data is still
+/// exactly right.
+#[test]
+fn corruption_at_full_rate_falls_back_to_tables() {
+    let n = 4096u64;
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_faults(FaultPlan::new(11, 100, &[FaultKind::CorruptRound]))
+        .with_validation(ValidationLevel::Checksums);
+    let mut rt = seeded_array(n, 4);
+    let shadow = bounce_and_oracle(&mut machine, &mut rt, n, 4);
+    assert_matches_oracle(&rt, &shadow, "corrupt@100");
+    assert!(machine.stats.faults_injected > 0, "corruption was injected");
+    assert!(machine.stats.rounds_retried > 0, "rung 1 retried");
+    assert!(machine.stats.programs_recompiled > 0, "rung 2 recompiled");
+    assert_eq!(
+        machine.stats.fallbacks_to_tables, 4,
+        "at rate 100 every data-moving remap ends on the table engine"
+    );
+    assert_eq!(machine.stats.plans_computed, 0, "recovery never plans");
+}
+
+/// CorruptRound at a moderate rate: retries converge (a retry re-rolls
+/// the fault decision), the healed contents match the oracle, and at
+/// least some rounds needed the ladder.
+#[test]
+fn corruption_at_moderate_rate_heals_by_retry() {
+    let n = 4096u64;
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_faults(FaultPlan::new(5, 40, &[FaultKind::CorruptRound]))
+        .with_validation(ValidationLevel::Checksums);
+    let mut rt = seeded_array(n, 4);
+    let shadow = bounce_and_oracle(&mut machine, &mut rt, n, 8);
+    assert_matches_oracle(&rt, &shadow, "corrupt@40");
+    assert!(machine.stats.faults_injected > 0);
+    assert!(machine.stats.rounds_retried > 0);
+    assert_eq!(machine.stats.plans_computed, 0);
+}
+
+/// WorkerPanic at rate 100 under Parallel(4): every big round's first
+/// attempt panics a worker; the panic is caught, the round degrades to
+/// serial, and the replay completes without retries or fallbacks.
+#[test]
+fn worker_panic_degrades_round_to_serial() {
+    let n = 1u64 << 18; // rounds comfortably above PARALLEL_THRESHOLD
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Parallel(4))
+        .with_faults(FaultPlan::new(3, 100, &[FaultKind::WorkerPanic]));
+    let mut rt = seeded_array(n, 4);
+    let shadow = bounce_and_oracle(&mut machine, &mut rt, n, 2);
+    assert_matches_oracle(&rt, &shadow, "panic@100");
+    assert!(machine.stats.parallel_degradations > 0, "panicked rounds degraded");
+    assert_eq!(machine.stats.faults_injected, machine.stats.parallel_degradations);
+    assert_eq!(machine.stats.fallbacks_to_tables, 0, "degradation alone healed it");
+    assert_eq!(machine.stats.rounds_retried, 0, "serial re-run is not a retry");
+    assert_eq!(machine.stats.plans_computed, 0);
+}
+
+/// PoisonProgram at rate 100: every remap serves a corrupted cached
+/// program; the fingerprint catches it before any position is
+/// dereferenced, the program is recompiled from the cached plan, and
+/// the cache entry is repaired in place — all without planning.
+#[test]
+fn poisoned_cache_entries_are_recompiled_and_repaired() {
+    let n = 4096u64;
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_faults(FaultPlan::new(17, 100, &[FaultKind::PoisonProgram]));
+    let mut rt = seeded_array(n, 4);
+    let shadow = bounce_and_oracle(&mut machine, &mut rt, n, 4);
+    assert_matches_oracle(&rt, &shadow, "poison@100");
+    assert_eq!(machine.stats.faults_injected, 4, "each remap's entry was poisoned");
+    assert_eq!(
+        machine.stats.programs_recompiled, 4,
+        "each poisoning was caught by the fingerprint and recompiled"
+    );
+    assert_eq!(machine.stats.fallbacks_to_tables, 0);
+    assert_eq!(machine.stats.rounds_retried, 0, "a fresh program replays cleanly");
+    assert_eq!(machine.stats.plans_computed, 0, "repair recompiles, it never re-plans");
+}
+
+/// Drop/Truncate under both engines: conservation counts catch the
+/// short rounds, the ladder heals them, and the wire accounting books
+/// each remap's schedule exactly once — a retried round is never
+/// re-billed.
+#[test]
+fn wire_loss_heals_and_accounts_each_remap_once() {
+    let n = 4096u64;
+    let fwd = plan_redistribution(
+        &mk1d(n, 4, DimFormat::Block(None)),
+        &mk1d(n, 4, DimFormat::Cyclic(Some(3))),
+        8,
+    );
+    let back = plan_redistribution(
+        &mk1d(n, 4, DimFormat::Cyclic(Some(3))),
+        &mk1d(n, 4, DimFormat::Block(None)),
+        8,
+    );
+    for mode in [ExecMode::Serial, ExecMode::Parallel(4)] {
+        let mut machine = Machine::new(4)
+            .with_exec_mode(mode)
+            .with_faults(FaultPlan::new(
+                23,
+                40,
+                &[FaultKind::DropRound, FaultKind::TruncateRound],
+            ))
+            .with_validation(ValidationLevel::Counts);
+        let mut rt = seeded_array(n, 4);
+        let shadow = bounce_and_oracle(&mut machine, &mut rt, n, 6);
+        assert_matches_oracle(&rt, &shadow, "wire-loss");
+        assert!(machine.stats.faults_injected > 0, "wire loss was injected ({mode:?})");
+        assert!(machine.stats.rounds_retried > 0, "short rounds were caught ({mode:?})");
+        // 6 bounces: 3 forward, 3 back. The schedule is accounted once
+        // per remap *before* the replay; retries, recompiles and
+        // fallbacks never touch the wire books again.
+        assert_eq!(
+            machine.stats.messages,
+            3 * fwd.total_messages() + 3 * back.total_messages(),
+            "wire messages booked once per remap ({mode:?})"
+        );
+        assert_eq!(
+            machine.stats.bytes,
+            3 * fwd.total_bytes() + 3 * back.total_bytes(),
+            "wire bytes booked once per remap ({mode:?})"
+        );
+        assert_eq!(machine.stats.plans_computed, 0);
+    }
+}
+
+/// Group chaos: the coalesced two-array remap heals per-class like the
+/// solo path — full-rate corruption lands every masked member on the
+/// table engine, poison is recompiled — and both arrays' contents
+/// match their oracles.
+#[test]
+fn group_remaps_heal_under_chaos() {
+    let n = 4096u64;
+    let src = mk1d(n, 4, DimFormat::Block(None));
+    let dst = mk1d(n, 4, DimFormat::Cyclic(Some(3)));
+    let solo =
+        |s: &NormalizedMapping, d: &NormalizedMapping| {
+            Arc::new(PlannedRemap::compile(plan_redistribution(s, d, 8)))
+        };
+    let cases: [(FaultPlan, ValidationLevel); 2] = [
+        // Every round of every attempt corrupted: per-member tables.
+        (FaultPlan::new(29, 100, &[FaultKind::CorruptRound]), ValidationLevel::Checksums),
+        // Every group program poisoned: recompile heals it.
+        (FaultPlan::new(31, 100, &[FaultKind::PoisonProgram]), ValidationLevel::Off),
+    ];
+    for (faults, validation) in cases {
+        let fwd = PlannedGroup::compile(vec![solo(&src, &dst), solo(&src, &dst)]);
+        let back = PlannedGroup::compile(vec![solo(&dst, &src), solo(&dst, &src)]);
+        let mut machine = Machine::new(4)
+            .with_exec_mode(ExecMode::Serial)
+            .with_faults(faults)
+            .with_validation(validation);
+        let mut a = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+        let mut b = ArrayRt::new("b", vec![src.clone(), dst.clone()], 8);
+        a.current(&mut machine, 0).fill(|p| p[0] as f64);
+        b.current(&mut machine, 0).fill(|p| 2.0 * p[0] as f64);
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        let skip = BTreeSet::new();
+        for bounce in 0..4u32 {
+            let (s, t) = if bounce % 2 == 0 { (0u32, 1u32) } else { (1, 0) };
+            let mut members = [
+                GroupMember { rt: &mut a, src: s, target: t, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: s, target: t, may_live: &keep, skip_if_current: &skip },
+            ];
+            let coalesced = remap_group(&mut machine, &mut members, if s == 0 { &fwd } else { &back });
+            assert_eq!(coalesced, 2, "both arrays moved together");
+            a.set(&[0], 50.0 + bounce as f64);
+            b.set(&[1], 70.0 + bounce as f64);
+        }
+        for i in 0..n {
+            let want_a = if i == 0 { 53.0 } else { i as f64 };
+            let want_b = if i == 1 { 73.0 } else { 2.0 * i as f64 };
+            assert_eq!(a.get(&[i]), want_a, "array a element {i} ({faults:?})");
+            assert_eq!(b.get(&[i]), want_b, "array b element {i} ({faults:?})");
+        }
+        assert!(machine.stats.faults_injected >= 4, "one injection per group remap");
+        assert_eq!(machine.stats.plans_computed, 0, "group recovery never plans");
+        match validation {
+            ValidationLevel::Checksums => assert_eq!(
+                machine.stats.fallbacks_to_tables,
+                8,
+                "full-rate corruption: 4 group remaps x 2 members on tables"
+            ),
+            _ => {
+                assert_eq!(machine.stats.programs_recompiled, 4, "one group recompile per remap");
+                assert_eq!(machine.stats.fallbacks_to_tables, 0);
+            }
+        }
+    }
+}
+
+/// Unrecoverable situations are typed errors at the API boundary, not
+/// panics: a remap whose source copy is gone reports `MissingCopy`, a
+/// group whose member list disagrees with its plan reports
+/// `GroupMismatch`.
+#[test]
+fn unrecoverable_paths_return_typed_errors() {
+    let n = 256u64;
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    let mut machine = Machine::new(4).with_exec_mode(ExecMode::Serial);
+    let mut rt = seeded_array(n, 4);
+    rt.current(&mut machine, 0).fill(|p| p[0] as f64);
+    // Sabotage: drop the source copy behind the status tag.
+    rt.free_copy(&mut machine, 0);
+    let err = rt.try_remap(&mut machine, 1, &keep, false).unwrap_err();
+    assert_eq!(err, ExecError::MissingCopy { array: "a".into(), version: 0 });
+    assert!(err.to_string().contains("version 0"));
+
+    // A group directive whose runtime member list is shorter than the
+    // planned group.
+    let src = mk1d(n, 4, DimFormat::Block(None));
+    let dst = mk1d(n, 4, DimFormat::Cyclic(Some(3)));
+    let solo = Arc::new(PlannedRemap::compile(plan_redistribution(&src, &dst, 8)));
+    let planned = PlannedGroup::compile(vec![Arc::clone(&solo), solo]);
+    let mut a = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+    a.current(&mut machine, 0).fill(|p| p[0] as f64);
+    let skip = BTreeSet::new();
+    let mut members = [GroupMember {
+        rt: &mut a,
+        src: 0,
+        target: 1,
+        may_live: &keep,
+        skip_if_current: &skip,
+    }];
+    let err = try_remap_group(&mut machine, &mut members, &planned).unwrap_err();
+    assert_eq!(err, ExecError::GroupMismatch { planned: 2, got: 1 });
+}
+
+/// One drawn mapping configuration (alignment + distribution
+/// selectors); realized against a shared grid by [`realize_mapping`].
+type MappingCfg = ((usize, usize), (i64, bool), i64, (usize, usize), u64);
+
+fn mapping_cfg_strategy() -> impl Strategy<Value = MappingCfg> {
+    (
+        (0usize..5, 0usize..5),
+        (1i64..4, prop::bool::ANY),
+        0i64..3,
+        (0usize..4, 0usize..4),
+        1u64..4,
+    )
+}
+
+/// A trimmed mirror of `proptest_redist.rs`'s rich mapping space:
+/// strided/offset/negative alignments, constants, replication, 2-D
+/// grids, every distribution format — enough shape diversity that the
+/// caterpillar structure varies wildly under chaos. Both endpoints of a
+/// remap share one grid: `Machine` memory and schedule accounting both
+/// index processor ranks of that grid.
+fn realize_mapping(n0: u64, n1: u64, grid: (u64, u64), cfg: MappingCfg) -> NormalizedMapping {
+    let ((al0, al1), (s_abs, neg), oslack, (f0, f1), b) = cfg;
+    let stride = if neg { -s_abs } else { s_abs };
+    let nmax = n0.max(n1);
+    let text = 3 * nmax + 8;
+    let mk_target = |sel: usize, dim: usize| match sel {
+        0 => AlignTarget::identity(dim),
+        1 => {
+            let n = if dim == 0 { n0 } else { n1 };
+            let offset = if stride < 0 { (-stride) * (n as i64 - 1) + oslack } else { oslack };
+            AlignTarget::Axis { array_dim: dim, stride, offset }
+        }
+        2 => AlignTarget::Replicate,
+        3 => AlignTarget::Constant(oslack),
+        _ => AlignTarget::Axis { array_dim: dim, stride: 2, offset: 1 },
+    };
+    let align = Alignment {
+        template: TemplateId(0),
+        targets: vec![mk_target(al0, 0), mk_target(al1, 1)],
+    };
+    let mk_fmt = |sel: usize| match sel {
+        0 => DimFormat::Block(None),
+        1 => DimFormat::Cyclic(None),
+        2 => DimFormat::Cyclic(Some(b)),
+        _ => DimFormat::Collapsed,
+    };
+    let template =
+        Template { id: TemplateId(0), name: "T".into(), shape: Extents::new(&[text, text]) };
+    let grid = ProcGrid {
+        id: GridId(0),
+        name: "P".into(),
+        shape: Extents::new(&[grid.0, grid.1]),
+    };
+    Mapping { align, dist: Distribution::new(GridId(0), vec![mk_fmt(f0), mk_fmt(f1)]) }
+        .normalize(&Extents::new(&[n0, n1]), &template, &grid)
+        .expect("constructed mapping is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine heals EVERY fault class at random sites over the
+    /// rich mapping space, under both engines: after three fault-ridden
+    /// bounces with interleaved writes, every element equals the
+    /// per-point shadow oracle, and recovery never planned.
+    #[test]
+    fn chaos_over_rich_mappings_heals_to_the_oracle(
+        grid in (1u64..4, 1u64..4),
+        src_cfg in mapping_cfg_strategy(),
+        dst_cfg in mapping_cfg_strategy(),
+        seed in 0u64..1_000_000,
+        rate in 20u32..=100,
+    ) {
+        let src = realize_mapping(6, 5, grid, src_cfg);
+        let dst = realize_mapping(6, 5, grid, dst_cfg);
+        let nprocs = src.grid_shape.volume();
+        for mode in [ExecMode::Serial, ExecMode::Parallel(4)] {
+            let mut machine = Machine::new(nprocs)
+                .with_exec_mode(mode)
+                .with_faults(FaultPlan::all(seed, rate))
+                .with_validation(ValidationLevel::Checksums);
+            let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+            rt.seed_plan(0, 1, Arc::new(PlannedRemap::compile(
+                plan_redistribution(&src, &dst, 8))));
+            rt.seed_plan(1, 0, Arc::new(PlannedRemap::compile(
+                plan_redistribution(&dst, &src, 8))));
+            rt.current(&mut machine, 0).fill(|p| (p[0] * 31 + p[1] * 7 + 1) as f64);
+            let mut shadow = vec![0.0f64; 30];
+            for p0 in 0..6u64 {
+                for p1 in 0..5u64 {
+                    shadow[(p0 * 5 + p1) as usize] = (p0 * 31 + p1 * 7 + 1) as f64;
+                }
+            }
+            let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+            for b in 0..3u32 {
+                rt.remap(&mut machine, 1 - (b % 2), &keep, false);
+                let (p0, p1) = ((b as u64 * 2 + 1) % 6, (b as u64 * 3 + 2) % 5);
+                rt.set(&[p0, p1], 500.0 + b as f64);
+                shadow[(p0 * 5 + p1) as usize] = 500.0 + b as f64;
+            }
+            for p0 in 0..6u64 {
+                for p1 in 0..5u64 {
+                    prop_assert_eq!(
+                        rt.get(&[p0, p1]),
+                        shadow[(p0 * 5 + p1) as usize],
+                        "({}, {}) diverged under chaos seed {} rate {} ({:?})",
+                        p0, p1, seed, rate, mode
+                    );
+                }
+            }
+            prop_assert_eq!(machine.stats.plans_computed, 0, "recovery never plans");
+        }
+    }
+}

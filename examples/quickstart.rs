@@ -31,8 +31,8 @@ fn main() {
 
     // 4. Execute both on the simulator and compare remapping traffic.
     let exec = ExecConfig::default().with_scalar("m", 1.0).with_scalar("t", 4.0);
-    let rn = execute(&naive.programs(), "remap", exec.clone());
-    let ro = execute(&opt.programs(), "remap", exec);
+    let rn = execute(&naive.programs(), "remap", exec.clone()).expect("naive executes cleanly");
+    let ro = execute(&opt.programs(), "remap", exec).expect("optimized executes cleanly");
     println!("=== simulated remapping traffic (4 processors, t = 4) ===");
     println!(
         "naive:     {:>6} messages, {:>8} bytes, {:>8.1} us",

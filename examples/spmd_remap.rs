@@ -26,7 +26,8 @@ fn main() {
     println!("=== generated static program ===");
     println!("{}", hpfc::codegen::render::program_text(program));
 
-    let result = execute(&compiled.programs(), "demo", ExecConfig::default());
+    let result = execute(&compiled.programs(), "demo", ExecConfig::default())
+        .expect("demo executes cleanly");
     println!("=== simulated execution ===");
     println!("remaps performed:   {}", result.stats.remaps_performed);
     println!("messages:           {}", result.stats.messages);

@@ -371,8 +371,8 @@ fn executor_reuse_across_runs_accumulates_stats() {
         machine: hpfc::Machine::new(4),
         config: ExecConfig::default(),
     };
-    ex.run("fig1");
+    ex.run("fig1").expect("fig1 executes cleanly");
     let after_one = ex.machine.stats.bytes;
-    ex.run("fig1");
+    ex.run("fig1").expect("fig1 executes cleanly");
     assert_eq!(ex.machine.stats.bytes, 2 * after_one);
 }

@@ -158,7 +158,7 @@ fn run(compiled: &hpfc::Compiled, mode: ExecMode) -> ExecResult {
         machine: hpfc::Machine::new(nprocs).with_exec_mode(mode),
         config: ExecConfig::default(),
     };
-    ex.run("pgrp")
+    ex.run("pgrp").expect("pgrp executes cleanly")
 }
 
 fn gen_strategy() -> impl Strategy<Value = Gen> {

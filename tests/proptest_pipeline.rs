@@ -117,8 +117,10 @@ proptest! {
         hpfc::rgraph::optimize::verify_reaching_paths(&opt.main().rg)
             .unwrap_or_else(|e| panic!("{e}\n{src}"));
 
-        let rn = hpfc::execute(&naive.programs(), "fuzz", ExecConfig::default());
-        let ro = hpfc::execute(&opt.programs(), "fuzz", ExecConfig::default());
+        let rn = hpfc::execute(&naive.programs(), "fuzz", ExecConfig::default())
+            .expect("naive executes cleanly");
+        let ro = hpfc::execute(&opt.programs(), "fuzz", ExecConfig::default())
+            .expect("optimized executes cleanly");
         prop_assert_eq!(&rn.arrays, &ro.arrays, "results differ\n{}", src);
         prop_assert!(
             ro.stats.bytes <= rn.stats.bytes,
@@ -148,8 +150,7 @@ proptest! {
     fn eviction_pressure_is_semantics_preserving(g in program_strategy()) {
         let src = render(&g);
         let normal = compile_and_run(&src, &CompileOptions::default(), ExecConfig::default());
-        let mut cfg = ExecConfig::default();
-        cfg.evict_live_copies = true;
+        let cfg = ExecConfig { evict_live_copies: true, ..ExecConfig::default() };
         let pressed = compile_and_run(&src, &CompileOptions::default(), cfg);
         let ((_, normal), (_, pressed)) = match (normal, pressed) {
             (Ok(a), Ok(b)) => (a, b),

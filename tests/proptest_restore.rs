@@ -184,7 +184,7 @@ fn run(compiled: &hpfc::Compiled, taken: bool, mode: ExecMode) -> ExecResult {
         machine: hpfc::Machine::new(nprocs).with_exec_mode(mode),
         config: ExecConfig::default().with_scalar("s", if taken { 1.0 } else { -1.0 }),
     };
-    ex.run("prest")
+    ex.run("prest").expect("prest executes cleanly")
 }
 
 fn gen_strategy() -> impl Strategy<Value = Gen> {
