@@ -165,6 +165,64 @@ fn bench_remap_loop_caching(c: &mut Criterion) {
     g.finish();
 }
 
+/// Remap-as-a-service: 8 concurrent interpreter-style sessions (fresh
+/// array + fresh machine each) bounce over a 4-pair pool. `shared`
+/// wires every machine to one plan registry — after warm-up no session
+/// ever plans; each one starts with two registry hits and replays
+/// compiled programs. `solo` is the registry-disabled A/B: every
+/// session re-plans both directions (closed-form plan + caterpillar
+/// schedule + program compile × 16 per iteration). The gap is the
+/// tentpole's payoff for many-session workloads.
+fn bench_registry_sessions(c: &mut Criterion) {
+    use hpfc::runtime::PlanRegistry;
+    use std::sync::Arc;
+    const SESSIONS: usize = 8;
+    const PAIRS: usize = 4;
+    type Pair = (hpfc::mapping::NormalizedMapping, hpfc::mapping::NormalizedMapping);
+    let mut g = c.benchmark_group("redist/registry_sessions");
+    let pairs: Arc<Vec<Pair>> = Arc::new(
+        (0..PAIRS)
+            .map(|i| {
+                let n = 16384 + 1024 * i as u64;
+                (mk(n, 16, DimFormat::Block(None)), mk(n, 16, DimFormat::Cyclic(Some(4))))
+            })
+            .collect(),
+    );
+    let run_sessions = |pairs: &Arc<Vec<Pair>>, registry: &Option<Arc<PlanRegistry>>| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|t| {
+                let pairs = Arc::clone(pairs);
+                let registry = registry.clone();
+                std::thread::spawn(move || {
+                    let (src, dst): &(_, _) = &pairs[t % PAIRS];
+                    let mut m = match &registry {
+                        Some(reg) => Machine::new(16).with_registry(Arc::clone(reg)),
+                        None => Machine::new(16).without_registry(),
+                    };
+                    let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+                    rt.current(&mut m, 0).fill(|p| p[0] as f64);
+                    let keep: std::collections::BTreeSet<u32> = [0u32, 1].into_iter().collect();
+                    rt.remap(&mut m, 1, &keep, false);
+                    rt.set(&[0], 1.0);
+                    rt.remap(&mut m, 0, &keep, false);
+                    std::hint::black_box(rt.get(&[0]))
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("session thread");
+        }
+    };
+    g.bench_function("shared", |b| {
+        let registry = Some(Arc::new(PlanRegistry::new(8, 256)));
+        b.iter(|| run_sessions(&pairs, &registry))
+    });
+    g.bench_function("solo", |b| {
+        b.iter(|| run_sessions(&pairs, &None))
+    });
+    g.finish();
+}
+
 /// The restore-path payoff (Fig. 18, PR 4): a save/restore bounce
 /// around a call — remap to the callee's version, write there (staling
 /// the saved copy), restore to the saved tag. `cached` is the
@@ -322,6 +380,7 @@ criterion_group!(
     bench_copy_program_compile,
     bench_procs_sweep,
     bench_remap_loop_caching,
+    bench_registry_sessions,
     bench_restore_bounce,
     bench_group_remap,
     bench_fault_overhead

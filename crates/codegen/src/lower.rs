@@ -11,7 +11,7 @@ use hpfc_rgraph::build::{Rg, VertexId};
 use hpfc_rgraph::label::{Leaving, UseInfo};
 
 use hpfc_mapping::VersionId;
-use hpfc_runtime::{plan_redistribution, PlannedGroup, PlannedRemap};
+use hpfc_runtime::{plan_redistribution, PlanRegistry, PlannedGroup, PlannedRemap};
 use std::sync::Arc;
 
 use crate::ir::{
@@ -212,7 +212,11 @@ impl<'a> Lowerer<'a> {
     /// Plan, schedule, and compile the guarded copy arm for every
     /// data-moving source version (`r ∈ reaching`, `r ≠ target`),
     /// ordered by source version — shared by plain remaps and by each
-    /// arm of a flow-dependent restore.
+    /// arm of a flow-dependent restore. Compilation goes through the
+    /// process-wide plan registry when enabled: lowering the same
+    /// mapping pair twice (two programs, or one program recompiled)
+    /// serves the registered artifact instead of replanning, so the
+    /// whole process holds one compiled pipeline per distinct pair.
     fn planned_copies(&self, a: ArrayId, reaching: &BTreeSet<u32>, target: u32) -> Vec<SpmdCopy> {
         let elem = self.elem_sizes[&a];
         let dst = self.rg.versions.mapping_of(VersionId { array: a, index: target });
@@ -221,8 +225,11 @@ impl<'a> Lowerer<'a> {
             .filter(|&&r| r != target)
             .map(|&r| {
                 let src = self.rg.versions.mapping_of(VersionId { array: a, index: r });
-                let plan = plan_redistribution(src, dst, elem);
-                SpmdCopy { src: r, planned: Arc::new(PlannedRemap::compile(plan)) }
+                let planned = match PlanRegistry::global() {
+                    Some(reg) => reg.get_or_compile(src, dst, elem).0,
+                    None => Arc::new(PlannedRemap::compile(plan_redistribution(src, dst, elem))),
+                };
+                SpmdCopy { src: r, planned }
             })
             .collect()
     }
@@ -321,15 +328,17 @@ impl<'a> Lowerer<'a> {
                 if members.len() < 2 {
                     solos.extend(members);
                 } else {
-                    let planned = PlannedGroup::compile(
-                        members.iter().map(|m| Arc::clone(&m.copies[0].planned)).collect(),
-                    );
+                    // Group artifacts share through the registry too,
+                    // keyed by the ordered member pair identities.
+                    let member_plans: Vec<_> =
+                        members.iter().map(|m| Arc::clone(&m.copies[0].planned)).collect();
+                    let planned = match PlanRegistry::global() {
+                        Some(reg) => reg.get_or_compile_group(member_plans).0,
+                        None => Arc::new(PlannedGroup::compile(member_plans)),
+                    };
                     self.stats.remap_groups += 1;
                     self.stats.grouped_members += members.len();
-                    out.push(SStmt::RemapGroup(RemapGroupOp {
-                        members,
-                        planned: Arc::new(planned),
-                    }));
+                    out.push(SStmt::RemapGroup(RemapGroupOp { members, planned }));
                 }
                 members = rest;
             }

@@ -52,7 +52,9 @@ pub use hpfc_interp::{execute, ExecConfig, ExecResult, Executor};
 pub use hpfc_lang::figures;
 pub use hpfc_lang::{Diagnostic, Severity};
 pub use hpfc_rgraph::{OptConfig, OptStats};
-pub use hpfc_runtime::{CostModel, ExecError, Machine, NetStats};
+pub use hpfc_runtime::{
+    CostModel, ExecError, Machine, NetStats, PlanRegistry, RegistryConfig, RegistryOutcome,
+};
 
 /// Compilation options.
 #[derive(Debug, Clone, Copy)]

@@ -152,9 +152,15 @@ impl<'a> Executor<'a> {
         // rendered (shared by Arc), and `NetStats::plans_computed`
         // stays 0 for the whole lowered program — including Fig. 18
         // save/restore paths, whose arms are selected by tag at run
-        // time but planned here, at compile time.
+        // time but planned here, at compile time. Seeding goes through
+        // the machine's shared plan registry: the first session over a
+        // mapping pair publishes it, every later session adopts the
+        // registered artifact (`registry_hits`), so N concurrent
+        // interpreter sessions hold one artifact per distinct pair.
+        let machine = &mut self.machine;
         p.for_each_planned_copy(|array, target, copy| {
-            frame.arrays[array.0 as usize].seed_plan(
+            frame.arrays[array.0 as usize].seed_plan_shared(
+                machine,
                 copy.src,
                 target,
                 std::sync::Arc::clone(&copy.planned),

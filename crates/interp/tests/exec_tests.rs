@@ -418,3 +418,40 @@ fn peak_memory_reflects_copies() {
     assert!(r.peak_mem_bytes >= 2 * 2048, "{}", r.peak_mem_bytes);
     assert!(r.peak_mem_bytes <= 3 * 2048, "{}", r.peak_mem_bytes);
 }
+
+#[test]
+fn a_second_interpreter_session_is_served_entirely_by_the_registry() {
+    // Two independent interpreter sessions over one compiled program,
+    // sharing one (isolated) plan registry. Lowering precompiled every
+    // planned copy, so neither session plans; the point here is the
+    // *registry* books — session 1's frame seeding publishes each
+    // distinct artifact once (misses), session 2's seeding finds every
+    // pair already registered and runs on hits alone, producing
+    // identical results from pointer-shared artifacts.
+    use std::sync::Arc;
+    let compiled =
+        hpfc::compile(hpfc::figures::FIG16_LOOP, &CompileOptions::naive()).expect("compile");
+    let programs = compiled.programs();
+    let nprocs = programs.values().map(|p| p.nprocs).max().unwrap();
+    let main = compiled.order[0].clone();
+    let registry = Arc::new(hpfc::PlanRegistry::new(2, 64));
+    let session = |reg: &Arc<hpfc::PlanRegistry>| {
+        let mut ex = hpfc::Executor {
+            programs: &programs,
+            machine: hpfc::Machine::new(nprocs).with_registry(Arc::clone(reg)),
+            config: ExecConfig::default().with_scalar("t", 6.0),
+        };
+        ex.run(&main).expect("run")
+    };
+    let r1 = session(&registry);
+    assert_eq!(r1.stats.plans_computed, 0, "{:?}", r1.stats);
+    assert!(r1.stats.registry_misses > 0, "session 1 publishes: {:?}", r1.stats);
+    let published = r1.stats.registry_misses;
+
+    let r2 = session(&registry);
+    assert_eq!(r2.stats.plans_computed, 0, "{:?}", r2.stats);
+    assert_eq!(r2.stats.registry_misses, 0, "everything was registered: {:?}", r2.stats);
+    assert_eq!(r2.stats.registry_hits, published, "one hit per distinct artifact");
+    assert_eq!(r1.arrays, r2.arrays, "registry-served sessions agree");
+    assert_eq!(r1.stats.bytes, r2.stats.bytes);
+}

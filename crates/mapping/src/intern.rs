@@ -1,0 +1,198 @@
+//! Hash-consing of `(source, destination)` mapping pairs.
+//!
+//! PR 5 deduplicated mapping storage behind one shared
+//! `Arc<(NormalizedMapping, NormalizedMapping)>` *per plan*: the plan
+//! and its compiled copy program hold the same allocation. This module
+//! extends that sharing across plans: every pair of equal mappings
+//! interns to **one** process-wide `Arc`, so two plans over the same
+//! (src, dst) pair — computed by different arrays, programs, or
+//! interpreter sessions — hold pointer-identical pairs. That pointer
+//! identity is what keys the runtime's shared plan registry
+//! (`hpfc_runtime::registry`): an equality check on two mappings
+//! becomes a pointer compare.
+//!
+//! The interner holds [`Weak`] references only — it never keeps a
+//! mapping pair alive. When the last plan over a pair drops, the pair
+//! drops with it and the table slot is pruned on the next insertion
+//! into its bucket. Consumers that need a pair's identity to stay
+//! stable (the plan registry) keep their own strong reference.
+//!
+//! Lookups of an already-interned pair are allocation-free: the pair is
+//! hashed on the stack, the bucket is probed in place, and a hit
+//! returns an `Arc` clone — part of the zero-allocation cached-remap
+//! contract pinned by the runtime's counting-allocator test.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::mapping::NormalizedMapping;
+
+/// A hash-consed `(source, destination)` mapping pair: equal pairs
+/// interned through [`pair`] share one allocation, so pointer identity
+/// (`Arc::ptr_eq`) coincides with value equality for live pairs.
+pub type MappingPair = Arc<(NormalizedMapping, NormalizedMapping)>;
+
+/// Interner shard count. Sharded so concurrent sessions interning
+/// unrelated pairs do not serialize on one lock; the shard is picked
+/// by the pair's hash, so equal pairs always meet in the same shard.
+const SHARDS: usize = 8;
+
+type Bucket = Vec<Weak<(NormalizedMapping, NormalizedMapping)>>;
+
+#[derive(Default)]
+struct Shard {
+    /// Hash → candidates with that hash (collisions are value-checked).
+    buckets: HashMap<u64, Bucket>,
+}
+
+/// A weak, sharded hash-consing table for mapping pairs.
+///
+/// Usually used through the process-wide instance behind [`pair`];
+/// separate instances exist only for tests that need isolation.
+pub struct PairInterner {
+    shards: [Mutex<Shard>; SHARDS],
+}
+
+impl Default for PairInterner {
+    fn default() -> Self {
+        PairInterner::new()
+    }
+}
+
+impl std::fmt::Debug for PairInterner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairInterner").field("live_pairs", &self.live_pairs()).finish()
+    }
+}
+
+impl PairInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        PairInterner { shards: std::array::from_fn(|_| Mutex::new(Shard::default())) }
+    }
+
+    fn hash_pair(src: &NormalizedMapping, dst: &NormalizedMapping) -> u64 {
+        let mut h = DefaultHasher::new();
+        src.hash(&mut h);
+        dst.hash(&mut h);
+        h.finish()
+    }
+
+    /// The canonical `Arc` for `(src, dst)`: an existing live pair of
+    /// equal value is returned as-is (allocation-free), otherwise the
+    /// pair is cloned into a fresh `Arc` and recorded weakly.
+    pub fn intern(&self, src: &NormalizedMapping, dst: &NormalizedMapping) -> MappingPair {
+        let key = Self::hash_pair(src, dst);
+        let shard = &self.shards[(key as usize) % SHARDS];
+        let mut s = shard.lock().unwrap();
+        if let Some(bucket) = s.buckets.get_mut(&key) {
+            for w in bucket.iter() {
+                if let Some(live) = w.upgrade() {
+                    if live.0 == *src && live.1 == *dst {
+                        return live;
+                    }
+                }
+            }
+        }
+        // Miss: intern a fresh pair, pruning dead slots on the way in so
+        // churned pairs do not accumulate in the bucket.
+        let fresh: MappingPair = Arc::new((src.clone(), dst.clone()));
+        let bucket = s.buckets.entry(key).or_default();
+        bucket.retain(|w| w.strong_count() > 0);
+        bucket.push(Arc::downgrade(&fresh));
+        fresh
+    }
+
+    /// Number of currently live interned pairs (test introspection;
+    /// takes every shard lock).
+    pub fn live_pairs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .buckets
+                    .values()
+                    .map(|b| b.iter().filter(|w| w.strong_count() > 0).count())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// The process-wide interner behind [`pair`].
+pub fn global() -> &'static PairInterner {
+    static GLOBAL: OnceLock<PairInterner> = OnceLock::new();
+    GLOBAL.get_or_init(PairInterner::new)
+}
+
+/// Intern `(src, dst)` in the process-wide table — the canonical way to
+/// build a shared mapping pair. Equal pairs return pointer-identical
+/// `Arc`s for as long as at least one strong reference is live.
+pub fn pair(src: &NormalizedMapping, dst: &NormalizedMapping) -> MappingPair {
+    global().intern(src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DimFormat;
+    use crate::testing::mapping_1d;
+
+    fn distinct_pair() -> (NormalizedMapping, NormalizedMapping) {
+        // An extent no other test uses, so the process-wide table holds
+        // exactly the references this test creates.
+        (
+            mapping_1d(4093, 4, DimFormat::Block(None)),
+            mapping_1d(4093, 4, DimFormat::Cyclic(Some(3))),
+        )
+    }
+
+    #[test]
+    fn equal_pairs_intern_to_one_arc() {
+        let (a, b) = distinct_pair();
+        let p1 = pair(&a, &b);
+        let p2 = pair(&a.clone(), &b.clone());
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(Arc::strong_count(&p1), 2, "interner must not hold strong refs");
+        // The reversed direction is a different pair.
+        let rev = pair(&b, &a);
+        assert!(!Arc::ptr_eq(&p1, &rev));
+    }
+
+    #[test]
+    fn dropped_pairs_are_reclaimed_and_reinterned() {
+        let interner = PairInterner::new();
+        let (a, b) = distinct_pair();
+        let p1 = interner.intern(&a, &b);
+        assert_eq!(interner.live_pairs(), 1);
+        let addr = Arc::as_ptr(&p1) as usize;
+        drop(p1);
+        assert_eq!(interner.live_pairs(), 0, "weak table must not keep pairs alive");
+        // Re-interning after the pair died yields a fresh (live) pair.
+        let p2 = interner.intern(&a, &b);
+        assert_eq!(interner.live_pairs(), 1);
+        let _ = addr; // the new allocation may or may not reuse the address
+        assert_eq!(*p2, (a, b));
+    }
+
+    #[test]
+    fn concurrent_interning_converges_on_one_pair() {
+        let interner = std::sync::Arc::new(PairInterner::new());
+        let (a, b) = distinct_pair();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let interner = std::sync::Arc::clone(&interner);
+                let (a, b) = (a.clone(), b.clone());
+                std::thread::spawn(move || interner.intern(&a, &b))
+            })
+            .collect();
+        let pairs: Vec<MappingPair> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for p in &pairs[1..] {
+            assert!(Arc::ptr_eq(&pairs[0], p));
+        }
+        assert_eq!(interner.live_pairs(), 1);
+    }
+}

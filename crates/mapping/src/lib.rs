@@ -41,6 +41,7 @@ pub mod env;
 pub mod error;
 pub mod geometry;
 pub mod grid;
+pub mod intern;
 pub mod intervals;
 pub mod layout;
 pub mod mapping;
@@ -53,6 +54,7 @@ pub use env::{ArrayInfo, MappingEnv, VersionTable};
 pub use error::MappingError;
 pub use geometry::{Extents, Point};
 pub use grid::{ProcGrid, Template};
+pub use intern::{MappingPair, PairInterner};
 pub use intervals::{intersect_runs, PeriodicSet};
 pub use layout::{DimLayout, Locus};
 pub use mapping::{DimMap, DimSource, Mapping, NormalizedMapping};

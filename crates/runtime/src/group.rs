@@ -156,10 +156,12 @@ pub fn try_remap_group(
             got: members.len(),
         });
     }
-    // Seed every member's solo plan (a no-op when already present):
+    // Seed every member's solo plan (a no-op when already present),
+    // publishing through the machine's shared registry so sessions
+    // executing the same group converge on one artifact per member:
     // whichever path executes below, nothing plans at run time.
     for (i, m) in members.iter_mut().enumerate() {
-        m.rt.seed_plan(m.src, m.target, Arc::clone(&planned.members[i]));
+        m.rt.seed_plan_shared(machine, m.src, m.target, Arc::clone(&planned.members[i]));
     }
     let mut mask = 0u64;
     let mut movers = 0usize;

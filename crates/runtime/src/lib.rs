@@ -36,6 +36,12 @@
 //!   current-version *status*, per-version *live* flags, lazy
 //!   instantiation, guarded copies, liveness cleaning, and
 //!   memory-pressure eviction with later regeneration;
+//! * [`registry::PlanRegistry`] — remap-as-a-service: one sharded,
+//!   LRU-bounded, process-wide registry of compiled remap artifacts,
+//!   keyed by hash-consed mapping-pair identity
+//!   ([`hpfc_mapping::intern`]) and shared by every array, program,
+//!   and interpreter session (`HPFC_REGISTRY`); per-array plan caches
+//!   are thin views that seed from and publish to it;
 //! * [`fault::FaultPlan`] — deterministic fault injection
 //!   (`HPFC_FAULTS`), per-round validation (`HPFC_VALIDATE`), and the
 //!   self-healing recovery ladder behind [`status::ArrayRt::remap_guarded`]
@@ -50,6 +56,7 @@ pub mod fault;
 pub mod group;
 pub mod machine;
 pub mod redist;
+pub mod registry;
 pub mod schedule;
 pub mod status;
 pub mod store;
@@ -59,6 +66,7 @@ pub use fault::{ExecError, FaultKind, FaultPlan, ValidationLevel};
 pub use group::{remap_group, try_remap_group, GroupMember, PlannedGroup};
 pub use machine::{CostModel, Machine, NetStats};
 pub use redist::{plan_by_enumeration, plan_redistribution, RedistPlan, Transfer};
+pub use registry::{PlanRegistry, RegistryConfig, RegistryOutcome};
 pub use schedule::{CommSchedule, MsgDim, PackedMessage};
 pub use status::{ArrayRt, PlannedRemap};
 pub use store::VersionData;

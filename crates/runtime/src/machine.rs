@@ -101,6 +101,15 @@ pub struct NetStats {
     /// Parallel rounds degraded to serial replay after a worker panic
     /// was caught.
     pub parallel_degradations: u64,
+    /// Compiled artifacts this machine was served by the shared
+    /// [`crate::PlanRegistry`] (a local plan-cache miss answered
+    /// without compiling anything).
+    pub registry_hits: u64,
+    /// Registry lookups by this machine that found no entry — the
+    /// artifact was compiled (or published) once, registry-wide.
+    pub registry_misses: u64,
+    /// LRU entries this machine's registry insertions pushed out.
+    pub registry_evictions: u64,
 }
 
 impl NetStats {
@@ -125,12 +134,15 @@ impl NetStats {
         self.programs_recompiled += o.programs_recompiled;
         self.fallbacks_to_tables += o.fallbacks_to_tables;
         self.parallel_degradations += o.parallel_degradations;
+        self.registry_hits += o.registry_hits;
+        self.registry_misses += o.registry_misses;
+        self.registry_evictions += o.registry_evictions;
     }
 
     /// One-line human-readable digest (experiment drivers, examples).
-    /// The recovery tail (`faults ... degraded ...`) is appended only
-    /// when something actually fired, so fault-free runs read as
-    /// before.
+    /// The registry segment (`registry ...`) and recovery tail
+    /// (`faults ... degraded ...`) are appended only when something
+    /// actually fired, so solo fault-free runs read as before.
     pub fn summary(&self) -> String {
         let mut s = format!(
             "msgs {} | wire {} B | moved {} B in {} runs | local els {} | time {:.1} µs | \
@@ -151,6 +163,13 @@ impl NetStats {
             self.plans_computed,
             self.plan_cache_hits,
         );
+        let registry = self.registry_hits + self.registry_misses + self.registry_evictions;
+        if registry > 0 {
+            s.push_str(&format!(
+                " | registry {} hits / {} misses / {} evicted",
+                self.registry_hits, self.registry_misses, self.registry_evictions,
+            ));
+        }
         let recovery = self.faults_injected
             + self.rounds_retried
             + self.programs_recompiled
@@ -255,6 +274,11 @@ pub struct Machine {
     /// faults unset and validation [`crate::ValidationLevel::Off`], the
     /// remap path is the unguarded allocation-free fast path.
     pub validation: crate::fault::ValidationLevel,
+    /// The shared plan registry this machine seeds from and publishes
+    /// to on local plan-cache misses. Defaults to the process-wide
+    /// instance ([`crate::PlanRegistry::global`], `HPFC_REGISTRY`);
+    /// `None` plans solo — the pre-registry behavior, kept for A/B.
+    pub registry: Option<std::sync::Arc<crate::registry::PlanRegistry>>,
     /// Reusable per-phase accounting buffers.
     scratch: PhaseScratch,
     /// Monotonic counter handed to the fault plan: one epoch per
@@ -274,6 +298,7 @@ impl Machine {
             exec_mode: ExecMode::from_env(),
             faults: crate::fault::FaultPlan::from_env(),
             validation: crate::fault::ValidationLevel::from_env(),
+            registry: crate::registry::PlanRegistry::global().cloned(),
             scratch: PhaseScratch::default(),
             fault_epoch: 0,
         }
@@ -299,6 +324,25 @@ impl Machine {
     /// Builder-style validation level for the guarded replay.
     pub fn with_validation(mut self, level: crate::fault::ValidationLevel) -> Self {
         self.validation = level;
+        self
+    }
+
+    /// Builder-style shared plan registry — sessions handed the same
+    /// `Arc` share compiled artifacts. Tests use isolated instances so
+    /// their hit/miss/eviction counters are exact.
+    pub fn with_registry(
+        mut self,
+        registry: std::sync::Arc<crate::registry::PlanRegistry>,
+    ) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Builder-style opt-out of the shared registry: this machine
+    /// plans solo in its per-array caches (the pre-registry path, the
+    /// A/B baseline for `HPFC_REGISTRY=off`).
+    pub fn without_registry(mut self) -> Self {
+        self.registry = None;
         self
     }
 

@@ -470,7 +470,7 @@ pub fn plan_redistribution(
             local_elements: 0,
             elem_size,
             dims: per_dim,
-            mappings: Some(Arc::new((src.clone(), dst.clone()))),
+            mappings: Some(hpfc_mapping::intern::pair(src, dst)),
         };
     }
 
@@ -512,7 +512,10 @@ fn compact(
         local_elements: local,
         elem_size,
         dims,
-        mappings: Some(Arc::new((src.clone(), dst.clone()))),
+        // Hash-consed: every plan over an equal (src, dst) pair shares
+        // one pointer-identical Arc — the identity the shared plan
+        // registry keys by.
+        mappings: Some(hpfc_mapping::intern::pair(src, dst)),
     }
 }
 

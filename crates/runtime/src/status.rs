@@ -96,22 +96,44 @@ impl ArrayRt {
     }
 
     /// The memoized plan + schedule + compiled copy program for
-    /// remapping version `src` to version `dst`: computed on first use,
-    /// then served from the cache (the cache is keyed by the mapping
-    /// pair through the version indices, so a remap loop plans each
-    /// direction exactly once).
+    /// remapping version `src` to version `dst`. The per-array cache is
+    /// the first level (a hit touches no lock); on a local miss the
+    /// machine's shared [`crate::PlanRegistry`] serves the artifact if
+    /// any session has registered it (`registry_hits`), otherwise the
+    /// pipeline is compiled **once registry-wide** and registered
+    /// (`registry_misses` + `plans_computed`). Without a registry the
+    /// miss compiles solo, the pre-registry behavior.
     pub fn planned(&mut self, machine: &mut Machine, src: u32, dst: u32) -> Arc<PlannedRemap> {
         if let Some(p) = self.plan_cache.get(&(src, dst)) {
             machine.stats.plan_cache_hits += 1;
             return Arc::clone(p);
         }
-        let plan = plan_redistribution(
-            &self.mappings[src as usize],
-            &self.mappings[dst as usize],
-            self.elem_size,
-        );
-        machine.stats.plans_computed += 1;
-        let entry = Arc::new(PlannedRemap::compile(plan));
+        let entry = match machine.registry.clone() {
+            Some(reg) => {
+                let (planned, out) = reg.get_or_compile(
+                    &self.mappings[src as usize],
+                    &self.mappings[dst as usize],
+                    self.elem_size,
+                );
+                if out.hit {
+                    machine.stats.registry_hits += 1;
+                } else {
+                    machine.stats.registry_misses += 1;
+                    machine.stats.plans_computed += 1;
+                }
+                machine.stats.registry_evictions += out.evicted;
+                planned
+            }
+            None => {
+                let plan = plan_redistribution(
+                    &self.mappings[src as usize],
+                    &self.mappings[dst as usize],
+                    self.elem_size,
+                );
+                machine.stats.plans_computed += 1;
+                Arc::new(PlannedRemap::compile(plan))
+            }
+        };
         self.plan_cache.insert((src, dst), Arc::clone(&entry));
         entry
     }
@@ -125,6 +147,39 @@ impl ArrayRt {
     /// already-cached pair is kept (same mapping pair ⇒ same plan).
     pub fn seed_plan(&mut self, src: u32, dst: u32, planned: Arc<PlannedRemap>) {
         self.plan_cache.entry((src, dst)).or_insert(planned);
+    }
+
+    /// [`ArrayRt::seed_plan`] through the machine's shared registry:
+    /// the seeded artifact is published registry-wide (first publisher
+    /// wins) and the **canonical** `Arc` is cached locally, so every
+    /// session seeding equal pairs converges on one allocation. A pair
+    /// already cached locally touches neither registry nor counters —
+    /// steady-state re-seeding (each group remap re-seeds its members)
+    /// stays lock-free and allocation-free.
+    pub fn seed_plan_shared(
+        &mut self,
+        machine: &mut Machine,
+        src: u32,
+        dst: u32,
+        planned: Arc<PlannedRemap>,
+    ) {
+        if self.plan_cache.contains_key(&(src, dst)) {
+            return;
+        }
+        let canonical = match machine.registry.clone() {
+            Some(reg) => {
+                let (canon, out) = reg.adopt(planned);
+                if out.hit {
+                    machine.stats.registry_hits += 1;
+                } else {
+                    machine.stats.registry_misses += 1;
+                }
+                machine.stats.registry_evictions += out.evicted;
+                canon
+            }
+            None => planned,
+        };
+        self.plan_cache.insert((src, dst), canonical);
     }
 
     /// Ensure version `v` has storage (lazy allocation, with memory
@@ -245,13 +300,21 @@ impl ArrayRt {
                         let epoch = machine.next_fault_epoch();
                         if machine.faults.is_some_and(|f| f.poison_fires(epoch)) {
                             // PoisonProgram: corrupt the cached entry's
-                            // compiled program before it is served —
-                            // exactly what a damaged shared plan
-                            // registry would hand out.
+                            // compiled program before it is served. The
+                            // corrupt artifact is installed into the
+                            // shared registry too — exactly what a
+                            // damaged plan registry would hand out to
+                            // every session.
                             if let Some(entry) = self.plan_cache.get_mut(&(src, target)) {
-                                if let Some(p) = Arc::make_mut(entry).program.as_mut() {
+                                let mut bad = PlannedRemap::clone(entry);
+                                if let Some(p) = bad.program.as_mut() {
                                     crate::fault::poison_program(p);
                                     machine.stats.faults_injected += 1;
+                                    let bad = Arc::new(bad);
+                                    if let Some(reg) = &machine.registry {
+                                        reg.install(Arc::clone(&bad));
+                                    }
+                                    *entry = bad;
                                 }
                             }
                         }
@@ -282,11 +345,20 @@ impl ArrayRt {
                         machine.stats.bytes_moved += outcome.elements * self.elem_size;
                         drop(planned);
                         if let Some(fresh) = outcome.repaired {
-                            // Cache repair: the recompiled program
-                            // replaces the poisoned/stale one, so the
-                            // next bounce is healthy again.
+                            // Cache repair, once registry-wide: the
+                            // recompiled program replaces the
+                            // poisoned/stale one locally *and* in the
+                            // shared registry, so the next bounce is
+                            // healthy again and no later session is
+                            // ever served the corrupt artifact.
                             if let Some(entry) = self.plan_cache.get_mut(&(src, target)) {
-                                Arc::make_mut(entry).program = Some(fresh);
+                                let mut healthy = PlannedRemap::clone(entry);
+                                healthy.program = Some(fresh);
+                                let healthy = Arc::new(healthy);
+                                if let Some(reg) = &machine.registry {
+                                    reg.install(Arc::clone(&healthy));
+                                }
+                                *entry = healthy;
                             }
                         }
                     }
@@ -538,7 +610,12 @@ mod tests {
 
     #[test]
     fn remap_loop_plans_once_per_direction() {
-        let (mut m, mut a) = rt();
+        // An isolated registry: the process-wide one is shared with
+        // every other test in this binary, which would make the
+        // computed/hit split here nondeterministic.
+        let registry = Arc::new(crate::PlanRegistry::new(2, 64));
+        let (m, mut a) = rt();
+        let mut m = m.with_registry(Arc::clone(&registry));
         a.current(&mut m, 0).fill(|p| p[0] as f64);
         let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
         for i in 0..10 {
@@ -549,9 +626,15 @@ mod tests {
         }
         assert_eq!(m.stats.remaps_performed, 20);
         // The loop planned exactly once per direction; all later
-        // remaps reused the cached plan + schedule.
+        // remaps reused the cached plan + schedule. The two computes
+        // registered registry-wide (misses); the local first-level
+        // cache answered everything after, so the registry was never
+        // consulted again.
         assert_eq!(m.stats.plans_computed, 2);
         assert_eq!(m.stats.plan_cache_hits, 18);
+        assert_eq!(m.stats.registry_misses, 2);
+        assert_eq!(m.stats.registry_hits, 0);
+        assert_eq!(registry.len(), 2);
     }
 
     #[test]
@@ -615,17 +698,47 @@ mod tests {
         // `PlannedRemap`: the compiled program's `mappings` is the very
         // Arc the plan carries, not a clone — with restore arms
         // multiplying cached entries, this halves the mapping storage
-        // per entry.
-        let (mut m, mut a) = rt();
+        // per entry. The mappings are unique to this test: pairs are
+        // hash-consed process-wide, so a pair another test also plans
+        // over would count that test's holders too.
+        let mut m = Machine::new(4);
+        let mut a = ArrayRt::new(
+            "a",
+            vec![mk(257, 4, DimFormat::Block(None)), mk(257, 4, DimFormat::Cyclic(Some(7)))],
+            8,
+        );
         a.current(&mut m, 0).fill(|p| p[0] as f64);
         a.remap(&mut m, 1, &[1u32].into_iter().collect(), false);
         let planned = a.planned(&mut m, 0, 1);
         let plan_pair = planned.plan.mappings.as_ref().expect("closed-form plan");
         let prog_pair = &planned.program.as_ref().expect("1-D plan compiles").mappings;
         assert!(Arc::ptr_eq(plan_pair, prog_pair), "pair must be shared, not cloned");
-        // Exactly the two holders above (plan + program): compiling did
-        // not leave extra clones behind.
+        // Exactly the two holders above (plan + program): neither
+        // compiling, nor the interner (weak), nor the registry entry
+        // (which holds the `PlannedRemap`, not extra pair clones) left
+        // more behind.
         assert_eq!(Arc::strong_count(plan_pair), 2);
+    }
+
+    #[test]
+    fn plans_over_equal_mappings_intern_one_pair() {
+        // Hash-consing: two *independently computed* plans over equal
+        // mappings carry pointer-identical pairs, and `strong_count`
+        // reflects true sharing (2 plans + 2 programs = 4 holders).
+        // Unique extents, for the same reason as above.
+        let src = mk(263, 4, DimFormat::Block(None));
+        let dst = mk(263, 4, DimFormat::Cyclic(Some(5)));
+        let p1 = PlannedRemap::compile(plan_redistribution(&src, &dst, 8));
+        let p2 = PlannedRemap::compile(plan_redistribution(&src.clone(), &dst.clone(), 8));
+        let pair1 = p1.plan.mappings.as_ref().expect("closed-form plan");
+        let pair2 = p2.plan.mappings.as_ref().expect("closed-form plan");
+        assert!(Arc::ptr_eq(pair1, pair2), "equal pairs must intern to one Arc");
+        assert_eq!(Arc::strong_count(pair1), 4);
+        // Seeding those plans into arrays adds PlannedRemap holders,
+        // never pair holders.
+        let mut a = ArrayRt::new("a", vec![src, dst], 8);
+        a.seed_plan(0, 1, Arc::new(p1));
+        assert_eq!(Arc::strong_count(a.plan_cache[&(0, 1)].plan.mappings.as_ref().unwrap()), 4);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use hpfc_mapping::{testing::mapping_1d as mk, DimFormat};
 use hpfc_runtime::{
     plan_redistribution, remap_group, ArrayRt, CommSchedule, CopyProgram, ExecMode, GroupMember,
-    Machine, PlannedGroup, PlannedRemap, VersionData,
+    Machine, PlanRegistry, PlannedGroup, PlannedRemap, VersionData,
 };
 
 /// `System`, with every allocation on the opted-in thread counted.
@@ -122,8 +122,12 @@ fn steady_state_remap_allocates_nothing() {
 
     // --- 2. The whole cached remap path is allocation-free. -----------
     // remap = status check + cache lookup (Arc clone) + schedule
-    // accounting (machine scratch arena) + program replay.
-    let mut machine = Machine::new(4).with_exec_mode(ExecMode::Serial);
+    // accounting (machine scratch arena) + program replay. The registry
+    // is isolated per section so the exact plans_computed assertions
+    // cannot be satisfied by another section's registrations.
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_registry(std::sync::Arc::new(PlanRegistry::new(2, 64)));
     let mut rt = ArrayRt::new("a", vec![src, dst], 8);
     rt.current(&mut machine, 0).fill(|p| p[0] as f64);
     let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
@@ -160,7 +164,9 @@ fn steady_state_remap_allocates_nothing() {
     // remap bounce.
     let saved: u32 = 0; // the tag SaveStatus recorded before the call
     let dummy: u32 = 1; // the callee's version
-    let mut machine = Machine::new(4).with_exec_mode(ExecMode::Serial);
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_registry(std::sync::Arc::new(PlanRegistry::new(2, 64)));
     let src = mk(n, 4, DimFormat::Block(None));
     let dst = mk(n, 4, DimFormat::Cyclic(Some(3)));
     let mut rt = ArrayRt::new("a", vec![src, dst], 8);
@@ -256,5 +262,63 @@ fn steady_state_remap_allocates_nothing() {
         assert_eq!(machine.stats.remap_groups_coalesced, groups + 20);
         assert_eq!(machine.stats.remaps_performed, performed + 40);
         assert_eq!(machine.stats.plans_computed, 0, "group members were precompiled");
+    }
+
+    // --- 5. A registry-HIT bounce is allocation-free too. -------------
+    // The local plan-cache entry is evicted before every measured remap,
+    // so each one takes the full shared-service path: stack-hash the
+    // mapping pair, probe the interner (a hit returns an existing Arc),
+    // lock the registry shard, touch the LRU stamp, clone the artifact
+    // out, and re-seed the local view (BTreeMap leaf reuse — the key
+    // was just removed). None of it may heap-allocate, and the data a
+    // registry-served session produces must be byte-identical to the
+    // solo path's.
+    let registry = std::sync::Arc::new(PlanRegistry::new(4, 64));
+    let src = mk(n, 4, DimFormat::Block(None));
+    let dst = mk(n, 4, DimFormat::Cyclic(Some(3)));
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_registry(std::sync::Arc::clone(&registry));
+    let mut solo_machine = Machine::new(4).with_exec_mode(ExecMode::Serial).without_registry();
+    let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+    let mut solo = ArrayRt::new("s", vec![src, dst], 8);
+    rt.current(&mut machine, 0).fill(|p| (7 * p[0] + 3) as f64);
+    solo.current(&mut solo_machine, 0).fill(|p| (7 * p[0] + 3) as f64);
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    // Warm up: registers both directions, grows scratch, seeds locals.
+    for _ in 0..2 {
+        for (r, m) in [(&mut rt, &mut machine), (&mut solo, &mut solo_machine)] {
+            r.remap(m, 1, &keep, false);
+            r.set(&[0], 1.0);
+            r.remap(m, 0, &keep, false);
+            r.set(&[1], 1.0);
+        }
+    }
+    let hits = machine.stats.registry_hits;
+    for i in 0..10u64 {
+        rt.set(&[0], i as f64); // outside the measured window
+        solo.set(&[0], i as f64);
+        rt.plan_cache.remove(&(0, 1)); // evict the local view: the registry serves
+        let before = allocations();
+        rt.remap(&mut machine, 1, &keep, false);
+        assert_eq!(allocations(), before, "registry-hit remap {i} ->1 allocated");
+        rt.set(&[1], i as f64);
+        solo.set(&[1], i as f64);
+        rt.plan_cache.remove(&(1, 0));
+        let before = allocations();
+        rt.remap(&mut machine, 0, &keep, false);
+        assert_eq!(allocations(), before, "registry-hit remap {i} ->0 allocated");
+        solo.remap(&mut solo_machine, 1, &keep, false);
+        solo.remap(&mut solo_machine, 0, &keep, false);
+    }
+    // Every measured remap was really served by the registry...
+    assert_eq!(machine.stats.registry_hits, hits + 20);
+    assert_eq!(machine.stats.plans_computed, 2, "compiled once per direction, ever");
+    assert_eq!(machine.stats.registry_misses, 2);
+    assert_eq!(solo_machine.stats.plans_computed, 2, "the solo A/B baseline plans itself");
+    // ...and the served artifact moves bytes identically to the solo
+    // path.
+    for i in 0..n {
+        assert_eq!(rt.get(&[i]), solo.get(&[i]), "registry and solo paths diverge at {i}");
     }
 }

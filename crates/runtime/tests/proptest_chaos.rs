@@ -66,6 +66,7 @@ fn assert_matches_oracle(rt: &ArrayRt, shadow: &[f64], what: &str) {
 fn corruption_at_full_rate_falls_back_to_tables() {
     let n = 4096u64;
     let mut machine = Machine::new(4)
+        .without_registry()
         .with_exec_mode(ExecMode::Serial)
         .with_faults(FaultPlan::new(11, 100, &[FaultKind::CorruptRound]))
         .with_validation(ValidationLevel::Checksums);
@@ -89,6 +90,7 @@ fn corruption_at_full_rate_falls_back_to_tables() {
 fn corruption_at_moderate_rate_heals_by_retry() {
     let n = 4096u64;
     let mut machine = Machine::new(4)
+        .without_registry()
         .with_exec_mode(ExecMode::Serial)
         .with_faults(FaultPlan::new(5, 40, &[FaultKind::CorruptRound]))
         .with_validation(ValidationLevel::Checksums);
@@ -107,6 +109,7 @@ fn corruption_at_moderate_rate_heals_by_retry() {
 fn worker_panic_degrades_round_to_serial() {
     let n = 1u64 << 18; // rounds comfortably above PARALLEL_THRESHOLD
     let mut machine = Machine::new(4)
+        .without_registry()
         .with_exec_mode(ExecMode::Parallel(4))
         .with_faults(FaultPlan::new(3, 100, &[FaultKind::WorkerPanic]));
     let mut rt = seeded_array(n, 4);
@@ -127,6 +130,7 @@ fn worker_panic_degrades_round_to_serial() {
 fn poisoned_cache_entries_are_recompiled_and_repaired() {
     let n = 4096u64;
     let mut machine = Machine::new(4)
+        .without_registry()
         .with_exec_mode(ExecMode::Serial)
         .with_faults(FaultPlan::new(17, 100, &[FaultKind::PoisonProgram]));
     let mut rt = seeded_array(n, 4);
@@ -140,6 +144,58 @@ fn poisoned_cache_entries_are_recompiled_and_repaired() {
     assert_eq!(machine.stats.fallbacks_to_tables, 0);
     assert_eq!(machine.stats.rounds_retried, 0, "a fresh program replays cleanly");
     assert_eq!(machine.stats.plans_computed, 0, "repair recompiles, it never re-plans");
+}
+
+/// Poison under the shared plan registry: when a registered artifact is
+/// poisoned, the repair is installed registry-wide — exactly once — so
+/// a second session over the same pairs is never served the corrupt
+/// program. Session A registers both directions, takes one poisoned
+/// remap on the chin (fingerprint → recompile → repair → reinstall);
+/// session B, a fresh array and machine on the same registry, then
+/// executes on registry hits alone, recompiles nothing, and heals to
+/// its oracle.
+#[test]
+fn a_poisoned_registry_entry_heals_once_and_never_reaches_a_second_session() {
+    let n = 4096u64;
+    let registry = Arc::new(hpfc_runtime::PlanRegistry::new(2, 64));
+    let src = mk1d(n, 4, DimFormat::Block(None));
+    let dst = mk1d(n, 4, DimFormat::Cyclic(Some(3)));
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+
+    // Session A, fault-free: registers both directions in the registry.
+    let mut ma = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_registry(Arc::clone(&registry));
+    let mut a = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+    let shadow_a = bounce_and_oracle(&mut ma, &mut a, n, 2);
+    assert_eq!(ma.stats.plans_computed, 2, "A planned both directions");
+    assert_eq!(registry.len(), 2);
+
+    // One poisoned remap: the corrupt artifact transits the registry
+    // (installed so corruption is visible registry-wide, like a real
+    // shared-cache fault), is caught by the fingerprint, and the
+    // repaired program is reinstalled over it.
+    ma = ma.with_faults(FaultPlan::new(41, 100, &[FaultKind::PoisonProgram]));
+    a.remap(&mut ma, 1, &keep, false);
+    assert_matches_oracle(&a, &shadow_a, "session A after poison");
+    assert_eq!(ma.stats.faults_injected, 1, "exactly one poisoning");
+    assert_eq!(ma.stats.programs_recompiled, 1, "repaired exactly once");
+
+    // Session B: fresh machine + fresh array, same registry, no faults.
+    let mut mb = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_registry(Arc::clone(&registry));
+    let mut b = ArrayRt::new("b", vec![src, dst], 8);
+    let shadow_b = bounce_and_oracle(&mut mb, &mut b, n, 4);
+    assert_matches_oracle(&b, &shadow_b, "session B over the repaired registry");
+    assert_eq!(mb.stats.plans_computed, 0, "B is served by the registry");
+    assert_eq!((mb.stats.registry_misses, mb.stats.registry_hits), (0, 2), "{:?}", mb.stats);
+    assert_eq!(mb.stats.faults_injected, 0);
+    assert_eq!(
+        ma.stats.programs_recompiled + mb.stats.programs_recompiled,
+        1,
+        "one poisoning, one repair, process-wide — B never saw the corrupt program"
+    );
 }
 
 /// Drop/Truncate under both engines: conservation counts catch the
@@ -161,6 +217,7 @@ fn wire_loss_heals_and_accounts_each_remap_once() {
     );
     for mode in [ExecMode::Serial, ExecMode::Parallel(4)] {
         let mut machine = Machine::new(4)
+            .without_registry()
             .with_exec_mode(mode)
             .with_faults(FaultPlan::new(
                 23,
@@ -213,6 +270,7 @@ fn group_remaps_heal_under_chaos() {
         let fwd = PlannedGroup::compile(vec![solo(&src, &dst), solo(&src, &dst)]);
         let back = PlannedGroup::compile(vec![solo(&dst, &src), solo(&dst, &src)]);
         let mut machine = Machine::new(4)
+            .without_registry()
             .with_exec_mode(ExecMode::Serial)
             .with_faults(faults)
             .with_validation(validation);
@@ -263,7 +321,7 @@ fn group_remaps_heal_under_chaos() {
 fn unrecoverable_paths_return_typed_errors() {
     let n = 256u64;
     let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
-    let mut machine = Machine::new(4).with_exec_mode(ExecMode::Serial);
+    let mut machine = Machine::new(4).without_registry().with_exec_mode(ExecMode::Serial);
     let mut rt = seeded_array(n, 4);
     rt.current(&mut machine, 0).fill(|p| p[0] as f64);
     // Sabotage: drop the source copy behind the status tag.
@@ -370,6 +428,7 @@ proptest! {
         let nprocs = src.grid_shape.volume();
         for mode in [ExecMode::Serial, ExecMode::Parallel(4)] {
             let mut machine = Machine::new(nprocs)
+                .without_registry()
                 .with_exec_mode(mode)
                 .with_faults(FaultPlan::all(seed, rate))
                 .with_validation(ValidationLevel::Checksums);

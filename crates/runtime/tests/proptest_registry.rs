@@ -1,0 +1,166 @@
+//! Many-session concurrency harness for the shared plan registry:
+//! N threads × M interpreter-style sessions draw mapping pairs from a
+//! shared pool, every session's data is checked against a per-point
+//! oracle, and the registry's accounting is pinned *exactly* — the
+//! whole process compiles one plan per distinct interned direction
+//! (never per session), hit/miss/eviction counters balance under a
+//! forced-eviction cap, and nothing deadlocks under `HPFC_THREADS=1`
+//! or `=4` (CI runs this file under both).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use hpfc_mapping::{DimFormat, NormalizedMapping};
+use hpfc_runtime::{ArrayRt, Machine, NetStats, PlanRegistry};
+
+fn mk1d(n: u64, p: u64, fmt: DimFormat) -> NormalizedMapping {
+    hpfc_mapping::testing::mapping_1d(n, p, fmt)
+}
+
+/// `k` distinct (src, dst) pairs — distinct extents, so each interns to
+/// its own identity and the registry holds `2k` directional artifacts
+/// when warm. Extents are unique to this file so the process-wide
+/// interner never collides with another test's pairs.
+fn pool(k: usize) -> Vec<(NormalizedMapping, NormalizedMapping)> {
+    (0..k)
+        .map(|i| {
+            let n = 3072 + 128 * i as u64;
+            (mk1d(n, 4, DimFormat::Block(None)), mk1d(n, 4, DimFormat::Cyclic(Some(3))))
+        })
+        .collect()
+}
+
+/// One session: a fresh array over `(src, dst)` on a fresh machine
+/// wired to the shared registry, bounced `bounces` times with a write
+/// after every hop, verified against a per-point shadow oracle.
+/// Returns the session's stats for merging. The fresh local plan cache
+/// means exactly the first hop in each direction consults the
+/// registry; every later hop is a local cache hit.
+fn run_session(
+    registry: &Arc<PlanRegistry>,
+    src: &NormalizedMapping,
+    dst: &NormalizedMapping,
+    bounces: u32,
+) -> (NetStats, ArrayRt) {
+    let n = src.array_extents.volume();
+    let mut machine = Machine::new(4).with_registry(Arc::clone(registry));
+    let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+    rt.current(&mut machine, 0).fill(|p| (3 * p[0] + 11) as f64);
+    let mut shadow: Vec<f64> = (0..n).map(|i| (3 * i + 11) as f64).collect();
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    for b in 0..bounces {
+        rt.remap(&mut machine, 1 - (b % 2), &keep, false);
+        let touched = (13 * b as u64 + 5) % n;
+        rt.set(&[touched], 9000.0 + b as f64);
+        shadow[touched as usize] = 9000.0 + b as f64;
+    }
+    for (i, want) in shadow.iter().enumerate() {
+        assert_eq!(rt.get(&[i as u64]), *want, "element {i} diverged from the oracle");
+    }
+    (machine.stats, rt)
+}
+
+/// The tentpole pin: 4 threads × 3 sessions over a 5-pair pool, with
+/// staggered starts so threads contend on the same cold pairs. The
+/// merged books must show exactly one compile per distinct direction
+/// — `plans_computed == 2 × pairs`, however many sessions raced — and
+/// hits account for every other registry consultation. Runs under
+/// whatever `HPFC_THREADS` selects (CI pins 1 and 4): the registry
+/// shard locks, the interner locks, and the exec engine's worker pool
+/// must compose without deadlock.
+#[test]
+fn many_sessions_compile_once_per_distinct_pair() {
+    const THREADS: usize = 4;
+    const SESSIONS: usize = 3;
+    const PAIRS: usize = 5;
+    let registry = Arc::new(PlanRegistry::new(4, 1024));
+    let pairs = Arc::new(pool(PAIRS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            let pairs = Arc::clone(&pairs);
+            std::thread::spawn(move || {
+                let mut stats = NetStats::default();
+                for s in 0..SESSIONS {
+                    // Staggered: thread t's first session starts on
+                    // pair t, so cold pairs are hammered concurrently.
+                    let (src, dst) = &pairs[(t + s) % PAIRS];
+                    let (session, _) = run_session(&registry, src, dst, 4);
+                    stats.merge(&session);
+                }
+                stats
+            })
+        })
+        .collect();
+    let mut total = NetStats::default();
+    for h in handles {
+        total.merge(&h.join().expect("session thread panicked"));
+    }
+    // One compile per distinct direction, ever — concurrent cold
+    // requests for one pair must collapse onto a single compilation.
+    assert_eq!(total.plans_computed, 2 * PAIRS as u64, "{total:?}");
+    assert_eq!(total.registry_misses, 2 * PAIRS as u64, "{total:?}");
+    // Every other registry consultation was a hit: each of the 12
+    // sessions consults the registry once per direction.
+    let consultations = (THREADS * SESSIONS * 2) as u64;
+    assert_eq!(total.registry_hits, consultations - 2 * PAIRS as u64, "{total:?}");
+    assert_eq!(total.registry_evictions, 0, "a generous cap never evicts");
+    assert_eq!(registry.len(), 2 * PAIRS);
+    assert_eq!((registry.hits(), registry.misses()), (total.registry_hits, total.registry_misses));
+}
+
+/// The acceptance-criterion pin at the runtime layer: a second session
+/// over already-registered pairs executes with `plans_computed == 0`
+/// and only registry hits, and its local cache view holds the very
+/// same `Arc`s as the first session's.
+#[test]
+fn a_second_session_is_served_entirely_by_the_registry() {
+    let registry = Arc::new(PlanRegistry::new(2, 64));
+    let pairs = pool(1);
+    let (src, dst) = &pairs[0];
+    let (s1, rt1) = run_session(&registry, src, dst, 4);
+    assert_eq!((s1.plans_computed, s1.registry_misses, s1.registry_hits), (2, 2, 0), "{s1:?}");
+    let (s2, rt2) = run_session(&registry, src, dst, 4);
+    assert_eq!(s2.plans_computed, 0, "{s2:?}");
+    assert_eq!((s2.registry_misses, s2.registry_hits), (0, 2), "{s2:?}");
+    // Not equal artifacts — pointer-identical ones.
+    for key in [(0u32, 1u32), (1, 0)] {
+        assert!(
+            Arc::ptr_eq(&rt1.plan_cache[&key], &rt2.plan_cache[&key]),
+            "sessions must share one artifact for {key:?}"
+        );
+    }
+}
+
+/// Forced-eviction accounting: one shard, two slots, three pairs in
+/// round-robin. Every session runs two back-to-back fresh arrays over
+/// its pair — the first pulls both directions in (two misses, evicting
+/// the coldest resident artifacts), the second re-reads them while
+/// still resident (two hits). Every counter is pinned exactly.
+#[test]
+fn eviction_counters_are_exact_under_a_tiny_cap() {
+    let registry = Arc::new(PlanRegistry::new(1, 2));
+    let pairs = pool(3);
+    const ROUNDS: usize = 3;
+    let mut total = NetStats::default();
+    let mut sessions = 0u64;
+    for _ in 0..ROUNDS {
+        for (src, dst) in &pairs {
+            for _ in 0..2 {
+                let (stats, _) = run_session(&registry, src, dst, 4);
+                total.merge(&stats);
+            }
+            sessions += 1;
+        }
+    }
+    // Per pair-session: 2 misses (fresh array A), 2 hits (fresh array
+    // B, entries still the warmest), and — once the two slots filled —
+    // each miss evicts the coldest resident, so only the very first
+    // session's two inserts land in empty slots.
+    assert_eq!(total.plans_computed, 2 * sessions, "{total:?}");
+    assert_eq!(total.registry_misses, 2 * sessions, "{total:?}");
+    assert_eq!(total.registry_hits, 2 * sessions, "{total:?}");
+    assert_eq!(total.registry_evictions, 2 * sessions - 2, "{total:?}");
+    assert_eq!(registry.len(), 2, "the cap bounds residency");
+    assert_eq!(registry.evictions(), total.registry_evictions);
+}
