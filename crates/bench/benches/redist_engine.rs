@@ -371,6 +371,44 @@ fn bench_fault_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// What the transaction costs. `txn_on_default` is the default machine
+/// (`HPFC_TXN=on`, no faults, no validation): the snapshot is armed
+/// only on the guarded path, so this must be indistinguishable from
+/// the plain cached bounce — the transactional machinery is one branch
+/// here. `txn_on_counts` runs guarded AND armed: every bounce captures
+/// a rollback record (destination runs into the machine's reused
+/// scratch arena) and commits it — the true price of all-or-nothing
+/// remaps. `txn_off_counts` is the same guarded bounce with the
+/// transaction disabled, isolating the snapshot cost from the
+/// validation cost.
+fn bench_txn_overhead(c: &mut Criterion) {
+    use hpfc::runtime::ValidationLevel;
+
+    let n = 16384u64;
+    let mut g = c.benchmark_group("redist/txn_overhead");
+    let src = mk(n, 16, DimFormat::Block(None));
+    let dst = mk(n, 16, DimFormat::Cyclic(Some(4)));
+    let keep: std::collections::BTreeSet<u32> = [0u32, 1].into_iter().collect();
+
+    let bounce = |txn: bool, validation: ValidationLevel, b: &mut criterion::Bencher| {
+        let mut m = Machine::new(16).with_txn(txn).with_validation(validation);
+        let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+        rt.current(&mut m, 0).fill(|p| p[0] as f64);
+        b.iter(|| {
+            rt.remap(&mut m, 1, &keep, false);
+            rt.set(&[0], 1.0); // stale the other copy: data moves every time
+            rt.remap(&mut m, 0, &keep, false);
+            rt.set(&[1], 1.0);
+            std::hint::black_box(&rt);
+        })
+    };
+
+    g.bench_function("txn_on_default", |b| bounce(true, ValidationLevel::Off, b));
+    g.bench_function("txn_on_counts", |b| bounce(true, ValidationLevel::Counts, b));
+    g.bench_function("txn_off_counts", |b| bounce(false, ValidationLevel::Counts, b));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_plan_closed_form,
@@ -383,6 +421,7 @@ criterion_group!(
     bench_registry_sessions,
     bench_restore_bounce,
     bench_group_remap,
-    bench_fault_overhead
+    bench_fault_overhead,
+    bench_txn_overhead
 );
 criterion_main!(benches);

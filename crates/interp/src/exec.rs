@@ -349,6 +349,9 @@ impl<'a> Executor<'a> {
                 Ok(Flow::Normal)
             }
             SStmt::Remap(op) => {
+                // Transactional: if the guarded remap surfaces a typed
+                // error, the array was already rolled back to its
+                // pre-remap state, so `?` propagates a clean failure.
                 frame.arrays[op.array.0 as usize].try_remap_guarded(
                     &mut self.machine,
                     op.target,
@@ -367,7 +370,10 @@ impl<'a> Executor<'a> {
                 // moves the members whose state matches their planned
                 // copy over the merged schedule (coalesced same-pair
                 // wire messages, one latency per pair per round) and
-                // runs the rest as ordinary guarded no-op remaps.
+                // runs the rest as ordinary guarded no-op remaps. The
+                // group is atomic: a typed error means every member —
+                // including siblings that had already replayed — was
+                // rolled back to its pre-directive state.
                 {
                     // Borrow each member's ArrayRt simultaneously —
                     // member array ids are distinct and ascending.

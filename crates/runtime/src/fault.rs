@@ -65,15 +65,30 @@ pub enum FaultKind {
     /// Detected by the program fingerprint; healed by recompiling from
     /// the cached plan.
     PoisonProgram,
+    /// Panic the plan → schedule → program compile itself (decided once
+    /// per remap, fires only on a cold compile). Contained by
+    /// `catch_unwind` in the registry's compile-under-lock (the shard
+    /// `Mutex` is **not** poisoned) and recovered by a clean solo
+    /// compile — exercising the typed
+    /// [`crate::CompileDecline::Panicked`] path.
+    CompilePanic,
+    /// Force the whole recovery ladder to fail: every round attempt is
+    /// rejected and the table-engine rung is blocked, so the remap
+    /// surfaces a terminal [`ExecError::Unrecovered`] *after* partial
+    /// writes happened — the scenario transactional rollback exists
+    /// for.
+    Exhaust,
 }
 
 impl FaultKind {
-    const ALL: [FaultKind; 5] = [
+    const ALL: [FaultKind; 7] = [
         FaultKind::CorruptRound,
         FaultKind::TruncateRound,
         FaultKind::DropRound,
         FaultKind::WorkerPanic,
         FaultKind::PoisonProgram,
+        FaultKind::CompilePanic,
+        FaultKind::Exhaust,
     ];
 
     fn bit(self) -> u8 {
@@ -83,6 +98,8 @@ impl FaultKind {
             FaultKind::DropRound => 4,
             FaultKind::WorkerPanic => 8,
             FaultKind::PoisonProgram => 16,
+            FaultKind::CompilePanic => 32,
+            FaultKind::Exhaust => 64,
         }
     }
 
@@ -93,6 +110,20 @@ impl FaultKind {
         FaultKind::TruncateRound,
         FaultKind::DropRound,
         FaultKind::WorkerPanic,
+    ];
+
+    /// Every kind the recovery ladder heals on its own — [`Self::ALL`]
+    /// minus the terminal `Exhaust`, which *forces* a typed failure.
+    /// This is the set the `HPFC_FAULTS` defaults select, so blanket
+    /// chaos runs (`HPFC_FAULTS=7 cargo test`) stay green: terminal
+    /// faults must be asked for by name (`kinds=…+exhaust`).
+    const RECOVERABLE: [FaultKind; 6] = [
+        FaultKind::CorruptRound,
+        FaultKind::TruncateRound,
+        FaultKind::DropRound,
+        FaultKind::WorkerPanic,
+        FaultKind::PoisonProgram,
+        FaultKind::CompilePanic,
     ];
 }
 
@@ -124,10 +155,15 @@ impl FaultPlan {
     /// The plan selected by the `HPFC_FAULTS` environment variable, if
     /// set. Accepted forms:
     ///
-    /// * a bare integer — the seed, with a 10% rate and all kinds;
+    /// * a bare integer — the seed, with a 10% rate and every
+    ///   *recoverable* kind (the ladder heals them all, so a blanket
+    ///   chaos run stays green);
     /// * a comma-separated list of `seed=N`, `rate=N` (percent) and
     ///   `kinds=a+b+c` with kinds among `corrupt`, `truncate`, `drop`,
-    ///   `panic`, `poison`.
+    ///   `panic`, `poison`, `compilepanic`, `exhaust`. The terminal
+    ///   `exhaust` — which forces the ladder to fail so the
+    ///   transaction must roll back — is only injected when named
+    ///   here explicitly.
     ///
     /// Unrecognized fragments are ignored (chaos configuration must
     /// never itself crash the engine). Realistic use pairs this with
@@ -140,9 +176,9 @@ impl FaultPlan {
             return None;
         }
         if let Ok(seed) = raw.parse::<u64>() {
-            return Some(FaultPlan::all(seed, 10));
+            return Some(FaultPlan::new(seed, 10, &FaultKind::RECOVERABLE));
         }
-        let mut plan = FaultPlan::all(0, 10);
+        let mut plan = FaultPlan::new(0, 10, &FaultKind::RECOVERABLE);
         for part in raw.split(',') {
             let Some((key, value)) = part.split_once('=') else { continue };
             match key.trim() {
@@ -165,6 +201,8 @@ impl FaultPlan {
                             "drop" => FaultKind::DropRound.bit(),
                             "panic" => FaultKind::WorkerPanic.bit(),
                             "poison" => FaultKind::PoisonProgram.bit(),
+                            "compilepanic" => FaultKind::CompilePanic.bit(),
+                            "exhaust" => FaultKind::Exhaust.bit(),
                             _ => 0,
                         };
                     }
@@ -214,6 +252,29 @@ impl FaultPlan {
             return false;
         }
         let h = self.site_hash(epoch, 3, u32::MAX, 0);
+        ((h % 100) as u32) < self.rate
+    }
+
+    /// Whether this remap's *compile* panics (decided once per remap
+    /// epoch; only meaningful on a cold compile — a cache or registry
+    /// hit never compiles).
+    pub(crate) fn compile_panic_fires(&self, epoch: u64) -> bool {
+        if self.kinds & FaultKind::CompilePanic.bit() == 0 {
+            return false;
+        }
+        let h = self.site_hash(epoch, 4, u32::MAX, 0);
+        ((h % 100) as u32) < self.rate
+    }
+
+    /// Whether this remap's entire recovery ladder is forced to fail
+    /// (decided once per remap epoch): every round attempt is rejected
+    /// and the table-engine rung is blocked, so the remap ends in a
+    /// terminal [`ExecError::Unrecovered`].
+    pub(crate) fn exhaust_fires(&self, epoch: u64) -> bool {
+        if self.kinds & FaultKind::Exhaust.bit() == 0 {
+            return false;
+        }
+        let h = self.site_hash(epoch, 5, u32::MAX, 0);
         ((h % 100) as u32) < self.rate
     }
 }
@@ -377,7 +438,8 @@ fn applicable(kind: FaultKind, mode: ExecMode, ctx: &RoundCtx) -> bool {
         FaultKind::CorruptRound | FaultKind::TruncateRound | FaultKind::DropRound => {
             ctx.expected > 0 && ctx.units > 0
         }
-        FaultKind::PoisonProgram => false,
+        // Decided per remap (not per round), so never drawn here.
+        FaultKind::PoisonProgram | FaultKind::CompilePanic | FaultKind::Exhaust => false,
     }
 }
 
@@ -397,6 +459,10 @@ pub(crate) fn run_round_ladder(
     let mut mode = machine.exec_mode;
     let checksums = machine.validation == ValidationLevel::Checksums;
     let counts = machine.validation >= ValidationLevel::Counts;
+    // An exhaust fault rejects every attempt of every round — the
+    // writes still happen, so the destination is left partially
+    // written, which is exactly what transactional rollback must undo.
+    let exhaust = machine.faults.as_ref().is_some_and(|f| f.exhaust_fires(epoch));
     let mut attempt = 0u32;
     loop {
         let fault = machine
@@ -410,10 +476,10 @@ pub(crate) fn run_round_ladder(
         let outcome = replay(mode, checksums, fault);
         let failure = match outcome {
             Ok((runs, elements)) => {
-                if !counts || elements == ctx.expected {
+                if !exhaust && (!counts || elements == ctx.expected) {
                     return Ok((runs, elements));
                 }
-                None // short round: conservation-count violation
+                None // short round (or forced exhaustion): rejected
             }
             Err(f) => Some(f),
         };
@@ -596,6 +662,10 @@ pub(crate) fn replay_with_recovery(
             dst: format!("{:?}", dst.mapping.array_extents),
         });
     }
+    let exhaust = machine.faults.as_ref().is_some_and(|f| f.exhaust_fires(epoch));
+    if exhaust {
+        machine.stats.faults_injected += 1;
+    }
     let mut repaired: Option<CopyProgram> = None;
     let mut active: Option<&CopyProgram> = planned.program.as_ref();
     if let Some(p) = active {
@@ -626,6 +696,15 @@ pub(crate) fn replay_with_recovery(
     let (runs, elements) = match replayed {
         Some(t) => t,
         None => {
+            if exhaust {
+                // Forced exhaustion blocks the table rung too: the
+                // remap surfaces a terminal typed error with the
+                // destination partially written — the caller's
+                // transactional rollback restores it.
+                return Err(ExecError::Unrecovered {
+                    context: format!("remap epoch {epoch}: injected ladder exhaustion"),
+                });
+            }
             // Rung 3: the table engine — re-derives every position from
             // the plan's descriptors, shares nothing with the compiled
             // program, and is never fault-injected.
@@ -683,7 +762,27 @@ mod tests {
         assert_eq!(p.rate, 100, "rate saturates at 100");
         assert_eq!(p.kinds, FaultKind::DropRound.bit());
         let all = FaultPlan::all(1, 10);
-        assert_eq!(all.kinds, 0b11111);
+        assert_eq!(all.kinds, 0b111_1111);
+        let env_default = FaultPlan::new(1, 10, &FaultKind::RECOVERABLE);
+        assert_eq!(
+            env_default.kinds,
+            0b011_1111,
+            "env defaults exclude the terminal Exhaust: blanket chaos runs must stay green"
+        );
+    }
+
+    #[test]
+    fn terminal_kinds_fire_on_their_own_streams() {
+        let cp = FaultPlan::new(11, 100, &[FaultKind::CompilePanic]);
+        assert!(cp.compile_panic_fires(5));
+        assert!(!cp.exhaust_fires(5));
+        assert!(!cp.poison_fires(5));
+        assert!((0..100u64).all(|e| cp.round_fault(e, 0, 0, 0).is_none()));
+        let ex = FaultPlan::new(11, 100, &[FaultKind::Exhaust]);
+        assert!(ex.exhaust_fires(5));
+        assert!(!ex.compile_panic_fires(5));
+        let silent = FaultPlan::new(11, 0, &[FaultKind::CompilePanic, FaultKind::Exhaust]);
+        assert!((0..200u64).all(|e| !silent.compile_panic_fires(e) && !silent.exhaust_fires(e)));
     }
 
     #[test]

@@ -145,6 +145,15 @@ pub fn remap_group(
 /// through the same recovery ladder as a solo remap (retry failed
 /// rounds → recompile the group program → per-member table-engine
 /// fallback), with worker panics degrading the round to serial.
+///
+/// **Atomic** (`HPFC_TXN`, default on): the group commits all members
+/// or none. On the guarded path a rollback record is captured per
+/// member before anything executes, liveness cleaning is deferred until
+/// every member committed (cleaning frees copies a rollback could not
+/// restore), and any member's terminal error rolls *every* member —
+/// already-replayed siblings included — back to its byte-identical
+/// pre-group state before the error surfaces
+/// (`NetStats::group_rollbacks`).
 pub fn try_remap_group(
     machine: &mut Machine,
     members: &mut [GroupMember<'_>],
@@ -174,9 +183,88 @@ pub fn try_remap_group(
         }
     }
     if movers < 2 {
+        // The members fall back to solo remaps, whose write sets the
+        // group program does not describe: capture full blocks instead.
+        mask = 0;
+    }
+    let guarded = machine.faults.is_some() || machine.validation != ValidationLevel::Off;
+    let armed = machine.txn && guarded;
+    // Phase 1 (guarded path only): capture every member's rollback
+    // record before anything executes. Movers are bounded by their
+    // member program's destination runs; everyone else saves full
+    // destination blocks (their remaps are no-ops or solo fallbacks).
+    let mut snaps = std::mem::take(&mut machine.group_txn_scratch);
+    if armed {
+        if snaps.len() < members.len() {
+            snaps.resize_with(members.len(), Default::default);
+        }
+        for (i, m) in members.iter().enumerate() {
+            let program = if mask & (1 << i) != 0 {
+                planned.program.as_ref().map(|g| &g.members[i])
+            } else {
+                None
+            };
+            snaps[i].capture(
+                m.rt.status,
+                &m.rt.live,
+                m.rt.copies[m.target as usize].is_some(),
+                m.rt.copies[m.src as usize].as_ref(),
+                m.rt.copies[m.target as usize].as_ref(),
+                program,
+            );
+        }
+    }
+    // Phase 2: execute with cleaning deferred, then commit or roll
+    // back the whole group.
+    match remap_group_body(machine, members, planned, mask, movers) {
+        Ok(n) => {
+            for s in snaps.iter_mut() {
+                s.captured = false;
+            }
+            machine.group_txn_scratch = snaps;
+            // Every member committed: now (and only now) clean — a
+            // freed copy cannot be restored by any rollback.
+            for m in members.iter_mut() {
+                m.rt.clean_copies(machine, m.target, m.may_live);
+            }
+            Ok(n)
+        }
+        Err(e) => {
+            if armed {
+                machine.stats.group_rollbacks += 1;
+                for (i, m) in members.iter_mut().enumerate().rev() {
+                    m.rt.rollback_remap(machine, m.target, &mut snaps[i]);
+                }
+            }
+            machine.group_txn_scratch = snaps;
+            Err(e)
+        }
+    }
+}
+
+/// The execution half of [`try_remap_group`], with liveness cleaning
+/// deferred to the caller's commit: solo fallbacks and non-movers run
+/// [`ArrayRt::try_remap_inner`] un-cleaned and un-armed (the group's
+/// per-member records already cover them), movers replay coalesced.
+fn remap_group_body(
+    machine: &mut Machine,
+    members: &mut [GroupMember<'_>],
+    planned: &PlannedGroup,
+    mask: u64,
+    movers: usize,
+) -> Result<usize, ExecError> {
+    if movers < 2 {
         // Nothing to coalesce: ordinary guarded remaps (cache hits).
         for m in members.iter_mut() {
-            m.rt.try_remap_guarded(machine, m.target, m.may_live, false, m.skip_if_current)?;
+            m.rt.try_remap_inner(
+                machine,
+                m.target,
+                m.may_live,
+                false,
+                m.skip_if_current,
+                false,
+                false,
+            )?;
         }
         return Ok(0);
     }
@@ -184,7 +272,15 @@ pub fn try_remap_group(
     // independent of the movers (different arrays).
     for (i, m) in members.iter_mut().enumerate() {
         if mask & (1 << i) == 0 {
-            m.rt.try_remap_guarded(machine, m.target, m.may_live, false, m.skip_if_current)?;
+            m.rt.try_remap_inner(
+                machine,
+                m.target,
+                m.may_live,
+                false,
+                m.skip_if_current,
+                false,
+                false,
+            )?;
         }
     }
     // The coalesced movement: allocate targets, cost the merged rounds
@@ -201,7 +297,7 @@ pub fn try_remap_group(
     // `None`: the fast path ran — bill the compiled program's planned
     // per-member figures. `Some`: the guarded ladder ran and reports
     // what the authoritative replay actually delivered per member.
-    let per_member = replay_group_with_recovery(machine, members, planned, mask, epoch);
+    let per_member = replay_group_with_recovery(machine, members, planned, mask, epoch)?;
     machine.stats.remap_groups_coalesced += 1;
     for (i, m) in members.iter_mut().enumerate() {
         if mask & (1 << i) == 0 {
@@ -220,12 +316,7 @@ pub fn try_remap_group(
         machine.stats.local_elements += planned.members[i].plan.local_elements;
         m.rt.live[m.target as usize] = true;
         m.rt.status = Some(m.target);
-        // Cleaning, exactly as `remap_guarded`'s tail.
-        for v in 0..m.rt.live.len() as u32 {
-            if v != m.target && m.rt.live[v as usize] && !m.may_live.contains(&v) {
-                m.rt.free_copy(machine, v);
-            }
-        }
+        // Cleaning deferred to the caller's group commit.
     }
     Ok(movers)
 }
@@ -349,20 +440,22 @@ fn replay_parallel(
 
 /// Replay the coalesced movement, guarded when the machine carries
 /// faults or a validation level (otherwise the pre-existing
-/// allocation-free fast path, returning `None`). Guarded: integrity-
-/// check the group program (a poisoned program is recompiled from the
-/// cached member plans), run every merged round through the shared
-/// retry ladder, and escalate a stuck round to a one-shot group
-/// recompile and finally to per-member table-engine copies. Returns
-/// the per-member `(runs, elements)` the authoritative replay
-/// delivered.
+/// allocation-free fast path, returning `Ok(None)`). Guarded:
+/// integrity-check the group program (a poisoned program is recompiled
+/// from the cached member plans), run every merged round through the
+/// shared retry ladder, and escalate a stuck round to a one-shot group
+/// recompile and finally to per-member table-engine copies — unless an
+/// injected [`FaultKind::Exhaust`] blocks the table rung too, which
+/// surfaces the terminal error [`try_remap_group`]'s rollback exists
+/// for. Returns the per-member `(runs, elements)` the authoritative
+/// replay delivered.
 fn replay_group_with_recovery(
     machine: &mut Machine,
     members: &mut [GroupMember<'_>],
     planned: &PlannedGroup,
     mask: u64,
     epoch: u64,
-) -> Option<Vec<(u64, u64)>> {
+) -> Result<Option<Vec<(u64, u64)>>, ExecError> {
     let base = planned.program.as_ref().expect("movers imply a compiled group program");
     let guarded = machine.faults.is_some() || machine.validation != ValidationLevel::Off;
     if !guarded {
@@ -370,8 +463,22 @@ fn replay_group_with_recovery(
             ExecMode::Parallel(t) if t > 1 => replay_parallel(members, base, mask, t),
             _ => replay_serial(members, base, mask),
         }
-        return None;
+        return Ok(None);
     }
+    let exhaust = machine.faults.as_ref().is_some_and(|f| f.exhaust_fires(epoch));
+    if exhaust {
+        machine.stats.faults_injected += 1;
+    }
+    let blocked_tables = |machine: &mut Machine,
+                          members: &mut [GroupMember<'_>]|
+     -> Result<Option<Vec<(u64, u64)>>, ExecError> {
+        if exhaust {
+            return Err(ExecError::Unrecovered {
+                context: format!("group remap epoch {epoch}: injected ladder exhaustion"),
+            });
+        }
+        Ok(Some(group_tables_fallback(machine, members, planned, mask)))
+    };
     // PoisonProgram: replay a corrupted clone of the group program —
     // what a damaged shared plan registry would serve. (The planned
     // group itself is borrowed, so unlike the solo cache the poison
@@ -393,13 +500,13 @@ fn replay_group_with_recovery(
         recompiled = GroupCopyProgram::try_compile(&plans, &planned.schedule);
         match &recompiled {
             Some(fresh) => active = fresh,
-            None => return Some(group_tables_fallback(machine, members, planned, mask)),
+            None => return blocked_tables(machine, members),
         }
     } else {
         recompiled = None;
     }
     if let Ok(v) = replay_group_rounds_guarded(machine, members, active, mask, epoch, 0) {
-        return Some(v);
+        return Ok(Some(v));
     }
     if recompiled.is_none() {
         // Rung 2: recompile the whole group once and re-replay
@@ -408,11 +515,11 @@ fn replay_group_with_recovery(
         let plans: Vec<&RedistPlan> = planned.members.iter().map(|m| &m.plan).collect();
         if let Some(fresh) = GroupCopyProgram::try_compile(&plans, &planned.schedule) {
             if let Ok(v) = replay_group_rounds_guarded(machine, members, &fresh, mask, epoch, 1) {
-                return Some(v);
+                return Ok(Some(v));
             }
         }
     }
-    Some(group_tables_fallback(machine, members, planned, mask))
+    blocked_tables(machine, members)
 }
 
 /// The group's last rung: an independent full table-engine copy per

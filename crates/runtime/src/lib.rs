@@ -46,7 +46,14 @@
 //!   (`HPFC_FAULTS`), per-round validation (`HPFC_VALIDATE`), and the
 //!   self-healing recovery ladder behind [`status::ArrayRt::remap_guarded`]
 //!   and [`group::remap_group`]: retry → recompile → table-engine
-//!   fallback → typed [`fault::ExecError`].
+//!   fallback → typed [`fault::ExecError`]. Remaps are transactional
+//!   (`HPFC_TXN`, default on): a terminal error rolls the destination
+//!   back to its exact pre-remap state — bytes, status, and live flags
+//!   — and a group commits all members or none. Pairs that keep
+//!   failing repair are quarantined by the registry
+//!   ([`registry::PlanRegistry::note_repair`]) so later sessions skip
+//!   straight to the table engine, and poisoned shard locks recover
+//!   instead of cascading.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -110,6 +110,22 @@ pub struct NetStats {
     pub registry_misses: u64,
     /// LRU entries this machine's registry insertions pushed out.
     pub registry_evictions: u64,
+    /// Solo remaps rolled back all-or-nothing: the recovery ladder
+    /// surfaced a terminal [`crate::ExecError`] and the destination
+    /// version was restored byte-identical to its pre-remap state.
+    pub txn_rollbacks: u64,
+    /// Remap groups un-committed as a whole: one member's failure
+    /// rolled back every member — including siblings that had already
+    /// replayed — before the typed error surfaced.
+    pub group_rollbacks: u64,
+    /// Mapping pairs the shared [`crate::PlanRegistry`] quarantined
+    /// after repeated fingerprint/recompile repairs: later requests are
+    /// served a program-stripped artifact that goes straight to the
+    /// table engine instead of re-running the ladder.
+    pub quarantined_pairs: u64,
+    /// Registry lock acquisitions that recovered a poisoned shard lock
+    /// (`Mutex::into_inner` instead of an `unwrap` panic).
+    pub lock_poison_recoveries: u64,
 }
 
 impl NetStats {
@@ -137,6 +153,10 @@ impl NetStats {
         self.registry_hits += o.registry_hits;
         self.registry_misses += o.registry_misses;
         self.registry_evictions += o.registry_evictions;
+        self.txn_rollbacks += o.txn_rollbacks;
+        self.group_rollbacks += o.group_rollbacks;
+        self.quarantined_pairs += o.quarantined_pairs;
+        self.lock_poison_recoveries += o.lock_poison_recoveries;
     }
 
     /// One-line human-readable digest (experiment drivers, examples).
@@ -185,8 +205,32 @@ impl NetStats {
                 self.parallel_degradations,
             ));
         }
+        let txn = self.txn_rollbacks
+            + self.group_rollbacks
+            + self.quarantined_pairs
+            + self.lock_poison_recoveries;
+        if txn > 0 {
+            s.push_str(&format!(
+                " | txn rolled back {} solo / {} group, quarantined {}, locks recovered {}",
+                self.txn_rollbacks,
+                self.group_rollbacks,
+                self.quarantined_pairs,
+                self.lock_poison_recoveries,
+            ));
+        }
         s
     }
+}
+
+/// The `HPFC_TXN` knob: transactional remaps are **on** unless the
+/// variable opts out (`off` / `0` / `false` / `no`). Anything else —
+/// including unset, empty, or garbage — selects the default (on):
+/// misconfiguration must never silently drop the rollback guarantee.
+fn txn_from_env() -> bool {
+    !matches!(
+        std::env::var("HPFC_TXN").as_deref().map(str::trim),
+        Ok("off") | Ok("0") | Ok("false") | Ok("no")
+    )
 }
 
 /// Reusable per-phase tallies for [`Machine::account_phase`] — grown
@@ -279,8 +323,21 @@ pub struct Machine {
     /// instance ([`crate::PlanRegistry::global`], `HPFC_REGISTRY`);
     /// `None` plans solo — the pre-registry behavior, kept for A/B.
     pub registry: Option<std::sync::Arc<crate::registry::PlanRegistry>>,
+    /// Whether remaps are transactional: before a guarded data-moving
+    /// replay the destination's rollback record is captured, and any
+    /// terminal [`crate::ExecError`] restores the array (and every
+    /// group sibling) byte-identical to its pre-remap state. On by
+    /// default (`HPFC_TXN=off` or [`Machine::with_txn`] disables it for
+    /// A/B runs). The snapshot only arms on the *guarded* path — the
+    /// default fault-free cached bounce is untouched.
+    pub txn: bool,
     /// Reusable per-phase accounting buffers.
     scratch: PhaseScratch,
+    /// Reusable solo-remap rollback record (capacity persists across
+    /// remaps, keeping the armed snapshot allocation-free).
+    pub(crate) txn_scratch: crate::store::TxnScratch,
+    /// Reusable per-member rollback records for group remaps.
+    pub(crate) group_txn_scratch: Vec<crate::store::TxnScratch>,
     /// Monotonic counter handed to the fault plan: one epoch per
     /// data-moving remap, making injection deterministic per operation
     /// regardless of execution mode.
@@ -299,7 +356,10 @@ impl Machine {
             faults: crate::fault::FaultPlan::from_env(),
             validation: crate::fault::ValidationLevel::from_env(),
             registry: crate::registry::PlanRegistry::global().cloned(),
+            txn: txn_from_env(),
             scratch: PhaseScratch::default(),
+            txn_scratch: crate::store::TxnScratch::default(),
+            group_txn_scratch: Vec::new(),
             fault_epoch: 0,
         }
     }
@@ -324,6 +384,14 @@ impl Machine {
     /// Builder-style validation level for the guarded replay.
     pub fn with_validation(mut self, level: crate::fault::ValidationLevel) -> Self {
         self.validation = level;
+        self
+    }
+
+    /// Builder-style override of transactional remaps (`HPFC_TXN`).
+    /// `false` restores the pre-transactional behavior: a terminal
+    /// error leaves the destination partially written (A/B baseline).
+    pub fn with_txn(mut self, txn: bool) -> Self {
+        self.txn = txn;
         self
     }
 

@@ -39,6 +39,31 @@
 //! artifact is re-[`install`](PlanRegistry::install)ed registry-wide —
 //! later sessions are never handed the corrupt artifact.
 //!
+//! # Neither do panics or deterministic failures
+//!
+//! Shared state must also survive *misbehaving clients*. Three layers:
+//!
+//! * **Lock-poison recovery** — a thread that panics while holding a
+//!   shard `Mutex` poisons it; every lock here recovers via
+//!   `into_inner` (counted in
+//!   [`lock_recoveries`](PlanRegistry::lock_recoveries)) instead of
+//!   `unwrap`-panicking, so one crashed session can never deny service
+//!   to the rest of the process. This is sound because shard state is
+//!   a map of immutable `Arc`s: a panic mid-update can at worst lose an
+//!   insertion, which the next miss recompiles.
+//! * **Contained compiles** — the compile-under-lock is wrapped in
+//!   `catch_unwind`, so a panicking compile surfaces as a typed
+//!   [`crate::CompileDecline::Panicked`]
+//!   ([`try_get_or_compile`](PlanRegistry::try_get_or_compile)) with
+//!   the shard lock released healthy.
+//! * **Quarantine** — a pair whose artifact keeps failing
+//!   fingerprint/recompile repair (a deterministically-bad entry) is
+//!   quarantined after [`QUARANTINE_THRESHOLD`] strikes: for a backoff
+//!   window of accesses the registry serves a program-stripped artifact
+//!   whose replay goes straight to the table engine — no ladder, no
+//!   retries — then lets one access probe the normal path again
+//!   (doubling the window if it fails again).
+//!
 //! # Configuration
 //!
 //! The process-wide instance behind [`PlanRegistry::global`] is
@@ -48,8 +73,9 @@
 //! pre-registry behavior, kept compilable for A/B runs.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use hpfc_mapping::intern::{self, MappingPair};
 use hpfc_mapping::NormalizedMapping;
@@ -130,6 +156,9 @@ pub struct RegistryOutcome {
     pub hit: bool,
     /// How many LRU entries this access pushed out.
     pub evicted: u64,
+    /// How many poisoned locks this access recovered via `into_inner`
+    /// (folded into `NetStats::lock_poison_recoveries`).
+    pub lock_recoveries: u64,
 }
 
 /// Key of one solo entry: the interned pair's pointer (identity) plus
@@ -160,6 +189,33 @@ struct GroupShard {
     clock: u64,
 }
 
+/// Failed repairs a pair is allowed before it is quarantined.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
+/// Accesses served the table-engine artifact on first quarantine.
+const QUARANTINE_INITIAL_BACKOFF: u32 = 8;
+/// Backoff ceiling — the window stops doubling here.
+const QUARANTINE_MAX_BACKOFF: u32 = 1024;
+
+/// One deterministically-bad pair under quarantine. While `remaining`
+/// is positive, [`PlanRegistry::try_get_or_compile`] serves `stripped`
+/// (program-less: the replay goes straight to the table engine) instead
+/// of the registered artifact; when the window closes, one access
+/// probes the normal path again (probation), and another failed repair
+/// re-arms the window doubled.
+struct QuarantineEntry {
+    /// Pins the keyed pair alive so its pointer identity can never be
+    /// recycled onto a different pair while this entry exists.
+    _pair: MappingPair,
+    /// Failed fingerprint/recompile repairs recorded for this pair.
+    failures: u32,
+    /// Accesses still to be served the stripped artifact.
+    remaining: u32,
+    /// Window length to arm on the next quarantine (doubles, capped).
+    backoff: u32,
+    /// The program-stripped artifact served while quarantined.
+    stripped: Option<Arc<PlannedRemap>>,
+}
+
 /// The shared, concurrent, LRU-bounded plan registry. See the module
 /// docs for the design; see [`PlanRegistry::global`] for the
 /// process-wide instance every [`crate::Machine`] attaches to by
@@ -170,9 +226,14 @@ pub struct PlanRegistry {
     shard_cap: usize,
     /// Directive-level groups, one unsharded table (cold path only).
     groups: Mutex<GroupShard>,
+    /// Pairs whose artifacts keep failing repair (off the hot path:
+    /// only consulted when the quarantine table is non-empty).
+    quarantine: Mutex<HashMap<PlanKey, QuarantineEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    poison_recoveries: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanRegistry {
@@ -200,9 +261,12 @@ impl PlanRegistry {
                 .collect(),
             shard_cap,
             groups: Mutex::new(GroupShard { map: HashMap::new(), clock: 0 }),
+            quarantine: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -223,6 +287,26 @@ impl PlanRegistry {
                 cfg.enabled.then(|| Arc::new(PlanRegistry::with_config(&cfg)))
             })
             .as_ref()
+    }
+
+    /// Lock `m`, recovering from poisoning via `into_inner` instead of
+    /// propagating the panic. Sound for every lock here: shard state is
+    /// maps of immutable `Arc`s plus monotone counters, and the only
+    /// panics possible under a lock (compile panics are caught before
+    /// they unwind past the guard) leave at worst a missing insertion,
+    /// which the next miss recompiles. Returns the recovery count
+    /// (0 or 1) for the caller's [`RegistryOutcome`].
+    fn lock_recover<'a, T>(&self, m: &'a Mutex<T>) -> (MutexGuard<'a, T>, u64) {
+        match m.lock() {
+            Ok(g) => (g, 0),
+            Err(poisoned) => {
+                // Clear the flag so one panic is one recovery, not one
+                // per access forever after.
+                m.clear_poison();
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                (poisoned.into_inner(), 1)
+            }
+        }
     }
 
     fn shard_of(&self, key: PlanKey) -> &Mutex<Shard> {
@@ -265,26 +349,94 @@ impl PlanRegistry {
         dst: &NormalizedMapping,
         elem_size: u64,
     ) -> (Arc<PlannedRemap>, RegistryOutcome) {
+        match self.lookup_or_compile(src, dst, elem_size, false) {
+            (Ok(planned), out) => (planned, out),
+            // A genuinely panicking compile: re-raise it *outside* the
+            // shard lock, so the registry stays healthy for everyone
+            // else even on this legacy infallible-signature path.
+            (Err(payload), _) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// [`PlanRegistry::get_or_compile`] with compile panics contained:
+    /// a panicking compile (injected via `force_panic`, or real) is
+    /// caught by `catch_unwind` *inside* the critical section, so the
+    /// shard `Mutex` is released healthy — never poisoned — and the
+    /// caller gets a typed [`crate::CompileDecline::Panicked`] to
+    /// recover from (clean solo compile, or the table engine). Nothing
+    /// is registered and no miss is counted for a declined compile.
+    ///
+    /// A quarantined pair short-circuits everything: the
+    /// program-stripped artifact is served as a *hit* (zero retries,
+    /// zero recompiles billed) until its backoff window closes.
+    pub fn try_get_or_compile(
+        &self,
+        src: &NormalizedMapping,
+        dst: &NormalizedMapping,
+        elem_size: u64,
+        force_panic: bool,
+    ) -> (Result<Arc<PlannedRemap>, crate::CompileDecline>, RegistryOutcome) {
+        let (res, out) = self.lookup_or_compile(src, dst, elem_size, force_panic);
+        (res.map_err(|_| crate::CompileDecline::Panicked), out)
+    }
+
+    /// Common body of the two lookups; `Err` carries the caught panic
+    /// payload (the shard guard is already dropped, unpoisoned).
+    #[allow(clippy::type_complexity)]
+    fn lookup_or_compile(
+        &self,
+        src: &NormalizedMapping,
+        dst: &NormalizedMapping,
+        elem_size: u64,
+        force_panic: bool,
+    ) -> (Result<Arc<PlannedRemap>, Box<dyn std::any::Any + Send>>, RegistryOutcome) {
         let pair = intern::pair(src, dst);
         let key: PlanKey = (Arc::as_ptr(&pair) as usize, elem_size);
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let mut out = RegistryOutcome::default();
+        // The quarantine table is consulted only once anything was ever
+        // quarantined (monotone counter): the common hot path stays a
+        // single shard-lock acquisition.
+        if self.quarantined.load(Ordering::Relaxed) != 0 {
+            if let Some(stripped) = self.quarantine_probe(key, &mut out) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                out.hit = true;
+                return (Ok(stripped), out);
+            }
+        }
+        let (mut shard, rec) = self.lock_recover(self.shard_of(key));
+        out.lock_recoveries += rec;
         shard.clock += 1;
         let stamp = shard.clock;
         if let Some(e) = shard.map.get_mut(&key) {
             e.stamp = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(&e.planned), RegistryOutcome { hit: true, evicted: 0 });
+            out.hit = true;
+            return (Ok(Arc::clone(&e.planned)), out);
         }
         // Compile the whole pipeline under the shard lock: a second
         // session asking for this pair waits here and then hits.
         // (`plan_redistribution` re-interns the pair — a pure lookup,
-        // returning the same pointer we key by.)
-        let planned = Arc::new(PlannedRemap::compile(plan_redistribution(src, dst, elem_size)));
+        // returning the same pointer we key by.) The `catch_unwind`
+        // stops a panicking compile before it unwinds past the guard —
+        // the lock is never poisoned by a compile.
+        let compiled = catch_unwind(AssertUnwindSafe(|| {
+            if force_panic {
+                std::panic::panic_any(crate::fault::InjectedPanic);
+            }
+            Arc::new(PlannedRemap::compile(plan_redistribution(src, dst, elem_size)))
+        }));
+        let planned = match compiled {
+            Ok(p) => p,
+            Err(payload) => {
+                drop(shard);
+                return (Err(payload), out);
+            }
+        };
         shard.map.insert(key, Entry { planned: Arc::clone(&planned), stamp });
-        let evicted = Self::evict_over_cap(&mut shard, self.shard_cap);
+        out.evicted = Self::evict_over_cap(&mut shard, self.shard_cap);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        (planned, RegistryOutcome { hit: false, evicted })
+        self.evictions.fetch_add(out.evicted, Ordering::Relaxed);
+        (Ok(planned), out)
     }
 
     /// Publish an artifact compiled elsewhere (lowering, a seeded
@@ -296,19 +448,21 @@ impl PlanRegistry {
         let Some(key) = Self::key_of(&planned) else {
             return (planned, RegistryOutcome::default());
         };
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let (mut shard, rec) = self.lock_recover(self.shard_of(key));
+        let mut out = RegistryOutcome { lock_recoveries: rec, ..Default::default() };
         shard.clock += 1;
         let stamp = shard.clock;
         if let Some(e) = shard.map.get_mut(&key) {
             e.stamp = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(&e.planned), RegistryOutcome { hit: true, evicted: 0 });
+            out.hit = true;
+            return (Arc::clone(&e.planned), out);
         }
         shard.map.insert(key, Entry { planned: Arc::clone(&planned), stamp });
-        let evicted = Self::evict_over_cap(&mut shard, self.shard_cap);
+        out.evicted = Self::evict_over_cap(&mut shard, self.shard_cap);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        (planned, RegistryOutcome { hit: false, evicted })
+        self.evictions.fetch_add(out.evicted, Ordering::Relaxed);
+        (planned, out)
     }
 
     /// Replace the registered artifact for `planned`'s pair —
@@ -318,7 +472,7 @@ impl PlanRegistry {
     /// is served the corrupt one. Counts neither hit nor miss.
     pub fn install(&self, planned: Arc<PlannedRemap>) {
         let Some(key) = Self::key_of(&planned) else { return };
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let (mut shard, _) = self.lock_recover(self.shard_of(key));
         shard.clock += 1;
         let stamp = shard.clock;
         shard.map.insert(key, Entry { planned, stamp });
@@ -336,7 +490,7 @@ impl PlanRegistry {
     ) -> Option<Arc<PlannedRemap>> {
         let pair: MappingPair = intern::pair(src, dst);
         let key: PlanKey = (Arc::as_ptr(&pair) as usize, elem_size);
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let (mut shard, _) = self.lock_recover(self.shard_of(key));
         shard.clock += 1;
         let stamp = shard.clock;
         let e = shard.map.get_mut(&key)?;
@@ -358,13 +512,15 @@ impl PlanRegistry {
         let Some(keys) = keys else {
             return (Arc::new(PlannedGroup::compile(members)), RegistryOutcome::default());
         };
-        let mut groups = self.groups.lock().unwrap();
+        let (mut groups, rec) = self.lock_recover(&self.groups);
+        let mut out = RegistryOutcome { lock_recoveries: rec, ..Default::default() };
         groups.clock += 1;
         let stamp = groups.clock;
         if let Some(e) = groups.map.get_mut(&keys[..]) {
             e.stamp = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(&e.planned), RegistryOutcome { hit: true, evicted: 0 });
+            out.hit = true;
+            return (Arc::clone(&e.planned), out);
         }
         let planned = Arc::new(PlannedGroup::compile(members));
         groups.map.insert(keys, GroupEntry { planned: Arc::clone(&planned), stamp });
@@ -382,12 +538,13 @@ impl PlanRegistry {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        (planned, RegistryOutcome { hit: false, evicted })
+        out.evicted = evicted;
+        (planned, out)
     }
 
     /// Registered solo entries across all shards (groups not counted).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+        self.shards.iter().map(|s| self.lock_recover(s).0.map.len()).sum()
     }
 
     /// Whether no solo entry is registered.
@@ -408,6 +565,96 @@ impl PlanRegistry {
     /// Lifetime LRU eviction count, registry-wide.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime poisoned-lock recoveries, registry-wide.
+    pub fn lock_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime quarantine events (first arms plus failed probations).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Serve the quarantined artifact for `key` while its backoff
+    /// window is open, consuming one window slot. A closed window
+    /// (probation) returns `None`: the caller walks the normal path,
+    /// and if that fails repair again, [`PlanRegistry::note_repair`]
+    /// re-arms the window doubled.
+    fn quarantine_probe(&self, key: PlanKey, out: &mut RegistryOutcome) -> Option<Arc<PlannedRemap>> {
+        let (mut q, rec) = self.lock_recover(&self.quarantine);
+        out.lock_recoveries += rec;
+        let e = q.get_mut(&key)?;
+        if e.remaining == 0 {
+            return None;
+        }
+        let stripped = e.stripped.as_ref()?;
+        e.remaining -= 1;
+        Some(Arc::clone(stripped))
+    }
+
+    /// Record one failed fingerprint/recompile repair for `planned`'s
+    /// pair — called by the remap path whenever a served artifact had
+    /// to be healed. At [`QUARANTINE_THRESHOLD`] failures the pair is
+    /// quarantined: a program-stripped artifact (table-engine replay,
+    /// no ladder) is served for a backoff window of accesses, which
+    /// doubles every time a post-window probation fails again. Returns
+    /// whether this call (re-)armed a quarantine window.
+    pub fn note_repair(&self, planned: &Arc<PlannedRemap>) -> bool {
+        let Some(key) = Self::key_of(planned) else { return false };
+        let Some(pair) = planned.plan.mappings.clone() else { return false };
+        let (mut q, _) = self.lock_recover(&self.quarantine);
+        let e = q.entry(key).or_insert_with(|| QuarantineEntry {
+            _pair: pair,
+            failures: 0,
+            remaining: 0,
+            backoff: QUARANTINE_INITIAL_BACKOFF,
+            stripped: None,
+        });
+        e.failures += 1;
+        if e.failures < QUARANTINE_THRESHOLD || e.remaining > 0 {
+            return false;
+        }
+        // Threshold reached with no open window: arm (or re-arm after a
+        // failed probation) the stripped artifact for `backoff`
+        // accesses, then double the next window.
+        e.stripped = Some(Arc::new(PlannedRemap {
+            plan: planned.plan.clone(),
+            schedule: planned.schedule.clone(),
+            program: None,
+        }));
+        e.remaining = e.backoff;
+        e.backoff = (e.backoff * 2).min(QUARANTINE_MAX_BACKOFF);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether `(src, dst, elem_size)` currently has an open quarantine
+    /// window (diagnostics and tests).
+    pub fn is_quarantined(&self, src: &NormalizedMapping, dst: &NormalizedMapping, elem_size: u64) -> bool {
+        let pair = intern::pair(src, dst);
+        let key: PlanKey = (Arc::as_ptr(&pair) as usize, elem_size);
+        let (mut q, _) = self.lock_recover(&self.quarantine);
+        q.get_mut(&key).is_some_and(|e| e.remaining > 0 && e.stripped.is_some())
+    }
+
+    /// Chaos hook: panic while holding the shard lock that owns
+    /// `(src, dst, elem_size)`, poisoning that `Mutex` exactly as a
+    /// client panicking mid-critical-section would. Call it from a
+    /// scratch thread and join the (expected) panic; the next access to
+    /// the shard recovers via `into_inner` and is counted in
+    /// [`PlanRegistry::lock_recoveries`].
+    pub fn poison_shard_lock_for_tests(
+        &self,
+        src: &NormalizedMapping,
+        dst: &NormalizedMapping,
+        elem_size: u64,
+    ) {
+        let pair = intern::pair(src, dst);
+        let key: PlanKey = (Arc::as_ptr(&pair) as usize, elem_size);
+        let _guard = self.lock_recover(self.shard_of(key)).0;
+        panic!("injected shard-lock poison (test hook)");
     }
 }
 
@@ -523,5 +770,81 @@ mod tests {
         // Member order is part of the identity.
         let (g3, o3) = reg.get_or_compile_group(vec![m2, m1]);
         assert!(!o3.hit && !Arc::ptr_eq(&g1, &g3));
+    }
+
+    #[test]
+    fn poisoned_shard_lock_recovers_and_is_counted() {
+        let reg = Arc::new(PlanRegistry::new(1, 64));
+        let (src, dst) = pair_for(5077);
+        let (p1, _) = reg.get_or_compile(&src, &dst, 8);
+        // Poison the (only) shard from a scratch thread.
+        let r2 = Arc::clone(&reg);
+        let (s2, d2) = (src.clone(), dst.clone());
+        let joined = std::thread::spawn(move || r2.poison_shard_lock_for_tests(&s2, &d2, 8)).join();
+        assert!(joined.is_err(), "the hook must panic while holding the lock");
+        // The next access is served — no unwrap panic — and reports the
+        // recovery both per-call and registry-wide.
+        let (p2, o) = reg.get_or_compile(&src, &dst, 8);
+        assert!(o.hit && Arc::ptr_eq(&p1, &p2));
+        assert_eq!(o.lock_recoveries, 1);
+        assert_eq!(reg.lock_recoveries(), 1);
+        // The poison is cleared by the first recovery, not re-counted.
+        let (_, o2) = reg.get_or_compile(&src, &dst, 8);
+        assert_eq!(o2.lock_recoveries, 0);
+    }
+
+    #[test]
+    fn contained_compile_panic_declines_without_poisoning() {
+        let reg = PlanRegistry::new(1, 64);
+        let (src, dst) = pair_for(5081);
+        let (res, out) = reg.try_get_or_compile(&src, &dst, 8, true);
+        assert_eq!(res.unwrap_err(), crate::CompileDecline::Panicked);
+        assert!(!out.hit);
+        assert_eq!(reg.misses(), 0, "a declined compile is not a miss");
+        assert_eq!(reg.len(), 0, "nothing registered");
+        // The shard lock survived the panicking compile: the clean
+        // retry compiles and registers normally with zero recoveries.
+        let (res2, out2) = reg.try_get_or_compile(&src, &dst, 8, false);
+        assert!(res2.is_ok() && !out2.hit && out2.lock_recoveries == 0);
+        assert_eq!((reg.misses(), reg.len()), (1, 1));
+    }
+
+    #[test]
+    fn quarantine_arms_at_threshold_and_serves_stripped_artifacts() {
+        let reg = PlanRegistry::new(2, 64);
+        let (src, dst) = pair_for(5087);
+        let (p, _) = reg.get_or_compile(&src, &dst, 8);
+        assert!(p.program.is_some(), "1-D plan compiles");
+        // Two failed repairs: below threshold, nothing served stripped.
+        assert!(!reg.note_repair(&p));
+        assert!(!reg.note_repair(&p));
+        assert!(!reg.is_quarantined(&src, &dst, 8));
+        // Third strike arms the window.
+        assert!(reg.note_repair(&p));
+        assert_eq!(reg.quarantined(), 1);
+        assert!(reg.is_quarantined(&src, &dst, 8));
+        // Every access in the window is a hit serving the program-less
+        // artifact (replay goes straight to the table engine).
+        for _ in 0..QUARANTINE_INITIAL_BACKOFF {
+            let (q, o) = reg.try_get_or_compile(&src, &dst, 8, false);
+            let q = q.unwrap();
+            assert!(o.hit && q.program.is_none());
+            assert_eq!(q.plan.total_messages(), p.plan.total_messages());
+        }
+        // Window exhausted: probation serves the registered artifact.
+        assert!(!reg.is_quarantined(&src, &dst, 8));
+        let (probed, o) = reg.try_get_or_compile(&src, &dst, 8, false);
+        assert!(o.hit && Arc::ptr_eq(&probed.unwrap(), &p));
+        // A failed probation re-arms immediately (threshold already
+        // met) with the window doubled.
+        assert!(reg.note_repair(&p));
+        assert_eq!(reg.quarantined(), 2);
+        let mut served = 0;
+        while reg.is_quarantined(&src, &dst, 8) {
+            let (q, _) = reg.try_get_or_compile(&src, &dst, 8, false);
+            assert!(q.unwrap().program.is_none());
+            served += 1;
+        }
+        assert_eq!(served, 2 * QUARANTINE_INITIAL_BACKOFF);
     }
 }

@@ -104,27 +104,71 @@ impl ArrayRt {
     /// (`registry_misses` + `plans_computed`). Without a registry the
     /// miss compiles solo, the pre-registry behavior.
     pub fn planned(&mut self, machine: &mut Machine, src: u32, dst: u32) -> Arc<PlannedRemap> {
+        self.planned_with(machine, src, dst, false)
+    }
+
+    /// [`ArrayRt::planned`] with an injectable compile panic
+    /// ([`crate::FaultKind::CompilePanic`]): the panic unwinds inside
+    /// the registry's compile-under-lock, is contained to a typed
+    /// [`crate::CompileDecline::Panicked`] (the shard lock stays
+    /// healthy), and is recovered here by a clean solo compile that is
+    /// then published registry-wide — so this method stays infallible.
+    fn planned_with(
+        &mut self,
+        machine: &mut Machine,
+        src: u32,
+        dst: u32,
+        inject_compile_panic: bool,
+    ) -> Arc<PlannedRemap> {
         if let Some(p) = self.plan_cache.get(&(src, dst)) {
             machine.stats.plan_cache_hits += 1;
             return Arc::clone(p);
         }
         let entry = match machine.registry.clone() {
             Some(reg) => {
-                let (planned, out) = reg.get_or_compile(
+                let (res, out) = reg.try_get_or_compile(
                     &self.mappings[src as usize],
                     &self.mappings[dst as usize],
                     self.elem_size,
+                    inject_compile_panic,
                 );
-                if out.hit {
-                    machine.stats.registry_hits += 1;
-                } else {
-                    machine.stats.registry_misses += 1;
-                    machine.stats.plans_computed += 1;
-                }
                 machine.stats.registry_evictions += out.evicted;
-                planned
+                machine.stats.lock_poison_recoveries += out.lock_recoveries;
+                match res {
+                    Ok(planned) => {
+                        if out.hit {
+                            machine.stats.registry_hits += 1;
+                        } else {
+                            machine.stats.registry_misses += 1;
+                            machine.stats.plans_computed += 1;
+                        }
+                        planned
+                    }
+                    Err(_decline) => {
+                        // Contained compile panic: recover with a clean
+                        // solo compile outside any lock and publish it.
+                        let plan = plan_redistribution(
+                            &self.mappings[src as usize],
+                            &self.mappings[dst as usize],
+                            self.elem_size,
+                        );
+                        machine.stats.registry_misses += 1;
+                        machine.stats.plans_computed += 1;
+                        let planned = Arc::new(PlannedRemap::compile(plan));
+                        reg.install(Arc::clone(&planned));
+                        planned
+                    }
+                }
             }
             None => {
+                if inject_compile_panic {
+                    // No registry: contain the injected panic the same
+                    // way (a caught unwind, then a clean compile).
+                    let attempt = std::panic::catch_unwind(|| {
+                        std::panic::panic_any(crate::fault::InjectedPanic)
+                    });
+                    debug_assert!(attempt.is_err());
+                }
                 let plan = plan_redistribution(
                     &self.mappings[src as usize],
                     &self.mappings[dst as usize],
@@ -175,6 +219,7 @@ impl ArrayRt {
                     machine.stats.registry_misses += 1;
                 }
                 machine.stats.registry_evictions += out.evicted;
+                machine.stats.lock_poison_recoveries += out.lock_recoveries;
                 canon
             }
             None => planned,
@@ -272,6 +317,14 @@ impl ArrayRt {
     /// engine), and worker panics degrade the round to serial. With
     /// neither configured this is exactly the unguarded
     /// allocation-free path.
+    ///
+    /// **Transactional** (`HPFC_TXN`, default on): on the guarded path
+    /// a rollback record is captured before the replay writes anything,
+    /// and any terminal error restores the destination version —
+    /// status, live flags, allocation, and bytes — to its exact
+    /// pre-remap state (`NetStats::txn_rollbacks`). The unguarded fast
+    /// path needs no snapshot: with no faults injected and no
+    /// validation demanded, its replay cannot fail after writes begin.
     pub fn try_remap_guarded(
         &mut self,
         machine: &mut Machine,
@@ -280,6 +333,26 @@ impl ArrayRt {
         values_dead: bool,
         skip_if_current: &BTreeSet<u32>,
     ) -> Result<(), crate::fault::ExecError> {
+        self.try_remap_inner(machine, target, may_live, values_dead, skip_if_current, true, true)
+    }
+
+    /// Body of [`ArrayRt::try_remap_guarded`], parameterized for the
+    /// group path: `clean` defers the liveness cleaning (a group cleans
+    /// only after *every* member committed — cleaning frees copies a
+    /// group rollback could not restore), and `txn` arms the solo
+    /// rollback (the group captures its own per-member records
+    /// instead).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn try_remap_inner(
+        &mut self,
+        machine: &mut Machine,
+        target: u32,
+        may_live: &BTreeSet<u32>,
+        values_dead: bool,
+        skip_if_current: &BTreeSet<u32>,
+        clean: bool,
+        txn: bool,
+    ) -> Result<(), crate::fault::ExecError> {
         if self.status.is_some_and(|c| skip_if_current.contains(&c)) {
             machine.stats.remaps_skipped_noop += 1;
         } else if self.status == Some(target) {
@@ -287,6 +360,7 @@ impl ArrayRt {
             // as required just by an inexpensive check of its status."
             machine.stats.remaps_skipped_noop += 1;
         } else {
+            let target_preallocated = self.copies[target as usize].is_some();
             self.ensure_allocated(machine, target);
             if self.live[target as usize] {
                 // Live-copy reuse: no communication at all (App. D).
@@ -318,7 +392,15 @@ impl ArrayRt {
                                 }
                             }
                         }
-                        let planned = self.planned(machine, src, target);
+                        let inject_compile_panic = machine
+                            .faults
+                            .is_some_and(|f| f.compile_panic_fires(epoch))
+                            && !self.plan_cache.contains_key(&(src, target));
+                        if inject_compile_panic {
+                            machine.stats.faults_injected += 1;
+                        }
+                        let planned =
+                            self.planned_with(machine, src, target, inject_compile_panic);
                         machine.account_schedule(&planned.schedule);
                         machine.stats.remaps_performed += 1;
                         // Take the source copy out instead of cloning
@@ -330,6 +412,25 @@ impl ArrayRt {
                                 version: src,
                             }
                         })?;
+                        // Arm the rollback record only on the guarded
+                        // path: the unguarded replay cannot fail after
+                        // writes begin, so the default cached bounce
+                        // never pays for a snapshot.
+                        let armed = txn
+                            && machine.txn
+                            && (machine.faults.is_some()
+                                || machine.validation != crate::ValidationLevel::Off);
+                        let mut snap = std::mem::take(&mut machine.txn_scratch);
+                        if armed {
+                            snap.capture(
+                                self.status,
+                                &self.live,
+                                target_preallocated,
+                                Some(&src_data),
+                                self.copies[target as usize].as_ref(),
+                                planned.program.as_ref(),
+                            );
+                        }
                         let dst_data = self.copies[target as usize].as_mut().unwrap();
                         // Replay through the recovery ladder (which is
                         // the plain unguarded program replay — or table
@@ -340,7 +441,23 @@ impl ArrayRt {
                             machine, &planned, &src_data, dst_data, epoch,
                         );
                         self.copies[src as usize] = Some(src_data);
-                        let outcome = replayed?;
+                        let outcome = match replayed {
+                            Ok(o) => {
+                                // Commit: drop the capture, keep the
+                                // scratch capacity for the next remap.
+                                snap.captured = false;
+                                machine.txn_scratch = snap;
+                                o
+                            }
+                            Err(e) => {
+                                if armed {
+                                    self.rollback_remap(machine, target, &mut snap);
+                                    machine.stats.txn_rollbacks += 1;
+                                }
+                                machine.txn_scratch = snap;
+                                return Err(e);
+                            }
+                        };
                         machine.stats.runs_copied += outcome.runs;
                         machine.stats.bytes_moved += outcome.elements * self.elem_size;
                         drop(planned);
@@ -357,6 +474,12 @@ impl ArrayRt {
                                 let healthy = Arc::new(healthy);
                                 if let Some(reg) = &machine.registry {
                                     reg.install(Arc::clone(&healthy));
+                                    // Strike one against the pair: a
+                                    // pair that keeps needing repair is
+                                    // quarantined (served table-only).
+                                    if reg.note_repair(&healthy) {
+                                        machine.stats.quarantined_pairs += 1;
+                                    }
                                 }
                                 *entry = healthy;
                             }
@@ -374,10 +497,24 @@ impl ArrayRt {
             }
             self.status = Some(target);
         }
-        // Cleaning: free copies that are live but not worth keeping.
-        // The status copy is never cleaned — on pass-through executions
-        // of a partial-impact vertex it differs from `target` and is
-        // still the current data.
+        if clean {
+            self.clean_copies(machine, target, may_live);
+        }
+        Ok(())
+    }
+
+    /// Cleaning (Fig. 20's tail): free copies that are live but not
+    /// worth keeping. The status copy is never cleaned — on
+    /// pass-through executions of a partial-impact vertex it differs
+    /// from `target` and is still the current data. Group remaps run
+    /// this only after the whole group committed: cleaning frees copies
+    /// a rollback could not restore.
+    pub(crate) fn clean_copies(
+        &mut self,
+        machine: &mut Machine,
+        target: u32,
+        may_live: &BTreeSet<u32>,
+    ) {
         for v in 0..self.live.len() as u32 {
             if v != target
                 && Some(v) != self.status
@@ -387,7 +524,34 @@ impl ArrayRt {
                 self.free_copy(machine, v);
             }
         }
-        Ok(())
+    }
+
+    /// The array half of a transactional rollback: paired with the
+    /// byte restore in [`crate::store::TxnScratch`], it puts the array
+    /// back to the captured pre-remap state — bytes (or the freed
+    /// fresh allocation), live flags, and status. Idempotent via the
+    /// `captured` flag; a no-op if nothing was captured.
+    pub(crate) fn rollback_remap(
+        &mut self,
+        machine: &mut Machine,
+        target: u32,
+        snap: &mut crate::store::TxnScratch,
+    ) {
+        if !snap.captured {
+            return;
+        }
+        if snap.target_preallocated {
+            if let Some(dst) = self.copies[target as usize].as_mut() {
+                snap.restore_bytes(dst);
+            }
+        } else {
+            // The target copy did not exist before the remap: undo the
+            // allocation (and its memory accounting) entirely.
+            self.free_copy(machine, target);
+        }
+        self.live.copy_from_slice(&snap.live);
+        self.status = snap.status;
+        snap.captured = false;
     }
 
     /// Fig. 18's restore, executed: remap back to the `saved` status

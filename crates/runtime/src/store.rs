@@ -348,6 +348,129 @@ impl VersionData {
     }
 }
 
+/// The rollback record of one transactional remap: everything needed to
+/// put the destination version back to its byte-identical pre-remap
+/// state when the recovery ladder is exhausted mid-write.
+///
+/// A replay only ever writes inside the compiled program's destination
+/// runs (every rung — the cached program, a recompiled one, a poisoned
+/// one whose `src_pos`es were zeroed, the corruption scribble, and the
+/// table engine's re-derived deliveries — targets the same destination
+/// positions), so the snapshot is bounded by the bytes the remap would
+/// move, not the array size. When no program can vouch for the write
+/// set (table-only entries, foreign programs), the full destination
+/// blocks are saved instead.
+///
+/// Lives in a per-[`crate::Machine`] scratch arena
+/// (`std::mem::take`/put-back around the replay): the vectors keep
+/// their capacity across remaps, so the armed snapshot allocates
+/// nothing in steady state on the compiled path.
+#[derive(Debug, Clone, Default)]
+pub struct TxnScratch {
+    /// The array's status before the remap.
+    pub(crate) status: Option<u32>,
+    /// The live flags before the remap.
+    pub(crate) live: Vec<bool>,
+    /// Whether the target copy existed before the remap — if not,
+    /// rollback frees it instead of restoring bytes.
+    pub(crate) target_preallocated: bool,
+    /// `(receiver rank, dst_pos, len)` of every destination run saved.
+    ranges: Vec<(u64, u32, u32)>,
+    /// The saved words, concatenated in `ranges` order.
+    words: Vec<f64>,
+    /// Full-block fallback: `(rank, data)` clones of every destination
+    /// block (used when no compiled program bounds the write set).
+    full: Vec<(usize, Vec<f64>)>,
+    /// Whether this scratch currently holds a capture; cleared by
+    /// rollback and by the commit path.
+    pub(crate) captured: bool,
+}
+
+impl TxnScratch {
+    /// Record the rollback point: array state (`status`, `live`,
+    /// whether the target copy pre-existed) plus the destination bytes
+    /// the replay may overwrite. `program` (when compiled for exactly
+    /// this `(src, dst)` pair) bounds the byte snapshot to its
+    /// destination runs; otherwise the full destination blocks are
+    /// cloned.
+    pub(crate) fn capture(
+        &mut self,
+        status: Option<u32>,
+        live: &[bool],
+        target_preallocated: bool,
+        src: Option<&VersionData>,
+        dst: Option<&VersionData>,
+        program: Option<&crate::CopyProgram>,
+    ) {
+        self.status = status;
+        self.live.clear();
+        self.live.extend_from_slice(live);
+        self.target_preallocated = target_preallocated;
+        self.ranges.clear();
+        self.words.clear();
+        self.full.clear();
+        self.captured = true;
+        if !target_preallocated {
+            return; // rollback frees the fresh copy; no bytes to save
+        }
+        let Some(dst) = dst else { return };
+        if let (Some(p), Some(s)) = (program, src) {
+            if p.compiled_for(s, dst) && self.capture_runs(p, dst) {
+                return;
+            }
+            self.ranges.clear();
+            self.words.clear();
+        }
+        for (r, b) in dst.blocks.iter().enumerate() {
+            if let Some(b) = b {
+                self.full.push((r, b.data.clone()));
+            }
+        }
+    }
+
+    /// Save the words under every destination run of `p`. Returns
+    /// `false` (caller falls back to full blocks) if a referenced
+    /// block is unallocated or a run is out of bounds — states the
+    /// guarded replay rejects with a typed error before writing, but
+    /// the snapshot must never panic on them.
+    fn capture_runs(&mut self, p: &crate::CopyProgram, dst: &VersionData) -> bool {
+        for unit in p.local.iter().chain(p.rounds.iter().flatten()) {
+            let Some(block) = dst.blocks[unit.receiver as usize].as_ref() else {
+                return false;
+            };
+            for run in &p.runs[unit.runs.0 as usize..unit.runs.1 as usize] {
+                let (at, len) = (run.dst_pos as usize, run.len as usize);
+                let Some(words) = block.data.get(at..at + len) else {
+                    return false;
+                };
+                self.ranges.push((unit.receiver, run.dst_pos, run.len));
+                self.words.extend_from_slice(words);
+            }
+        }
+        true
+    }
+
+    /// Write the saved destination bytes back (run ranges or full
+    /// blocks, whichever was captured). Array-level state (`status`,
+    /// `live`, freeing a fresh copy) is the caller's half of the
+    /// rollback — see `ArrayRt::rollback_remap`.
+    pub(crate) fn restore_bytes(&self, dst: &mut VersionData) {
+        for (rank, data) in &self.full {
+            if let Some(b) = dst.blocks[*rank].as_mut() {
+                b.data.copy_from_slice(data);
+            }
+        }
+        let mut off = 0usize;
+        for &(rank, pos, len) in &self.ranges {
+            let (at, len) = (pos as usize, len as usize);
+            if let Some(b) = dst.blocks[rank as usize].as_mut() {
+                b.data[at..at + len].copy_from_slice(&self.words[off..off + len]);
+            }
+            off += len;
+        }
+    }
+}
+
 /// Copy every element of the cartesian product of `runs` from
 /// `src_block` into `dst_block`: outer dimensions are walked index by
 /// index, the innermost dimension is moved run by run with

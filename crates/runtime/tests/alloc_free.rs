@@ -321,4 +321,45 @@ fn steady_state_remap_allocates_nothing() {
     for i in 0..n {
         assert_eq!(rt.get(&[i]), solo.get(&[i]), "registry and solo paths diverge at {i}");
     }
+
+    // --- 6. The transactional happy path is allocation-free too. ------
+    // With a validation level configured the remap runs guarded and
+    // ARMED: a rollback record (status, live flags, the destination
+    // runs the compiled program will write) is captured into the
+    // machine's scratch arena before the replay and dropped on commit.
+    // Warm-up grows the scratch once per direction; after that every
+    // snapshot + commit cycle reuses its capacity — zero allocations
+    // per cached bounce, and the happy path never rolls back.
+    let src = mk(n, 4, DimFormat::Block(None));
+    let dst = mk(n, 4, DimFormat::Cyclic(Some(3)));
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .without_registry()
+        .with_validation(hpfc_runtime::ValidationLevel::Counts)
+        .with_txn(true);
+    let mut rt = ArrayRt::new("a", vec![src, dst], 8);
+    rt.current(&mut machine, 0).fill(|p| p[0] as f64);
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    // Warm up: both copies allocated, both directions' programs cached,
+    // the snapshot scratch grown to both directions' run counts.
+    for _ in 0..2 {
+        rt.remap(&mut machine, 1, &keep, false);
+        rt.set(&[0], 1.0);
+        rt.remap(&mut machine, 0, &keep, false);
+        rt.set(&[1], 1.0);
+    }
+    let performed = machine.stats.remaps_performed;
+    for i in 0..10u64 {
+        rt.set(&[0], i as f64); // outside the measured window
+        let before = allocations();
+        rt.remap(&mut machine, 1, &keep, false);
+        assert_eq!(allocations(), before, "transactional remap {i} ->1 allocated");
+        rt.set(&[1], i as f64);
+        let before = allocations();
+        rt.remap(&mut machine, 0, &keep, false);
+        assert_eq!(allocations(), before, "transactional remap {i} ->0 allocated");
+    }
+    assert_eq!(machine.stats.remaps_performed, performed + 20, "every bounce moved data");
+    assert_eq!(machine.stats.txn_rollbacks, 0, "the happy path never rolls back");
+    assert_eq!(machine.stats.plans_computed, 2);
 }

@@ -5,6 +5,13 @@
 //! recovery never plans (`plans_computed == 0` with seeded caches), and
 //! unrecoverable situations surface as typed [`ExecError`]s, never as
 //! a panic across the API boundary.
+//!
+//! The transactional section extends the invariant: when a fault
+//! sequence is terminal (injected ladder exhaustion), the typed error
+//! comes with the destination rolled back — bytes, status, and live
+//! flags equal the pre-remap shadow, for solo and group remaps alike —
+//! and a pair that keeps failing repair is quarantined by the registry
+//! so later sessions skip straight to the table engine.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -350,6 +357,295 @@ fn unrecoverable_paths_return_typed_errors() {
     assert_eq!(err, ExecError::GroupMismatch { planned: 2, got: 1 });
 }
 
+/// Injected ladder exhaustion is terminal by design — and transactional:
+/// the typed error surfaces only after the destination version was
+/// rolled back to its exact pre-remap state (bytes, status, live flags,
+/// allocation), under both engines, with and without a shared registry.
+#[test]
+fn exhaustion_rolls_a_solo_remap_back_to_its_pre_remap_state() {
+    let n = 4096u64;
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    for mode in [ExecMode::Serial, ExecMode::Parallel(4)] {
+        for use_registry in [false, true] {
+            // Explicit `with_txn(true)`: this test pins rollback, so it
+            // must hold whatever `HPFC_TXN` the suite runs under.
+            let mut machine = Machine::new(4).with_exec_mode(mode).with_txn(true);
+            machine = if use_registry {
+                machine.with_registry(Arc::new(hpfc_runtime::PlanRegistry::new(2, 64)))
+            } else {
+                machine.without_registry()
+            };
+            // With the registry on, plan through it (shared artifacts);
+            // without, through pre-seeded per-array caches.
+            let mut rt = if use_registry {
+                ArrayRt::new(
+                    "a",
+                    vec![mk1d(n, 4, DimFormat::Block(None)), mk1d(n, 4, DimFormat::Cyclic(Some(3)))],
+                    8,
+                )
+            } else {
+                seeded_array(n, 4)
+            };
+            // Two clean bounces: both versions allocated, v1 stale.
+            let shadow = bounce_and_oracle(&mut machine, &mut rt, n, 2);
+            assert_eq!(rt.status, Some(0));
+            assert!(rt.copies[1].is_some(), "v1 stays allocated (stale)");
+            let pre = (rt.status, rt.live.clone(), rt.copies.clone());
+            machine = machine.with_faults(FaultPlan::new(97, 100, &[FaultKind::Exhaust]));
+
+            // Preallocated destination: the rollback restores its bytes.
+            let err = rt.try_remap(&mut machine, 1, &keep, false).unwrap_err();
+            assert!(matches!(err, ExecError::Unrecovered { .. }), "typed terminal error: {err}");
+            assert_eq!(machine.stats.txn_rollbacks, 1, "({mode:?}, registry={use_registry})");
+            assert_eq!(rt.status, pre.0, "status restored");
+            assert_eq!(rt.live, pre.1, "live flags restored");
+            assert_eq!(rt.copies, pre.2, "destination bytes are byte-identical to pre-remap");
+            assert_matches_oracle(&rt, &shadow, "contents after rollback");
+
+            // Fresh destination: the rollback frees the just-allocated copy.
+            rt.free_copy(&mut machine, 1);
+            let pre = (rt.status, rt.live.clone(), rt.copies.clone());
+            let err = rt.try_remap(&mut machine, 1, &keep, false).unwrap_err();
+            assert!(matches!(err, ExecError::Unrecovered { .. }), "typed terminal error: {err}");
+            assert_eq!(machine.stats.txn_rollbacks, 2);
+            assert!(rt.copies[1].is_none(), "the fresh destination copy was freed");
+            assert_eq!((rt.status, &rt.live, &rt.copies), (pre.0, &pre.1, &pre.2));
+
+            // The array is fully usable afterwards: drop the faults and
+            // the same remap completes to the oracle.
+            machine.faults = None;
+            rt.remap(&mut machine, 1, &keep, false);
+            assert_matches_oracle(&rt, &shadow, "remap after rollback");
+        }
+    }
+}
+
+/// The A/B contrast pinning what the transaction buys: with
+/// `with_txn(false)` the same forced exhaustion leaves the
+/// partially-written destination behind (the ladder writes, then
+/// rejects), while the default rolls it back byte-identically.
+#[test]
+fn transactions_off_leaves_the_partial_write_behind() {
+    let n = 4096u64;
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    for txn in [true, false] {
+        let mut machine =
+            Machine::new(4).without_registry().with_exec_mode(ExecMode::Serial).with_txn(txn);
+        let mut rt = seeded_array(n, 4);
+        bounce_and_oracle(&mut machine, &mut rt, n, 2);
+        // Refresh every element of the current copy so the stale v1
+        // differs everywhere — any executed round must change bytes.
+        rt.current(&mut machine, 0).fill(|p| 5000.0 + p[0] as f64);
+        let shadow: Vec<f64> = (0..n).map(|i| 5000.0 + i as f64).collect();
+        let pre_copies = rt.copies.clone();
+        machine = machine.with_faults(FaultPlan::new(97, 100, &[FaultKind::Exhaust]));
+        let err = rt.try_remap(&mut machine, 1, &keep, false).unwrap_err();
+        assert!(matches!(err, ExecError::Unrecovered { .. }));
+        if txn {
+            assert_eq!(machine.stats.txn_rollbacks, 1);
+            assert_eq!(rt.copies, pre_copies, "transaction restored the stale destination");
+        } else {
+            assert_eq!(machine.stats.txn_rollbacks, 0);
+            assert_ne!(
+                rt.copies[1], pre_copies[1],
+                "without the transaction the rejected replay's writes stay behind"
+            );
+        }
+        // Status never moved in either case, so reads stay correct.
+        assert_eq!(rt.status, Some(0));
+        assert_matches_oracle(&rt, &shadow, "reads via the unchanged status");
+    }
+}
+
+/// Group atomicity on the coalesced path: forced exhaustion of the
+/// merged replay surfaces one typed error and rolls BOTH members back
+/// to their byte-identical pre-directive state, under both engines.
+#[test]
+fn exhaustion_rolls_a_coalesced_group_back_atomically() {
+    let n = 4096u64;
+    let src = mk1d(n, 4, DimFormat::Block(None));
+    let dst = mk1d(n, 4, DimFormat::Cyclic(Some(3)));
+    let solo = |s: &NormalizedMapping, d: &NormalizedMapping| {
+        Arc::new(PlannedRemap::compile(plan_redistribution(s, d, 8)))
+    };
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    let skip = BTreeSet::new();
+    for mode in [ExecMode::Serial, ExecMode::Parallel(4)] {
+        let fwd = PlannedGroup::compile(vec![solo(&src, &dst), solo(&src, &dst)]);
+        let back = PlannedGroup::compile(vec![solo(&dst, &src), solo(&dst, &src)]);
+        let mut machine =
+            Machine::new(4).without_registry().with_exec_mode(mode).with_txn(true);
+        let mut a = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+        let mut b = ArrayRt::new("b", vec![src.clone(), dst.clone()], 8);
+        a.current(&mut machine, 0).fill(|p| p[0] as f64);
+        b.current(&mut machine, 0).fill(|p| 2.0 * p[0] as f64);
+        // One clean group bounce so both versions are allocated and the
+        // writes leave every non-current copy stale.
+        for (s, t, planned) in [(0u32, 1u32, &fwd), (1, 0, &back)] {
+            let mut members = [
+                GroupMember { rt: &mut a, src: s, target: t, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: s, target: t, may_live: &keep, skip_if_current: &skip },
+            ];
+            assert_eq!(remap_group(&mut machine, &mut members, planned), 2);
+            a.set(&[0], 90.0 + t as f64);
+            b.set(&[1], 80.0 + t as f64);
+        }
+        let pre_a = (a.status, a.live.clone(), a.copies.clone());
+        let pre_b = (b.status, b.live.clone(), b.copies.clone());
+        machine = machine.with_faults(FaultPlan::new(97, 100, &[FaultKind::Exhaust]));
+        let err = {
+            let mut members = [
+                GroupMember { rt: &mut a, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                GroupMember { rt: &mut b, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+            ];
+            try_remap_group(&mut machine, &mut members, &fwd).unwrap_err()
+        };
+        assert!(matches!(err, ExecError::Unrecovered { .. }), "typed terminal error: {err}");
+        assert_eq!(machine.stats.group_rollbacks, 1, "({mode:?})");
+        assert_eq!((a.status, &a.live, &a.copies), (pre_a.0, &pre_a.1, &pre_a.2), "member a");
+        assert_eq!((b.status, &b.live, &b.copies), (pre_b.0, &pre_b.1, &pre_b.2), "member b");
+        // Both arrays remain fully usable: the same directive completes
+        // once the faults are gone.
+        machine.faults = None;
+        let mut members = [
+            GroupMember { rt: &mut a, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+            GroupMember { rt: &mut b, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+        ];
+        assert_eq!(remap_group(&mut machine, &mut members, &fwd), 2);
+        for i in 0..n {
+            let want_a = if i == 0 { 90.0 } else { i as f64 };
+            let want_b = if i == 1 { 80.0 } else { 2.0 * i as f64 };
+            assert_eq!(a.get(&[i]), want_a, "a[{i}] after the group healed");
+            assert_eq!(b.get(&[i]), want_b, "b[{i}] after the group healed");
+        }
+    }
+}
+
+/// Group atomicity on the solo-fallback path: a member that already
+/// committed cheaply (live-copy reuse — no replay at all) is
+/// un-committed when a later sibling's ladder exhausts, so the group
+/// still commits all members or none.
+#[test]
+fn a_failing_member_uncommits_its_already_replayed_sibling() {
+    let n = 4096u64;
+    let src = mk1d(n, 4, DimFormat::Block(None));
+    let dst = mk1d(n, 4, DimFormat::Cyclic(Some(3)));
+    let solo = |s: &NormalizedMapping, d: &NormalizedMapping| {
+        Arc::new(PlannedRemap::compile(plan_redistribution(s, d, 8)))
+    };
+    let back = PlannedGroup::compile(vec![solo(&dst, &src), solo(&dst, &src)]);
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    let skip = BTreeSet::new();
+    let mut machine =
+        Machine::new(4).without_registry().with_exec_mode(ExecMode::Serial).with_txn(true);
+    let mut a = seeded_array(n, 4);
+    let mut b = seeded_array(n, 4);
+    a.current(&mut machine, 0).fill(|p| p[0] as f64);
+    b.current(&mut machine, 0).fill(|p| 2.0 * p[0] as f64);
+    // a: remap 0->1 with no write afterwards — both copies stay live,
+    // so its way back is a live-copy reuse (commits without replaying).
+    a.remap(&mut machine, 1, &keep, false);
+    assert!(a.live[0] && a.live[1]);
+    // b: remap 0->1 then write — its way back must move data.
+    b.remap(&mut machine, 1, &keep, false);
+    b.set(&[5], 123.0);
+    assert!(!b.live[0]);
+    let pre_a = (a.status, a.live.clone(), a.copies.clone());
+    let pre_b = (b.status, b.live.clone(), b.copies.clone());
+    machine = machine.with_faults(FaultPlan::new(97, 100, &[FaultKind::Exhaust]));
+    // One mover (b) => the group takes the solo-fallback path: a
+    // commits first by live-copy reuse, then b's ladder exhausts.
+    let err = {
+        let mut members = [
+            GroupMember { rt: &mut a, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+            GroupMember { rt: &mut b, src: 1, target: 0, may_live: &keep, skip_if_current: &skip },
+        ];
+        try_remap_group(&mut machine, &mut members, &back).unwrap_err()
+    };
+    assert!(matches!(err, ExecError::Unrecovered { .. }));
+    assert_eq!(machine.stats.remaps_reused_live, 1, "a had already committed");
+    assert_eq!(machine.stats.group_rollbacks, 1);
+    assert_eq!(a.status, Some(1), "a's commit was rolled back with its failing sibling");
+    assert_eq!((a.status, &a.live, &a.copies), (pre_a.0, &pre_a.1, &pre_a.2), "member a");
+    assert_eq!((b.status, &b.live, &b.copies), (pre_b.0, &pre_b.1, &pre_b.2), "member b");
+    for i in 0..n {
+        assert_eq!(a.get(&[i]), i as f64);
+        let want_b = if i == 5 { 123.0 } else { 2.0 * i as f64 };
+        assert_eq!(b.get(&[i]), want_b);
+    }
+}
+
+/// An injected compile panic unwinds inside the registry's
+/// compile-under-lock; it is contained to a typed decline (the shard
+/// lock stays healthy), recovered by a clean solo compile published
+/// registry-wide, and the remap itself completes to the oracle.
+#[test]
+fn a_contained_compile_panic_still_heals_to_the_oracle() {
+    let n = 4096u64;
+    let registry = Arc::new(hpfc_runtime::PlanRegistry::new(2, 64));
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_registry(Arc::clone(&registry))
+        .with_faults(FaultPlan::new(7, 100, &[FaultKind::CompilePanic]));
+    let mut rt = ArrayRt::new(
+        "a",
+        vec![mk1d(n, 4, DimFormat::Block(None)), mk1d(n, 4, DimFormat::Cyclic(Some(3)))],
+        8,
+    );
+    let shadow = bounce_and_oracle(&mut machine, &mut rt, n, 4);
+    assert_matches_oracle(&rt, &shadow, "compilepanic@100");
+    // Each direction's first compile panicked (later bounces are plan
+    // cache hits, so the kind cannot fire again); both were contained
+    // and cleanly recompiled outside the lock.
+    assert_eq!(machine.stats.faults_injected, 2);
+    assert_eq!(machine.stats.plans_computed, 2);
+    assert_eq!(registry.len(), 2, "the clean recompiles were published");
+    assert_eq!(machine.stats.lock_poison_recoveries, 0, "no lock was ever poisoned");
+    assert_eq!(machine.stats.txn_rollbacks, 0, "nothing terminal happened");
+}
+
+/// The quarantine ladder end to end: a pair whose artifact keeps
+/// failing repair (three poisonings) is quarantined registry-wide; a
+/// second session over the same pairs is served program-stripped
+/// artifacts as registry hits and skips straight to the table engine —
+/// zero retries, zero recompiles billed.
+#[test]
+fn a_quarantined_pair_serves_the_table_engine_in_the_next_session() {
+    let n = 4096u64;
+    let registry = Arc::new(hpfc_runtime::PlanRegistry::new(2, 64));
+    let src = mk1d(n, 4, DimFormat::Block(None));
+    let dst = mk1d(n, 4, DimFormat::Cyclic(Some(3)));
+
+    // Session A: every served program is poisoned. Each direction's
+    // first remap compiles (nothing cached to poison yet); the next
+    // three are poisoned, caught by the fingerprint, and repaired —
+    // the third strike crosses QUARANTINE_THRESHOLD.
+    let mut ma = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .with_registry(Arc::clone(&registry))
+        .with_faults(FaultPlan::new(41, 100, &[FaultKind::PoisonProgram]));
+    let mut a = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+    let shadow_a = bounce_and_oracle(&mut ma, &mut a, n, 8);
+    assert_matches_oracle(&a, &shadow_a, "session A under poison");
+    assert_eq!(ma.stats.programs_recompiled, 6, "3 repairs per direction");
+    assert_eq!(ma.stats.quarantined_pairs, 2, "both directions crossed the threshold");
+    assert_eq!(registry.quarantined(), 2);
+    assert!(registry.is_quarantined(&src, &dst, 8));
+    assert!(registry.is_quarantined(&dst, &src, 8));
+
+    // Session B: fresh machine and array, same registry, no faults.
+    let mut mb =
+        Machine::new(4).with_exec_mode(ExecMode::Serial).with_registry(Arc::clone(&registry));
+    let mut b = ArrayRt::new("b", vec![src, dst], 8);
+    let shadow_b = bounce_and_oracle(&mut mb, &mut b, n, 4);
+    assert_matches_oracle(&b, &shadow_b, "session B over quarantined pairs");
+    assert_eq!(mb.stats.plans_computed, 0, "stripped artifacts are served as hits");
+    assert_eq!(mb.stats.registry_hits, 2);
+    assert_eq!(mb.stats.fallbacks_to_tables, 4, "every data-moving remap on tables");
+    assert_eq!(mb.stats.rounds_retried, 0, "zero retries billed");
+    assert_eq!(mb.stats.programs_recompiled, 0, "no doomed recompiles billed");
+}
+
 /// One drawn mapping configuration (alignment + distribution
 /// selectors); realized against a shared grid by [`realize_mapping`].
 type MappingCfg = ((usize, usize), (i64, bool), i64, (usize, usize), u64);
@@ -411,10 +707,12 @@ fn realize_mapping(n0: u64, n1: u64, grid: (u64, u64), cfg: MappingCfg) -> Norma
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The engine heals EVERY fault class at random sites over the
-    /// rich mapping space, under both engines: after three fault-ridden
-    /// bounces with interleaved writes, every element equals the
-    /// per-point shadow oracle, and recovery never planned.
+    /// The engine survives EVERY fault class at random sites over the
+    /// rich mapping space, under both engines: each fault-ridden bounce
+    /// either heals (the ladder absorbs the fault) or surfaces a typed
+    /// error after the transaction rolled the destination back — so in
+    /// both cases every element equals the per-point shadow oracle at
+    /// every step, and recovery never planned.
     #[test]
     fn chaos_over_rich_mappings_heals_to_the_oracle(
         grid in (1u64..4, 1u64..4),
@@ -430,6 +728,7 @@ proptest! {
             let mut machine = Machine::new(nprocs)
                 .without_registry()
                 .with_exec_mode(mode)
+                .with_txn(true)
                 .with_faults(FaultPlan::all(seed, rate))
                 .with_validation(ValidationLevel::Checksums);
             let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
@@ -446,7 +745,24 @@ proptest! {
             }
             let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
             for b in 0..3u32 {
-                rt.remap(&mut machine, 1 - (b % 2), &keep, false);
+                let before = machine.stats.txn_rollbacks;
+                if let Err(e) = rt.try_remap(&mut machine, 1 - (b % 2), &keep, false) {
+                    // Injected ladder exhaustion: the error is typed
+                    // and the transaction rolled the destination back,
+                    // so the array still matches the shadow below.
+                    prop_assert!(
+                        matches!(e, ExecError::Unrecovered { .. }),
+                        "unexpected terminal error under chaos seed {}: {}",
+                        seed,
+                        e
+                    );
+                    prop_assert!(
+                        machine.stats.txn_rollbacks > before,
+                        "terminal error without a rollback (seed {} rate {})",
+                        seed,
+                        rate
+                    );
+                }
                 let (p0, p1) = ((b as u64 * 2 + 1) % 6, (b as u64 * 3 + 2) % 5);
                 rt.set(&[p0, p1], 500.0 + b as f64);
                 shadow[(p0 * 5 + p1) as usize] = 500.0 + b as f64;
@@ -462,6 +778,46 @@ proptest! {
                 }
             }
             prop_assert_eq!(machine.stats.plans_computed, 0, "recovery never plans");
+        }
+    }
+
+    /// Forced exhaustion over the whole mapping space: any remap that
+    /// moves data surfaces the typed terminal error with the array
+    /// rolled back to its exact pre-remap state; a remap that moves
+    /// nothing (replication/collapse can make it a pure reuse) simply
+    /// succeeds with nothing to roll back.
+    #[test]
+    fn forced_exhaustion_always_rolls_back_over_the_mapping_space(
+        grid in (1u64..4, 1u64..4),
+        src_cfg in mapping_cfg_strategy(),
+        dst_cfg in mapping_cfg_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let src = realize_mapping(6, 5, grid, src_cfg);
+        let dst = realize_mapping(6, 5, grid, dst_cfg);
+        let nprocs = src.grid_shape.volume();
+        let mut machine = Machine::new(nprocs)
+            .without_registry()
+            .with_exec_mode(ExecMode::Serial)
+            .with_txn(true)
+            .with_faults(FaultPlan::new(seed, 100, &[FaultKind::Exhaust]));
+        let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+        rt.seed_plan(0, 1, Arc::new(PlannedRemap::compile(
+            plan_redistribution(&src, &dst, 8))));
+        rt.current(&mut machine, 0).fill(|p| (p[0] * 31 + p[1] * 7 + 1) as f64);
+        let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        let pre = (rt.status, rt.live.clone(), rt.copies.clone());
+        match rt.try_remap(&mut machine, 1, &keep, false) {
+            Ok(()) => {
+                prop_assert_eq!(machine.stats.txn_rollbacks, 0);
+            }
+            Err(e) => {
+                prop_assert!(matches!(e, ExecError::Unrecovered { .. }), "{}", e);
+                prop_assert_eq!(machine.stats.txn_rollbacks, 1);
+                prop_assert_eq!(&rt.status, &pre.0, "status restored");
+                prop_assert_eq!(&rt.live, &pre.1, "live flags restored");
+                prop_assert_eq!(&rt.copies, &pre.2, "bytes restored");
+            }
         }
     }
 }
