@@ -89,6 +89,48 @@ fn bench_data_movement(c: &mut Criterion) {
     g.finish();
 }
 
+/// The kernel-dispatch A/B: stride-encoded run families replayed
+/// through compile-time-chosen kernels vs the same program expanded
+/// back to flat triples (`expand_to_triples`, the pre-encoding
+/// representation). `cyclic(1)` is the adversarial shape for the
+/// triple encoding — one 12-byte triple per element, ~48 MB at
+/// n = 4194304 — which families collapse to O(P_src × P_dst) 24-byte
+/// descriptors. The artifact byte counts are printed next to the
+/// replay times so the shrink is recorded alongside the speed.
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist/kernel_dispatch");
+    for n in [16384u64, 262144, 4194304] {
+        let src = mk(n, 16, DimFormat::Block(None));
+        let dst = mk(n, 16, DimFormat::Cyclic(None));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        let strided = CopyProgram::try_compile(&plan, &schedule).expect("compiles");
+        let flat = strided.expand_to_triples();
+        eprintln!(
+            "redist/kernel_dispatch n={n}: artifact {} B strided vs {} B triples ({}x)",
+            strided.artifact_bytes(),
+            flat.artifact_bytes(),
+            flat.artifact_bytes() / strided.artifact_bytes().max(1),
+        );
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| p[0] as f64);
+        let mut t = VersionData::new(dst, 8);
+        g.bench_function(BenchmarkId::new("strided", n), |b| {
+            b.iter(|| {
+                t.copy_values_from_program(&a, &strided, ExecMode::Serial);
+                std::hint::black_box(&t);
+            })
+        });
+        g.bench_function(BenchmarkId::new("triples", n), |b| {
+            b.iter(|| {
+                t.copy_values_from_program(&a, &flat, ExecMode::Serial);
+                std::hint::black_box(&t);
+            })
+        });
+    }
+    g.finish();
+}
+
 /// The one-time cost the replay path buys its zero-per-copy price
 /// with: compiling a plan + schedule into the flat triple program.
 /// O(total runs) — the compiled artifact *is* the data movement, so
@@ -415,6 +457,7 @@ criterion_group!(
     bench_plan_hyperperiod,
     bench_plan_oracle,
     bench_data_movement,
+    bench_kernel_dispatch,
     bench_copy_program_compile,
     bench_procs_sweep,
     bench_remap_loop_caching,

@@ -1,7 +1,10 @@
 //! Compiled copy programs: the data-movement half of a remap, resolved
-//! to flat `(src_pos, dst_pos, len)` triples once at plan time and
-//! replayed allocation-free ever after — optionally with the
-//! caterpillar rounds executed across `std::thread::scope` workers.
+//! once at plan time into stride-encoded run families
+//! ([`StrideFamily`]) plus an irregular residue of flat
+//! `(src_pos, dst_pos, len)` triples, each unit tagged with the replay
+//! [`Kernel`] its shape compiles to — then replayed allocation-free
+//! ever after, optionally with the caterpillar rounds executed across
+//! `std::thread::scope` workers.
 //!
 //! # Before / after
 //!
@@ -122,19 +125,69 @@ pub struct CopyRun {
     pub len: u32,
 }
 
-/// All runs of one (provider, receiver) pair: `runs` is a half-open
-/// index range into [`CopyProgram::runs`]. Local units have
-/// `provider == receiver` (the receiver already holds the elements
-/// under the source mapping); remote units correspond one-to-one to the
-/// schedule's packed messages.
+/// A stride-encoded family of copy runs: `count` runs of `len`
+/// elements each, whose `(src_pos, dst_pos)` pairs form an arithmetic
+/// progression starting at `(src_base, dst_base)` with per-run steps
+/// `(src_step, dst_step)`. One 24-byte descriptor replaces `count`
+/// 12-byte triples — for a cyclic(1) destination (one triple per
+/// *element* in the flat encoding) the whole (provider, receiver) pair
+/// collapses to a single family, shrinking the n=4M artifact from
+/// O(n) triples to O(P_src × P_dst) descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideFamily {
+    /// Element offset of the first run in the provider's local data.
+    pub src_base: u32,
+    /// Element offset of the first run in the receiver's local data.
+    pub dst_base: u32,
+    /// Number of runs in the family (≥ `MIN_FAMILY`).
+    pub count: u32,
+    /// Source offset advance between consecutive runs.
+    pub src_step: u32,
+    /// Destination offset advance between consecutive runs.
+    pub dst_step: u32,
+    /// Length of every run in the family, in elements.
+    pub len: u32,
+}
+
+/// Which replay loop a [`CopyUnit`] dispatches to — chosen once at
+/// compile time from the shape of the unit's encoded runs, so the
+/// steady-state replay pays zero per-run classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Exactly one contiguous residual run: a single
+    /// `copy_from_slice` (memcpy) moves the whole unit.
+    Memcpy,
+    /// Families only, every run one element long (the cyclic(1)
+    /// shape): a tight scalar gather/scatter loop, no slice machinery.
+    Gather,
+    /// Families only, general run length: a blocked strided loop of
+    /// `copy_from_slice` per run.
+    Strided,
+    /// Residual triples only (or an empty unit): the flat triple loop.
+    Triples,
+    /// Both families and residual triples: strided loop then triples.
+    Mixed,
+}
+
+/// All runs of one (provider, receiver) pair: `fams` and `runs` are
+/// half-open index ranges into [`CopyProgram::fams`] /
+/// [`CopyProgram::runs`], and `kernel` picks the replay loop compiled
+/// for their shape. Local units have `provider == receiver` (the
+/// receiver already holds the elements under the source mapping);
+/// remote units correspond one-to-one to the schedule's packed
+/// messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopyUnit {
     /// Rank whose *source-version* block is read.
     pub provider: u64,
     /// Rank whose *destination-version* block is written.
     pub receiver: u64,
-    /// Half-open range into the program's flat run list.
+    /// Half-open range into the program's stride-family list.
+    pub fams: (u32, u32),
+    /// Half-open range into the program's residual flat run list.
     pub runs: (u32, u32),
+    /// Replay kernel chosen at compile time for this unit's shape.
+    pub kernel: Kernel,
     /// Total elements this unit moves (the load-balancing weight).
     pub elements: u64,
 }
@@ -154,7 +207,11 @@ pub struct CopyProgram {
     /// [`crate::PlannedRemap`] stores the pair once, halving its
     /// mapping footprint.
     pub mappings: std::sync::Arc<(hpfc_mapping::NormalizedMapping, hpfc_mapping::NormalizedMapping)>,
-    /// Flat `(src_pos, dst_pos, len)` triples, unit ranges index this.
+    /// Stride-encoded run families, unit `fams` ranges index this.
+    pub fams: Vec<StrideFamily>,
+    /// Residual flat `(src_pos, dst_pos, len)` triples — only the
+    /// genuinely irregular remainder that no arithmetic progression
+    /// covers; unit `runs` ranges index this.
     pub runs: Vec<CopyRun>,
     /// Local units (`provider == receiver`), sorted by receiver — one
     /// round-like group whose receivers are all distinct.
@@ -208,9 +265,21 @@ impl std::fmt::Display for CompileDecline {
 }
 
 impl CopyProgram {
-    /// Number of precompiled runs.
+    /// Number of precompiled runs: every run a stride family encodes
+    /// plus the residual triples — the same logical copy count the
+    /// pre-stride flat encoding stored (modulo contiguous coalescing).
     pub fn n_runs(&self) -> u64 {
-        self.runs.len() as u64
+        self.fams.iter().map(|f| f.count as u64).sum::<u64>() + self.runs.len() as u64
+    }
+
+    /// Bytes the compiled artifact's run encoding occupies — the
+    /// cache-residency number the stride encoding exists to shrink
+    /// (families + residual triples + unit descriptors).
+    pub fn artifact_bytes(&self) -> usize {
+        self.fams.len() * std::mem::size_of::<StrideFamily>()
+            + self.runs.len() * std::mem::size_of::<CopyRun>()
+            + (self.local.len() + self.rounds.iter().map(Vec::len).sum::<usize>())
+                * std::mem::size_of::<CopyUnit>()
     }
 
     /// Total elements the program delivers (each destination replica
@@ -247,7 +316,13 @@ impl CopyProgram {
     /// applies before trusting a cached program.
     pub fn integrity_ok(&self) -> bool {
         self.fingerprint
-            == program_fingerprint(&self.runs, &self.local, &self.rounds, self.total_elements)
+            == program_fingerprint(
+                &self.fams,
+                &self.runs,
+                &self.local,
+                &self.rounds,
+                self.total_elements,
+            )
     }
 
     /// [`CopyProgram::try_compile`], parameterized over whether empty
@@ -277,9 +352,10 @@ impl CopyProgram {
             } else {
                 Vec::new()
             };
-            let fingerprint = program_fingerprint(&[], &[], &rounds, 0);
+            let fingerprint = program_fingerprint(&[], &[], &[], &rounds, 0);
             return Ok(CopyProgram {
                 mappings,
+                fams: Vec::new(),
                 runs: Vec::new(),
                 local: Vec::new(),
                 rounds,
@@ -306,17 +382,18 @@ impl CopyProgram {
         // product — so when any side's largest local volume exceeds
         // the u32 triple format, some position must overflow, and the
         // program is refused in O(descriptor entries) instead of after
-        // enumerating gigabytes of runs and only then tripping the
-        // per-push `u32::try_from` (which stays as the exact backstop
-        // for run-count overflow on in-range extents).
+        // enumerating gigabytes of runs. This pre-check, the per-push
+        // backstop in `record_combination`, the unit-range assembly,
+        // and the stride-family counts all funnel through the single
+        // [`fit_u32`] gate, so every >4Gi shape declines via the same
+        // `CompileDecline::PositionOverflow` path.
         let max_local = |lens: &[Vec<u64>]| {
             lens.iter()
                 .map(|ls| ls.iter().copied().max().unwrap_or(0))
                 .fold(1u64, u64::saturating_mul)
         };
-        if max_local(&s_lens) > u64::from(u32::MAX) || max_local(&d_lens) > u64::from(u32::MAX) {
-            return Err(CompileDecline::PositionOverflow);
-        }
+        fit_u32(max_local(&s_lens))?;
+        fit_u32(max_local(&d_lens))?;
 
         // Materialize every entry's intersection runs.
         let n_of = |d: usize| src.array_extents.extent(d);
@@ -368,23 +445,35 @@ impl CopyProgram {
             return Err(CompileDecline::PositionOverflow);
         }
 
-        // Assemble: flat run list, units partitioned into the local
-        // group and the schedule's rounds. BTreeMap iteration gives
-        // (provider, receiver) order; re-sorting each group by receiver
-        // keeps the parallel executor's block walk a single pass.
-        let total_runs: usize = acc.values().map(Vec::len).sum();
-        let mut runs = Vec::with_capacity(total_runs);
+        // Assemble: stride-encode each (provider, receiver) pair's
+        // triples into families plus an irregular residual, and
+        // partition units into the local group and the schedule's
+        // rounds. BTreeMap iteration gives (provider, receiver) order;
+        // re-sorting each group by receiver keeps the parallel
+        // executor's block walk a single pass.
+        let mut fams = Vec::new();
+        let mut runs = Vec::new();
         let mut local = Vec::new();
         let mut rounds: Vec<Vec<CopyUnit>> = vec![Vec::new(); schedule.rounds.len()];
         let mut total_elements = 0u64;
         for ((provider, receiver), rs) in acc {
-            let start =
-                u32::try_from(runs.len()).map_err(|_| CompileDecline::PositionOverflow)?;
+            let f_start = fit_u32(fams.len() as u64)?;
+            let r_start = fit_u32(runs.len() as u64)?;
             let elements: u64 = rs.iter().map(|r| r.len as u64).sum();
-            runs.extend(rs);
-            let end = u32::try_from(runs.len()).map_err(|_| CompileDecline::PositionOverflow)?;
+            encode_runs(rs, &mut fams, &mut runs)?;
+            let f_end = fit_u32(fams.len() as u64)?;
+            let r_end = fit_u32(runs.len() as u64)?;
             total_elements += elements;
-            let unit = CopyUnit { provider, receiver, runs: (start, end), elements };
+            let kernel =
+                choose_kernel(&fams[f_start as usize..], &runs[r_start as usize..]);
+            let unit = CopyUnit {
+                provider,
+                receiver,
+                fams: (f_start, f_end),
+                runs: (r_start, r_end),
+                kernel,
+                elements,
+            };
             if provider == receiver {
                 local.push(unit);
             } else {
@@ -405,8 +494,55 @@ impl CopyProgram {
             plan.local_elements + plan.remote_elements(),
             "compiled program delivers exactly the planned volume"
         );
-        let fingerprint = program_fingerprint(&runs, &local, &rounds, total_elements);
-        Ok(CopyProgram { mappings, runs, local, rounds, total_elements, fingerprint })
+        let fingerprint = program_fingerprint(&fams, &runs, &local, &rounds, total_elements);
+        Ok(CopyProgram { mappings, fams, runs, local, rounds, total_elements, fingerprint })
+    }
+
+    /// Expand the stride families back into flat triples — the
+    /// pre-stride encoding, kept as the A/B baseline for the
+    /// `redist/kernel_dispatch` bench and the encoder's equivalence
+    /// tests. Every unit's kernel becomes [`Kernel::Triples`]; the
+    /// replayed bytes are identical by construction.
+    #[doc(hidden)]
+    pub fn expand_to_triples(&self) -> CopyProgram {
+        fn expand_unit(p: &CopyProgram, u: &CopyUnit, runs: &mut Vec<CopyRun>) -> CopyUnit {
+            let start = runs.len() as u32;
+            for f in &p.fams[u.fams.0 as usize..u.fams.1 as usize] {
+                let (mut s, mut d) = (f.src_base as u64, f.dst_base as u64);
+                for _ in 0..f.count {
+                    runs.push(CopyRun { src_pos: s as u32, dst_pos: d as u32, len: f.len });
+                    s += f.src_step as u64;
+                    d += f.dst_step as u64;
+                }
+            }
+            runs.extend_from_slice(&p.runs[u.runs.0 as usize..u.runs.1 as usize]);
+            CopyUnit {
+                provider: u.provider,
+                receiver: u.receiver,
+                fams: (0, 0),
+                runs: (start, runs.len() as u32),
+                kernel: Kernel::Triples,
+                elements: u.elements,
+            }
+        }
+        let mut runs = Vec::with_capacity(self.n_runs() as usize);
+        let local: Vec<CopyUnit> =
+            self.local.iter().map(|u| expand_unit(self, u, &mut runs)).collect();
+        let rounds: Vec<Vec<CopyUnit>> = self
+            .rounds
+            .iter()
+            .map(|r| r.iter().map(|u| expand_unit(self, u, &mut runs)).collect())
+            .collect();
+        let fingerprint = program_fingerprint(&[], &runs, &local, &rounds, self.total_elements);
+        CopyProgram {
+            mappings: std::sync::Arc::clone(&self.mappings),
+            fams: Vec::new(),
+            runs,
+            local,
+            rounds,
+            total_elements: self.total_elements,
+            fingerprint,
+        }
     }
 
     /// Whether this program was compiled for exactly the
@@ -437,7 +573,7 @@ impl CopyProgram {
             let dst_block = dst.blocks[unit.receiver as usize]
                 .as_mut()
                 .expect("receiver allocates the data");
-            replay_unit(&self.runs, *unit, src_block, dst_block);
+            replay_unit(&self.fams, &self.runs, *unit, src_block, dst_block);
         }
     }
 
@@ -446,16 +582,16 @@ impl CopyProgram {
     /// receivers within a round are pairwise distinct, so every `&mut`
     /// handed to a worker is unique — then split the units into
     /// `threads` contiguous chunks balanced by element count. Rounds
-    /// below [`PARALLEL_THRESHOLD`] elements replay inline: a thread
-    /// spawn costs tens of microseconds, which only a round with real
-    /// volume can amortize.
+    /// below [`PARALLEL_THRESHOLD`] elements replay inline
+    /// ([`round_goes_inline`]): a thread spawn costs tens of
+    /// microseconds, which only a round with real volume can amortize.
     fn execute_parallel(&self, dst: &mut VersionData, src: &VersionData, threads: usize) {
         for round in std::iter::once(&self.local).chain(self.rounds.iter()) {
             if round.is_empty() {
                 continue;
             }
             let total: u64 = round.iter().map(|u| u.elements).sum();
-            if total < PARALLEL_THRESHOLD {
+            if round_goes_inline(total) {
                 for unit in round {
                     let src_block = src.blocks[unit.provider as usize]
                         .as_ref()
@@ -463,20 +599,21 @@ impl CopyProgram {
                     let dst_block = dst.blocks[unit.receiver as usize]
                         .as_mut()
                         .expect("receiver allocates the data");
-                    replay_unit(&self.runs, *unit, src_block, dst_block);
+                    replay_unit(&self.fams, &self.runs, *unit, src_block, dst_block);
                 }
                 continue;
             }
             let mut paired: Vec<PairedUnit<'_>> = Vec::with_capacity(round.len());
-            pair_round_units(round, &self.runs, src, dst, &mut paired);
+            pair_round_units(round, &self.fams, &self.runs, src, dst, &mut paired);
             replay_chunked(paired, total, threads);
         }
     }
 }
 
 /// One parallel-replay work item: the receiving block, the providing
-/// block, the unit, and the run table its range indexes.
-pub(crate) type PairedUnit<'a> = (&'a mut LocalBlock, &'a LocalBlock, CopyUnit, &'a [CopyRun]);
+/// block, the unit, and the family/run tables its ranges index.
+pub(crate) type PairedUnit<'a> =
+    (&'a mut LocalBlock, &'a LocalBlock, CopyUnit, &'a [StrideFamily], &'a [CopyRun]);
 
 /// Pair one program's round units with their receiving blocks in a
 /// single pass over the destination block table — valid because units
@@ -486,6 +623,7 @@ pub(crate) type PairedUnit<'a> = (&'a mut LocalBlock, &'a LocalBlock, CopyUnit, 
 /// units (the group replay) before spawning.
 pub(crate) fn pair_round_units<'a>(
     units: &'a [CopyUnit],
+    fams: &'a [StrideFamily],
     runs: &'a [CopyRun],
     src: &'a VersionData,
     dst: &'a mut VersionData,
@@ -499,7 +637,7 @@ pub(crate) fn pair_round_units<'a>(
                 let sb = src.blocks[u.provider as usize]
                     .as_ref()
                     .expect("provider holds the data");
-                out.push((db, sb, **u, runs));
+                out.push((db, sb, **u, fams, runs));
                 it.next();
             }
             Some(_) => {}
@@ -527,8 +665,8 @@ pub(crate) fn replay_chunked(paired: Vec<PairedUnit<'_>>, total: u64, threads: u
             let tail = rest.split_off(take);
             let chunk = std::mem::replace(&mut rest, tail);
             scope.spawn(move || {
-                for (db, sb, unit, runs) in chunk {
-                    replay_unit(runs, unit, sb, db);
+                for (db, sb, unit, fams, runs) in chunk {
+                    replay_unit(fams, runs, unit, sb, db);
                 }
             });
         }
@@ -582,18 +720,192 @@ impl GroupCopyProgram {
 /// than the copy itself.
 pub(crate) const PARALLEL_THRESHOLD: u64 = 1 << 15;
 
-/// Replay one unit's precompiled runs.
+/// The one inline-vs-parallel decision: a round of `total` elements
+/// replays inline iff it is strictly below [`PARALLEL_THRESHOLD`].
+/// Every round dispatcher — the solo and group replays, guarded and
+/// unguarded — routes through this predicate, so a round of exactly
+/// threshold size takes the same engine everywhere.
 #[inline]
-pub(crate) fn replay_unit(runs: &[CopyRun], unit: CopyUnit, src: &LocalBlock, dst: &mut LocalBlock) {
+pub(crate) fn round_goes_inline(total: u64) -> bool {
+    total < PARALLEL_THRESHOLD
+}
+
+/// Fewest runs an arithmetic progression must cover before the encoder
+/// emits a [`StrideFamily`] instead of residual triples — below this a
+/// 24-byte descriptor plus loop control beats 12-byte triples by too
+/// little to matter.
+pub(crate) const MIN_FAMILY: usize = 4;
+
+/// The single u32-overflow gate of program compilation: every local
+/// position, run index, family index, and family count funnels through
+/// here, so any >4Gi shape declines via one
+/// [`CompileDecline::PositionOverflow`] path (the table engine's u64
+/// arithmetic is the fallback).
+#[inline]
+fn fit_u32(x: u64) -> Result<u32, CompileDecline> {
+    u32::try_from(x).map_err(|_| CompileDecline::PositionOverflow)
+}
+
+/// Stride-encode one (provider, receiver) pair's triples: coalesce
+/// adjacent contiguous-in-both runs, then greedily detect arithmetic
+/// progressions in `(src_pos, dst_pos)` of equal-length runs. Runs of
+/// ≥ [`MIN_FAMILY`] progressions become [`StrideFamily`] descriptors
+/// in `fams`; the genuinely irregular remainder lands in `runs` as
+/// explicit triples. Positions within one pair are produced in
+/// ascending destination order by the combination walk, so steps are
+/// non-negative; combination boundaries (where positions may jump
+/// backward) simply break the progression.
+fn encode_runs(
+    rs: Vec<CopyRun>,
+    fams: &mut Vec<StrideFamily>,
+    runs: &mut Vec<CopyRun>,
+) -> Result<(), CompileDecline> {
+    // Pass 1: merge runs contiguous on BOTH sides — a unit-stride
+    // span is one memcpy at replay, however the walk sliced it.
+    let mut co: Vec<CopyRun> = Vec::with_capacity(rs.len());
+    for r in rs {
+        match co.last_mut() {
+            Some(last)
+                if last.src_pos + last.len == r.src_pos
+                    && last.dst_pos + last.len == r.dst_pos =>
+            {
+                last.len += r.len;
+            }
+            _ => co.push(r),
+        }
+    }
+    // Pass 2: greedy arithmetic-progression detection.
+    let mut i = 0usize;
+    while i < co.len() {
+        let mut j = i;
+        let mut src_step = 0u32;
+        let mut dst_step = 0u32;
+        if let Some(next) = co.get(i + 1) {
+            if next.len == co[i].len {
+                if let (Some(ss), Some(ds)) = (
+                    next.src_pos.checked_sub(co[i].src_pos),
+                    next.dst_pos.checked_sub(co[i].dst_pos),
+                ) {
+                    src_step = ss;
+                    dst_step = ds;
+                    j = i + 1;
+                    while j + 1 < co.len()
+                        && co[j + 1].len == co[i].len
+                        && co[j + 1].src_pos.checked_sub(co[j].src_pos) == Some(src_step)
+                        && co[j + 1].dst_pos.checked_sub(co[j].dst_pos) == Some(dst_step)
+                    {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        let count = j - i + 1;
+        if count >= MIN_FAMILY {
+            fams.push(StrideFamily {
+                src_base: co[i].src_pos,
+                dst_base: co[i].dst_pos,
+                count: fit_u32(count as u64)?,
+                src_step,
+                dst_step,
+                len: co[i].len,
+            });
+            i = j + 1;
+        } else {
+            runs.push(co[i]);
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Pick the replay kernel for one unit's encoded runs — decided once
+/// at compile time so replay pays zero per-run classification.
+fn choose_kernel(fams: &[StrideFamily], runs: &[CopyRun]) -> Kernel {
+    match (fams.is_empty(), runs.is_empty()) {
+        // A unit-stride span coalesces to a single residual triple:
+        // the whole unit is one memcpy.
+        (true, false) if runs.len() == 1 => Kernel::Memcpy,
+        (true, _) => Kernel::Triples,
+        (false, true) if fams.iter().all(|f| f.len == 1) => Kernel::Gather,
+        (false, true) => Kernel::Strided,
+        (false, false) => Kernel::Mixed,
+    }
+}
+
+/// Replay every run of one stride family.
+#[inline]
+fn replay_family(f: &StrideFamily, src: &LocalBlock, dst: &mut LocalBlock) {
+    let (mut s, mut d) = (f.src_base as usize, f.dst_base as usize);
+    let (ss, ds, len) = (f.src_step as usize, f.dst_step as usize, f.len as usize);
+    if len == 1 {
+        for _ in 0..f.count {
+            dst.data[d] = src.data[s];
+            s += ss;
+            d += ds;
+        }
+    } else {
+        for _ in 0..f.count {
+            dst.data[d..d + len].copy_from_slice(&src.data[s..s + len]);
+            s += ss;
+            d += ds;
+        }
+    }
+}
+
+/// Replay one unit's residual triples (the pre-stride flat loop).
+#[inline]
+fn replay_triples(runs: &[CopyRun], unit: CopyUnit, src: &LocalBlock, dst: &mut LocalBlock) {
     let (lo, hi) = unit.runs;
     for r in &runs[lo as usize..hi as usize] {
         let (s, d, len) = (r.src_pos as usize, r.dst_pos as usize, r.len as usize);
         if len == 1 {
-            // Cyclic(1)-style destinations degrade every run to one
-            // element; skip the slice machinery for those.
             dst.data[d] = src.data[s];
         } else {
             dst.data[d..d + len].copy_from_slice(&src.data[s..s + len]);
+        }
+    }
+}
+
+/// Replay one unit by dispatching to the kernel chosen at compile
+/// time: unit-stride → one `copy_from_slice` (memcpy), single-element
+/// families → a tight scalar gather/scatter loop, general families →
+/// a blocked strided loop, irregular residue → the flat triple loop.
+#[inline]
+pub(crate) fn replay_unit(
+    fams: &[StrideFamily],
+    runs: &[CopyRun],
+    unit: CopyUnit,
+    src: &LocalBlock,
+    dst: &mut LocalBlock,
+) {
+    match unit.kernel {
+        Kernel::Memcpy => {
+            let r = runs[unit.runs.0 as usize];
+            let (s, d, len) = (r.src_pos as usize, r.dst_pos as usize, r.len as usize);
+            dst.data[d..d + len].copy_from_slice(&src.data[s..s + len]);
+        }
+        Kernel::Gather => {
+            for f in &fams[unit.fams.0 as usize..unit.fams.1 as usize] {
+                let (mut s, mut d) = (f.src_base as usize, f.dst_base as usize);
+                let (ss, ds) = (f.src_step as usize, f.dst_step as usize);
+                for _ in 0..f.count {
+                    dst.data[d] = src.data[s];
+                    s += ss;
+                    d += ds;
+                }
+            }
+        }
+        Kernel::Strided => {
+            for f in &fams[unit.fams.0 as usize..unit.fams.1 as usize] {
+                replay_family(f, src, dst);
+            }
+        }
+        Kernel::Triples => replay_triples(runs, unit, src, dst),
+        Kernel::Mixed => {
+            for f in &fams[unit.fams.0 as usize..unit.fams.1 as usize] {
+                replay_family(f, src, dst);
+            }
+            replay_triples(runs, unit, src, dst);
         }
     }
 }
@@ -670,11 +982,13 @@ pub(crate) fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Fingerprint of a program's executable content: every triple, every
-/// unit boundary, and the totals. Any single-field corruption of a
+/// Fingerprint of a program's executable content: every stride family,
+/// every residual triple, every unit boundary (family and run ranges,
+/// kernel tag), and the totals. Any single-field corruption of a
 /// cached program changes the value, and memory corruption cannot keep
 /// the stored fingerprint consistent with recomputation.
 fn program_fingerprint(
+    fams: &[StrideFamily],
     runs: &[CopyRun],
     local: &[CopyUnit],
     rounds: &[Vec<CopyUnit>],
@@ -682,6 +996,12 @@ fn program_fingerprint(
 ) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     h = mix64(h ^ total_elements);
+    h = mix64(h ^ fams.len() as u64);
+    for f in fams {
+        h = mix64(h ^ (((f.src_base as u64) << 32) | f.dst_base as u64));
+        h = mix64(h ^ (((f.src_step as u64) << 32) | f.dst_step as u64));
+        h = mix64(h ^ (((f.count as u64) << 32) | f.len as u64));
+    }
     h = mix64(h ^ runs.len() as u64);
     for r in runs {
         h = mix64(h ^ (((r.src_pos as u64) << 32) | r.dst_pos as u64));
@@ -690,19 +1010,45 @@ fn program_fingerprint(
     h = mix64(h ^ rounds.len() as u64);
     for u in local.iter().chain(rounds.iter().flatten()) {
         h = mix64(h ^ (u.provider.rotate_left(32) ^ u.receiver));
+        h = mix64(h ^ (((u.fams.0 as u64) << 32) | u.fams.1 as u64));
         h = mix64(h ^ (((u.runs.0 as u64) << 32) | u.runs.1 as u64));
         h = mix64(h ^ u.elements);
+        h = mix64(h ^ u.kernel as u64);
     }
     h
+}
+
+/// Number of logical copy runs one unit performs: every run its
+/// stride families encode plus its residual triples — the per-unit
+/// slice of [`CopyProgram::n_runs`], used by the guarded replay's
+/// accounting.
+pub(crate) fn unit_n_runs(fams: &[StrideFamily], unit: CopyUnit) -> u64 {
+    let (flo, fhi) = unit.fams;
+    fams[flo as usize..fhi as usize].iter().map(|f| f.count as u64).sum::<u64>()
+        + (unit.runs.1 - unit.runs.0) as u64
 }
 
 /// Sum of the *source* words one unit reads, as raw `f64` bits
 /// (wrapping). Together with [`unit_dst_sum`] this is the per-unit
 /// checksum of `HPFC_VALIDATE=checksums`: after a clean replay the two
 /// sums are equal; any scribbled destination word breaks the equality.
-pub(crate) fn unit_src_sum(runs: &[CopyRun], unit: CopyUnit, src: &LocalBlock) -> u64 {
-    let (lo, hi) = unit.runs;
+pub(crate) fn unit_src_sum(
+    fams: &[StrideFamily],
+    runs: &[CopyRun],
+    unit: CopyUnit,
+    src: &LocalBlock,
+) -> u64 {
     let mut sum = 0u64;
+    for f in &fams[unit.fams.0 as usize..unit.fams.1 as usize] {
+        let (mut s, ss, len) = (f.src_base as usize, f.src_step as usize, f.len as usize);
+        for _ in 0..f.count {
+            for w in &src.data[s..s + len] {
+                sum = sum.wrapping_add(w.to_bits());
+            }
+            s += ss;
+        }
+    }
+    let (lo, hi) = unit.runs;
     for r in &runs[lo as usize..hi as usize] {
         let (s, len) = (r.src_pos as usize, r.len as usize);
         for w in &src.data[s..s + len] {
@@ -713,9 +1059,23 @@ pub(crate) fn unit_src_sum(runs: &[CopyRun], unit: CopyUnit, src: &LocalBlock) -
 }
 
 /// Sum of the *destination* words one unit wrote (see [`unit_src_sum`]).
-pub(crate) fn unit_dst_sum(runs: &[CopyRun], unit: CopyUnit, dst: &LocalBlock) -> u64 {
-    let (lo, hi) = unit.runs;
+pub(crate) fn unit_dst_sum(
+    fams: &[StrideFamily],
+    runs: &[CopyRun],
+    unit: CopyUnit,
+    dst: &LocalBlock,
+) -> u64 {
     let mut sum = 0u64;
+    for f in &fams[unit.fams.0 as usize..unit.fams.1 as usize] {
+        let (mut d, ds, len) = (f.dst_base as usize, f.dst_step as usize, f.len as usize);
+        for _ in 0..f.count {
+            for w in &dst.data[d..d + len] {
+                sum = sum.wrapping_add(w.to_bits());
+            }
+            d += ds;
+        }
+    }
+    let (lo, hi) = unit.runs;
     for r in &runs[lo as usize..hi as usize] {
         let (d, len) = (r.dst_pos as usize, r.len as usize);
         for w in &dst.data[d..d + len] {
@@ -728,7 +1088,20 @@ pub(crate) fn unit_dst_sum(runs: &[CopyRun], unit: CopyUnit, dst: &LocalBlock) -
 /// Flip one bit of the first word a unit delivered — the
 /// `CorruptRound` fault's scribble. Returns `false` when the unit has
 /// no runs to corrupt.
-pub(crate) fn flip_unit_word(runs: &[CopyRun], unit: CopyUnit, dst: &mut LocalBlock) -> bool {
+pub(crate) fn flip_unit_word(
+    fams: &[StrideFamily],
+    runs: &[CopyRun],
+    unit: CopyUnit,
+    dst: &mut LocalBlock,
+) -> bool {
+    if let Some(f) = fams[unit.fams.0 as usize..unit.fams.1 as usize]
+        .iter()
+        .find(|f| f.count > 0 && f.len > 0)
+    {
+        let d = f.dst_base as usize;
+        dst.data[d] = f64::from_bits(dst.data[d].to_bits() ^ 1);
+        return true;
+    }
     let (lo, hi) = unit.runs;
     for r in &runs[lo as usize..hi as usize] {
         if r.len > 0 {
@@ -767,11 +1140,11 @@ pub(crate) fn replay_chunked_guarded(
             let boom = panic_chunk == Some(idx);
             scope.spawn(move || {
                 let half = chunk.len() / 2;
-                for (i, (db, sb, unit, runs)) in chunk.into_iter().enumerate() {
+                for (i, (db, sb, unit, fams, runs)) in chunk.into_iter().enumerate() {
                     if boom && i == half {
                         std::panic::panic_any(crate::fault::InjectedPanic);
                     }
-                    replay_unit(runs, unit, sb, db);
+                    replay_unit(fams, runs, unit, sb, db);
                 }
             });
             idx += 1;
@@ -905,6 +1278,137 @@ mod tests {
             CopyProgram::compile_checked(&plan, &schedule),
             Err(CompileDecline::PositionOverflow)
         );
+    }
+
+    #[test]
+    fn cyclic1_collapses_to_gather_families() {
+        // Block → Cyclic(1): the flat encoding stores one triple per
+        // element; the stride encoder collapses every (provider,
+        // receiver) pair to one gather family.
+        let n = 1u64 << 18;
+        let src = mk(n, 16, DimFormat::Block(None));
+        let dst = mk(n, 16, DimFormat::Cyclic(None));
+        let (_, prog) = compiled(&src, &dst);
+        assert!(prog.fams.len() <= 16 * 16, "O(P_src × P_dst) descriptors");
+        assert!(prog.runs.is_empty(), "no irregular remainder in the cyclic(1) shape");
+        assert_eq!(prog.n_runs(), n, "still n logical single-element runs");
+        for u in prog.local.iter().chain(prog.rounds.iter().flatten()) {
+            assert_eq!(u.kernel, Kernel::Gather);
+        }
+        // The acceptance bar: ≥100× smaller than the triple encoding.
+        let flat = prog.expand_to_triples();
+        assert_eq!(flat.runs.len() as u64, n);
+        assert!(
+            prog.artifact_bytes() * 100 <= flat.artifact_bytes(),
+            "strided artifact {}B vs flat {}B",
+            prog.artifact_bytes(),
+            flat.artifact_bytes()
+        );
+        // Both encodings replay byte-identical data, in both engines.
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| (p[0] % 1021) as f64);
+        let mut b = VersionData::new(dst.clone(), 8);
+        b.copy_values_from_program(&a, &prog, ExecMode::Serial);
+        assert_eq!(a.to_dense(), b.to_dense());
+        let mut c = VersionData::new(dst.clone(), 8);
+        c.copy_values_from_program(&a, &flat, ExecMode::Serial);
+        assert_eq!(b, c);
+        let mut d = VersionData::new(dst, 8);
+        d.copy_values_from_program(&a, &prog, ExecMode::Parallel(4));
+        assert_eq!(b, d);
+    }
+
+    #[test]
+    fn kernels_match_unit_shapes() {
+        // Block-cyclic destination: equal-length runs on a constant
+        // stride — every unit compiles to the blocked strided kernel.
+        let src = mk(4096, 4, DimFormat::Block(None));
+        let dst = mk(4096, 4, DimFormat::Cyclic(Some(8)));
+        let (_, prog) = compiled(&src, &dst);
+        assert!(!prog.fams.is_empty());
+        assert!(prog.fams.iter().all(|f| f.len == 8));
+        for u in prog.local.iter().chain(prog.rounds.iter().flatten()) {
+            assert_eq!(u.kernel, Kernel::Strided);
+        }
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| p[0] as f64 + 0.5);
+        let mut b = VersionData::new(dst, 8);
+        b.copy_values_from_program(&a, &prog, ExecMode::Serial);
+        assert_eq!(a.to_dense(), b.to_dense());
+        // Block → block: each pair's contribution is contiguous on
+        // both sides, coalesces to one triple, and the whole unit is a
+        // single memcpy.
+        let src = mk(64, 4, DimFormat::Block(None));
+        let dst = mk(64, 2, DimFormat::Block(None));
+        let (_, prog) = compiled(&src, &dst);
+        assert!(prog.fams.is_empty());
+        for u in prog.local.iter().chain(prog.rounds.iter().flatten()) {
+            assert_eq!(u.kernel, Kernel::Memcpy);
+            assert_eq!(u.runs.1 - u.runs.0, 1);
+        }
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| p[0] as f64);
+        let mut b = VersionData::new(dst, 8);
+        b.copy_values_from_program(&a, &prog, ExecMode::Serial);
+        assert_eq!(a.to_dense(), b.to_dense());
+    }
+
+    #[test]
+    fn overflow_boundary_is_exact_and_unified() {
+        // Exactly u32::MAX local elements: the largest block the u32
+        // format admits. Compiles (closed-form, no data allocated) to
+        // a single coalesced memcpy triple.
+        let n = u64::from(u32::MAX);
+        let src = mk(n, 1, DimFormat::Block(None));
+        let dst = mk(n, 1, DimFormat::Cyclic(Some(3)));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        let prog = CopyProgram::compile_checked(&plan, &schedule)
+            .expect("u32::MAX-element block is in range");
+        assert_eq!(prog.n_elements(), n);
+        assert_eq!(prog.n_runs(), 1, "one coalesced unit-stride span");
+        // One element more (2^32) declines through the single
+        // PositionOverflow gate — the closed-form pre-check, the
+        // per-push backstop, and the stride encoder share it.
+        let n = 1u64 << 32;
+        let src = mk(n, 1, DimFormat::Block(None));
+        let dst = mk(n, 1, DimFormat::Cyclic(Some(3)));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        assert_eq!(
+            CopyProgram::compile_checked(&plan, &schedule),
+            Err(CompileDecline::PositionOverflow)
+        );
+    }
+
+    #[test]
+    fn inline_threshold_boundary_is_shared() {
+        // The one inline-vs-parallel predicate: strictly below the
+        // threshold is inline, exactly the threshold is not — every
+        // dispatcher (solo, group, guarded, unguarded) uses this.
+        assert!(round_goes_inline(PARALLEL_THRESHOLD - 1));
+        assert!(!round_goes_inline(PARALLEL_THRESHOLD));
+        assert!(!round_goes_inline(PARALLEL_THRESHOLD + 1));
+    }
+
+    #[test]
+    fn fingerprint_detects_family_and_kernel_corruption() {
+        let src = mk(4096, 4, DimFormat::Block(None));
+        let dst = mk(4096, 4, DimFormat::Cyclic(None));
+        let (_, mut prog) = compiled(&src, &dst);
+        assert!(!prog.fams.is_empty());
+        assert!(prog.integrity_ok());
+        let orig = prog.fams[0];
+        prog.fams[0].src_step = prog.fams[0].src_step.wrapping_add(1);
+        assert!(!prog.integrity_ok(), "a scribbled family stride must be detected");
+        prog.fams[0] = orig;
+        prog.fams[0].count = prog.fams[0].count.wrapping_sub(1);
+        assert!(!prog.integrity_ok(), "a scribbled family count must be detected");
+        prog.fams[0] = orig;
+        assert!(prog.integrity_ok());
+        let k = prog.local[0].kernel;
+        prog.local[0].kernel = if k == Kernel::Triples { Kernel::Gather } else { Kernel::Triples };
+        assert!(!prog.integrity_ok(), "a scribbled kernel tag must be detected");
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::exec::{
     flip_unit_word, mix64, pair_round_units, replay_chunked_guarded, replay_unit, unit_dst_sum,
-    unit_src_sum, CopyProgram, CopyRun, CopyUnit, ExecMode, PARALLEL_THRESHOLD,
+    unit_src_sum, CopyProgram, CopyRun, CopyUnit, ExecMode,
 };
 use crate::machine::Machine;
 use crate::status::PlannedRemap;
@@ -389,10 +389,14 @@ impl std::error::Error for ExecError {}
 pub struct InjectedPanic;
 
 /// Corrupt a compiled program in place — the `PoisonProgram` fault.
-/// Zeroing the source positions keeps every run in bounds (because
-/// `pos + len <= block_len` implies `len <= block_len`) while changing
+/// Zeroing the source positions (family bases and residual triples
+/// alike) keeps every run in bounds (because `pos + extent <=
+/// block_len` implies the zero-based extent fits too) while changing
 /// what the program copies; the fingerprint catches it either way.
 pub(crate) fn poison_program(p: &mut CopyProgram) {
+    for f in &mut p.fams {
+        f.src_base = 0;
+    }
     for r in &mut p.runs {
         r.src_pos = 0;
     }
@@ -433,7 +437,7 @@ const MAX_ROUND_ATTEMPTS: u32 = 4;
 fn applicable(kind: FaultKind, mode: ExecMode, ctx: &RoundCtx) -> bool {
     match kind {
         FaultKind::WorkerPanic => {
-            mode.threads() > 1 && ctx.expected >= PARALLEL_THRESHOLD && ctx.units > 0
+            mode.threads() > 1 && !crate::exec::round_goes_inline(ctx.expected) && ctx.units > 0
         }
         FaultKind::CorruptRound | FaultKind::TruncateRound | FaultKind::DropRound => {
             ctx.expected > 0 && ctx.units > 0
@@ -499,8 +503,9 @@ pub(crate) fn run_round_ladder(
 /// Replay one round of a solo program under the guarded regime:
 /// apply wire-loss faults to the unit list, catch panics from the copy
 /// phase, scribble the corruption victim, and verify checksums.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 pub(crate) fn replay_round_guarded(
+    fams: &[crate::exec::StrideFamily],
     runs: &[CopyRun],
     units: &[CopyUnit],
     src: &VersionData,
@@ -516,9 +521,9 @@ pub(crate) fn replay_round_guarded(
     };
     let weight: u64 = effective.iter().map(|u| u.elements).sum();
     let copied = catch_unwind(AssertUnwindSafe(|| {
-        if mode.threads() > 1 && weight >= PARALLEL_THRESHOLD {
+        if mode.threads() > 1 && !crate::exec::round_goes_inline(weight) {
             let mut paired = Vec::with_capacity(effective.len());
-            pair_round_units(effective, runs, src, dst, &mut paired);
+            pair_round_units(effective, fams, runs, src, dst, &mut paired);
             let boom = matches!(fault, Some((FaultKind::WorkerPanic, _))).then_some(0);
             replay_chunked_guarded(paired, weight, mode.threads(), boom);
         } else {
@@ -529,7 +534,7 @@ pub(crate) fn replay_round_guarded(
                 let db = dst.blocks[unit.receiver as usize]
                     .as_mut()
                     .expect("receiver allocates the data");
-                replay_unit(runs, *unit, sb, db);
+                replay_unit(fams, runs, *unit, sb, db);
             }
         }
     }));
@@ -542,7 +547,7 @@ pub(crate) fn replay_round_guarded(
             let db = dst.blocks[victim.receiver as usize]
                 .as_mut()
                 .expect("receiver allocates the data");
-            flip_unit_word(runs, victim, db);
+            flip_unit_word(fams, runs, victim, db);
         }
     }
     if checksums {
@@ -553,14 +558,15 @@ pub(crate) fn replay_round_guarded(
                 src.blocks[unit.provider as usize].as_ref().expect("provider holds the data");
             let db =
                 dst.blocks[unit.receiver as usize].as_ref().expect("receiver allocates the data");
-            read = read.wrapping_add(unit_src_sum(runs, *unit, sb));
-            written = written.wrapping_add(unit_dst_sum(runs, *unit, db));
+            read = read.wrapping_add(unit_src_sum(fams, runs, *unit, sb));
+            written = written.wrapping_add(unit_dst_sum(fams, runs, *unit, db));
         }
         if read != written {
             return Err(RoundFailure::Mismatch);
         }
     }
-    let n_runs: u64 = effective.iter().map(|u| (u.runs.1 - u.runs.0) as u64).sum();
+    let n_runs: u64 =
+        effective.iter().map(|u| crate::exec::unit_n_runs(fams, *u)).sum();
     Ok((n_runs, weight))
 }
 
@@ -590,7 +596,7 @@ fn replay_rounds_guarded(
             round_no: ri as u32,
         };
         let (r, e) = run_round_ladder(machine, &ctx, epoch, stream, |mode, checksums, fault| {
-            replay_round_guarded(&prog.runs, units, src, dst, mode, checksums, fault)
+            replay_round_guarded(&prog.fams, &prog.runs, units, src, dst, mode, checksums, fault)
         })?;
         total_runs += r;
         total_elements += e;

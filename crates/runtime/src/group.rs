@@ -33,7 +33,7 @@ use std::sync::Arc;
 
 use crate::exec::{flip_unit_word, pair_round_units, replay_chunked, replay_chunked_guarded,
                   replay_unit, unit_dst_sum, unit_src_sum, CopyProgram, CopyUnit, ExecMode,
-                  GroupCopyProgram, PairedUnit, PARALLEL_THRESHOLD};
+                  round_goes_inline, unit_n_runs, GroupCopyProgram, PairedUnit};
 use crate::fault::{poison_program, run_round_ladder, ExecError, FaultKind, RoundCtx,
                    RoundFailure, ValidationLevel};
 use crate::machine::Machine;
@@ -385,7 +385,7 @@ fn replay_round_inline(
             let db = dst.blocks[unit.receiver as usize]
                 .as_mut()
                 .expect("receiver allocates the data");
-            replay_unit(&mp.runs, *unit, sb, db);
+            replay_unit(&mp.fams, &mp.runs, *unit, sb, db);
         }
     }
 }
@@ -394,8 +394,8 @@ fn replay_round_inline(
 /// member's units with their receiving blocks — distinct per member
 /// (schedule contention-freedom) and across members (different arrays'
 /// storage) — then split the round into weight-balanced chunks across
-/// scoped worker threads. Rounds below [`PARALLEL_THRESHOLD`] elements
-/// replay inline, spawning nothing.
+/// scoped worker threads. Rounds below the shared inline threshold
+/// ([`round_goes_inline`]) replay inline, spawning nothing.
 fn replay_parallel(
     members: &mut [GroupMember<'_>],
     prog: &GroupCopyProgram,
@@ -413,7 +413,7 @@ fn replay_parallel(
         if total == 0 {
             continue;
         }
-        if total < PARALLEL_THRESHOLD {
+        if round_goes_inline(total) {
             replay_round_inline(members, prog, mask, round);
             continue;
         }
@@ -432,7 +432,7 @@ fn replay_parallel(
                 continue;
             }
             let (src, dst) = member_pair(m.rt, m.src, m.target);
-            pair_round_units(units, &mp.runs, src, dst, &mut paired);
+            pair_round_units(units, &mp.fams, &mp.runs, src, dst, &mut paired);
         }
         replay_chunked(paired, total, threads);
     }
@@ -631,7 +631,7 @@ fn replay_group_round_guarded(
         .map(|(i, mp)| units_of(mp, round)[..taken[i]].iter().map(|u| u.elements).sum::<u64>())
         .sum();
     let copied = catch_unwind(AssertUnwindSafe(|| {
-        if mode.threads() > 1 && weight >= PARALLEL_THRESHOLD {
+        if mode.threads() > 1 && !round_goes_inline(weight) {
             let mut paired: Vec<PairedUnit<'_>> = Vec::new();
             for (i, m) in members.iter_mut().enumerate() {
                 if taken[i] == 0 {
@@ -640,7 +640,7 @@ fn replay_group_round_guarded(
                 let mp = &prog.members[i];
                 let units = &units_of(mp, round)[..taken[i]];
                 let (src, dst) = member_pair(m.rt, m.src, m.target);
-                pair_round_units(units, &mp.runs, src, dst, &mut paired);
+                pair_round_units(units, &mp.fams, &mp.runs, src, dst, &mut paired);
             }
             let boom = matches!(fault, Some((FaultKind::WorkerPanic, _))).then_some(0);
             replay_chunked_guarded(paired, weight, mode.threads(), boom);
@@ -659,7 +659,7 @@ fn replay_group_round_guarded(
                     let db = dst.blocks[unit.receiver as usize]
                         .as_mut()
                         .expect("receiver allocates the data");
-                    replay_unit(&mp.runs, *unit, sb, db);
+                    replay_unit(&mp.fams, &mp.runs, *unit, sb, db);
                 }
             }
         }
@@ -681,7 +681,8 @@ fn replay_group_round_guarded(
                     let db = dst.blocks[victim.receiver as usize]
                         .as_mut()
                         .expect("receiver allocates the data");
-                    flip_unit_word(&prog.members[i].runs, victim, db);
+                    let mp = &prog.members[i];
+                    flip_unit_word(&mp.fams, &mp.runs, victim, db);
                     break;
                 }
                 v -= units.len();
@@ -702,7 +703,7 @@ fn replay_group_round_guarded(
         let mut mruns = 0u64;
         let mut melems = 0u64;
         for unit in units {
-            mruns += (unit.runs.1 - unit.runs.0) as u64;
+            mruns += unit_n_runs(&mp.fams, *unit);
             melems += unit.elements;
             if checksums {
                 let sb = src.blocks[unit.provider as usize]
@@ -711,8 +712,8 @@ fn replay_group_round_guarded(
                 let db = dst.blocks[unit.receiver as usize]
                     .as_ref()
                     .expect("receiver allocates the data");
-                read = read.wrapping_add(unit_src_sum(&mp.runs, *unit, sb));
-                written = written.wrapping_add(unit_dst_sum(&mp.runs, *unit, db));
+                read = read.wrapping_add(unit_src_sum(&mp.fams, &mp.runs, *unit, sb));
+                written = written.wrapping_add(unit_dst_sum(&mp.fams, &mp.runs, *unit, db));
             }
         }
         per_member[i].0 += mruns;
@@ -850,6 +851,72 @@ mod tests {
         assert_eq!(machine.stats.plans_computed, 0, "fallback was seeded, never plans");
         assert_eq!(a.get(&[0]), 99.0);
         assert_eq!(b.get(&[3]), 1003.0);
+    }
+
+    #[test]
+    fn threshold_boundary_round_takes_the_same_engine_solo_and_group() {
+        use crate::exec::PARALLEL_THRESHOLD;
+        // Solo: Block → Cyclic(n/4) on 2 ranks puts the local group AND
+        // the single caterpillar round at exactly PARALLEL_THRESHOLD
+        // elements — the boundary the shared predicate pins.
+        let n = 2 * PARALLEL_THRESHOLD;
+        let src = mk(n, 2, DimFormat::Block(None));
+        let dst = mk(n, 2, DimFormat::Cyclic(Some(n / 4)));
+        let plan = plan_redistribution(&src, &dst, 8);
+        let schedule = CommSchedule::from_plan(&plan);
+        let prog = crate::CopyProgram::try_compile(&plan, &schedule).expect("compiles");
+        for round in std::iter::once(&prog.local).chain(prog.rounds.iter()) {
+            let w: u64 = round.iter().map(|u| u.elements).sum();
+            assert_eq!(w, PARALLEL_THRESHOLD, "round sits exactly at the boundary");
+            assert!(
+                !crate::exec::round_goes_inline(w),
+                "a boundary round takes the parallel engine everywhere"
+            );
+        }
+        let mut a = VersionData::new(src, 8);
+        a.fill(|p| (p[0] % 8191) as f64);
+        let mut serial = VersionData::new(dst.clone(), 8);
+        serial.copy_values_from_program(&a, &prog, ExecMode::Serial);
+        let mut par = VersionData::new(dst, 8);
+        par.copy_values_from_program(&a, &prog, ExecMode::Parallel(4));
+        assert_eq!(serial, par);
+
+        // Group: two members at half the extent, so every *merged*
+        // round (local group and the wire round) also totals exactly
+        // PARALLEL_THRESHOLD — the group dispatcher must agree with
+        // the solo one at the boundary.
+        let gn = PARALLEL_THRESHOLD;
+        let run = |mode: ExecMode| {
+            let (machine, mut a, mut b, fwd, _back) = two_array_group(
+                gn,
+                2,
+                DimFormat::Block(None),
+                DimFormat::Cyclic(Some(gn / 4)),
+            );
+            let gp = fwd.program.as_ref().expect("members compile");
+            for round in std::iter::once(None).chain((0..gp.n_rounds).map(Some)) {
+                let w: u64 = gp
+                    .members
+                    .iter()
+                    .map(|mp| units_of(mp, round).iter().map(|u| u.elements).sum::<u64>())
+                    .sum();
+                assert_eq!(w, PARALLEL_THRESHOLD, "merged round sits exactly at the boundary");
+            }
+            let mut machine = machine.with_exec_mode(mode);
+            let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+            let skip = BTreeSet::new();
+            {
+                let mut members = [
+                    GroupMember { rt: &mut a, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                    GroupMember { rt: &mut b, src: 0, target: 1, may_live: &keep, skip_if_current: &skip },
+                ];
+                assert_eq!(remap_group(&mut machine, &mut members, &fwd), 2);
+            }
+            let av = a.copies[1].as_ref().unwrap().to_dense();
+            let bv = b.copies[1].as_ref().unwrap().to_dense();
+            (av, bv)
+        };
+        assert_eq!(run(ExecMode::Serial), run(ExecMode::Parallel(4)));
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub mod schedule;
 pub mod status;
 pub mod store;
 
-pub use exec::{CompileDecline, CopyProgram, CopyRun, CopyUnit, ExecMode, GroupCopyProgram};
+pub use exec::{CompileDecline, CopyProgram, CopyRun, CopyUnit, ExecMode, GroupCopyProgram, Kernel,
+              StrideFamily};
 pub use fault::{ExecError, FaultKind, FaultPlan, ValidationLevel};
 pub use group::{remap_group, try_remap_group, GroupMember, PlannedGroup};
 pub use machine::{CostModel, Machine, NetStats};

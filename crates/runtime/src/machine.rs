@@ -510,4 +510,107 @@ mod tests {
         assert_eq!(a.bytes, 15);
         assert!((a.time_us - 1.0).abs() < 1e-12);
     }
+
+    /// Every counter set, no `..Default::default()` anywhere: adding a
+    /// `NetStats` field without wiring it through `merge()` (and this
+    /// test) fails to compile here, and a field `merge()` silently
+    /// drops fails the per-field assertions — the way `faults_injected`
+    /// and friends could once have been lost.
+    #[test]
+    fn stats_merge_and_summary_carry_every_field() {
+        let mk = |base: u64| NetStats {
+            messages: base + 1,
+            bytes: base + 2,
+            local_elements: base + 3,
+            time_us: base as f64 + 0.5,
+            remaps_performed: base + 4,
+            remaps_skipped_noop: base + 5,
+            remaps_reused_live: base + 6,
+            remaps_dead_values: base + 7,
+            plans_computed: base + 8,
+            plan_cache_hits: base + 9,
+            bytes_moved: base + 10,
+            runs_copied: base + 11,
+            restores_replayed: base + 12,
+            remap_groups_coalesced: base + 13,
+            faults_injected: base + 14,
+            rounds_retried: base + 15,
+            programs_recompiled: base + 16,
+            fallbacks_to_tables: base + 17,
+            parallel_degradations: base + 18,
+            registry_hits: base + 19,
+            registry_misses: base + 20,
+            registry_evictions: base + 21,
+            txn_rollbacks: base + 22,
+            group_rollbacks: base + 23,
+            quarantined_pairs: base + 24,
+            lock_poison_recoveries: base + 25,
+        };
+        let mut merged = mk(100);
+        merged.merge(&mk(1000));
+        // Exhaustive destructuring — a new field breaks this pattern
+        // until it is added (and to merge(), or the sum check fails).
+        let NetStats {
+            messages,
+            bytes,
+            local_elements,
+            time_us,
+            remaps_performed,
+            remaps_skipped_noop,
+            remaps_reused_live,
+            remaps_dead_values,
+            plans_computed,
+            plan_cache_hits,
+            bytes_moved,
+            runs_copied,
+            restores_replayed,
+            remap_groups_coalesced,
+            faults_injected,
+            rounds_retried,
+            programs_recompiled,
+            fallbacks_to_tables,
+            parallel_degradations,
+            registry_hits,
+            registry_misses,
+            registry_evictions,
+            txn_rollbacks,
+            group_rollbacks,
+            quarantined_pairs,
+            lock_poison_recoveries,
+        } = merged;
+        assert_eq!(messages, 101 + 1001);
+        assert_eq!(bytes, 102 + 1002);
+        assert_eq!(local_elements, 103 + 1003);
+        assert!((time_us - (100.5 + 1000.5)).abs() < 1e-12);
+        assert_eq!(remaps_performed, 104 + 1004);
+        assert_eq!(remaps_skipped_noop, 105 + 1005);
+        assert_eq!(remaps_reused_live, 106 + 1006);
+        assert_eq!(remaps_dead_values, 107 + 1007);
+        assert_eq!(plans_computed, 108 + 1008);
+        assert_eq!(plan_cache_hits, 109 + 1009);
+        assert_eq!(bytes_moved, 110 + 1010);
+        assert_eq!(runs_copied, 111 + 1011);
+        assert_eq!(restores_replayed, 112 + 1012);
+        assert_eq!(remap_groups_coalesced, 113 + 1013);
+        assert_eq!(faults_injected, 114 + 1014);
+        assert_eq!(rounds_retried, 115 + 1015);
+        assert_eq!(programs_recompiled, 116 + 1016);
+        assert_eq!(fallbacks_to_tables, 117 + 1017);
+        assert_eq!(parallel_degradations, 118 + 1018);
+        assert_eq!(registry_hits, 119 + 1019);
+        assert_eq!(registry_misses, 120 + 1020);
+        assert_eq!(registry_evictions, 121 + 1021);
+        assert_eq!(txn_rollbacks, 122 + 1022);
+        assert_eq!(group_rollbacks, 123 + 1023);
+        assert_eq!(quarantined_pairs, 124 + 1024);
+        assert_eq!(lock_poison_recoveries, 125 + 1025);
+        // With every counter nonzero, all conditional summary segments
+        // print, and every u64 counter's value appears verbatim —
+        // summary() cannot silently omit a field either.
+        let s = mk(200).summary();
+        for v in 201..=225u64 {
+            assert!(s.contains(&v.to_string()), "summary misses {v}: {s}");
+        }
+        assert!(s.contains("200.5"), "summary misses time_us: {s}");
+    }
 }

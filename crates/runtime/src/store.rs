@@ -374,9 +374,14 @@ pub struct TxnScratch {
     /// Whether the target copy existed before the remap — if not,
     /// rollback frees it instead of restoring bytes.
     pub(crate) target_preallocated: bool,
-    /// `(receiver rank, dst_pos, len)` of every destination run saved.
-    ranges: Vec<(u64, u32, u32)>,
-    /// The saved words, concatenated in `ranges` order.
+    /// Strided capture entries: `(receiver rank, dst_base, count,
+    /// dst_step, len)` — one entry covers `count` destination runs of
+    /// `len` words each, `dst_step` apart (a stride family's write
+    /// set); a residual triple is the degenerate `count = 1, step = 0`
+    /// case. One entry per family keeps the capture metadata O(pairs)
+    /// like the artifact itself.
+    ranges: Vec<(u64, u32, u32, u32, u32)>,
+    /// The saved words, concatenated in `ranges` expansion order.
     words: Vec<f64>,
     /// Full-block fallback: `(rank, data)` clones of every destination
     /// block (used when no compiled program bounds the write set).
@@ -428,32 +433,48 @@ impl TxnScratch {
         }
     }
 
-    /// Save the words under every destination run of `p`. Returns
-    /// `false` (caller falls back to full blocks) if a referenced
-    /// block is unallocated or a run is out of bounds — states the
-    /// guarded replay rejects with a typed error before writing, but
-    /// the snapshot must never panic on them.
+    /// Save the words under every destination run of `p` — stride
+    /// families and residual triples alike. Returns `false` (caller
+    /// falls back to full blocks) if a referenced block is unallocated
+    /// or a run is out of bounds — states the guarded replay rejects
+    /// with a typed error before writing, but the snapshot must never
+    /// panic on them.
     fn capture_runs(&mut self, p: &crate::CopyProgram, dst: &VersionData) -> bool {
         for unit in p.local.iter().chain(p.rounds.iter().flatten()) {
             let Some(block) = dst.blocks[unit.receiver as usize].as_ref() else {
                 return false;
             };
+            for f in &p.fams[unit.fams.0 as usize..unit.fams.1 as usize] {
+                let mut at = f.dst_base as usize;
+                let (step, len) = (f.dst_step as usize, f.len as usize);
+                let words_start = self.words.len();
+                for _ in 0..f.count {
+                    let Some(words) = block.data.get(at..at + len) else {
+                        self.words.truncate(words_start);
+                        return false;
+                    };
+                    self.words.extend_from_slice(words);
+                    at += step;
+                }
+                self.ranges.push((unit.receiver, f.dst_base, f.count, f.dst_step, f.len));
+            }
             for run in &p.runs[unit.runs.0 as usize..unit.runs.1 as usize] {
                 let (at, len) = (run.dst_pos as usize, run.len as usize);
                 let Some(words) = block.data.get(at..at + len) else {
                     return false;
                 };
-                self.ranges.push((unit.receiver, run.dst_pos, run.len));
+                self.ranges.push((unit.receiver, run.dst_pos, 1, 0, run.len));
                 self.words.extend_from_slice(words);
             }
         }
         true
     }
 
-    /// Write the saved destination bytes back (run ranges or full
-    /// blocks, whichever was captured). Array-level state (`status`,
-    /// `live`, freeing a fresh copy) is the caller's half of the
-    /// rollback — see `ArrayRt::rollback_remap`.
+    /// Write the saved destination bytes back (strided capture entries
+    /// or full blocks, whichever was captured), expanding each entry in
+    /// the order it was captured. Array-level state (`status`, `live`,
+    /// freeing a fresh copy) is the caller's half of the rollback — see
+    /// `ArrayRt::rollback_remap`.
     pub(crate) fn restore_bytes(&self, dst: &mut VersionData) {
         for (rank, data) in &self.full {
             if let Some(b) = dst.blocks[*rank].as_mut() {
@@ -461,12 +482,18 @@ impl TxnScratch {
             }
         }
         let mut off = 0usize;
-        for &(rank, pos, len) in &self.ranges {
-            let (at, len) = (pos as usize, len as usize);
+        for &(rank, base, count, step, len) in &self.ranges {
+            let (step, len) = (step as usize, len as usize);
+            let mut at = base as usize;
             if let Some(b) = dst.blocks[rank as usize].as_mut() {
-                b.data[at..at + len].copy_from_slice(&self.words[off..off + len]);
+                for _ in 0..count {
+                    b.data[at..at + len].copy_from_slice(&self.words[off..off + len]);
+                    at += step;
+                    off += len;
+                }
+            } else {
+                off += count as usize * len;
             }
-            off += len;
         }
     }
 }

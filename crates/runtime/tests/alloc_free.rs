@@ -362,4 +362,57 @@ fn steady_state_remap_allocates_nothing() {
     assert_eq!(machine.stats.remaps_performed, performed + 20, "every bounce moved data");
     assert_eq!(machine.stats.txn_rollbacks, 0, "the happy path never rolls back");
     assert_eq!(machine.stats.plans_computed, 2);
+
+    // --- 7. Strided-kernel replay is allocation-free too. -------------
+    // cyclic(1) destinations compile to pure Gather stride families
+    // (zero residual triples): the cached bounce exercises the family
+    // walk in the replay, the per-unit run accounting, and — armed by
+    // the validation level — the strided TxnScratch capture. All of it
+    // must reuse warm capacity, exactly like the triple path above.
+    let src = mk(n, 4, DimFormat::Block(None));
+    let dst = mk(n, 4, DimFormat::Cyclic(None));
+    let mut machine = Machine::new(4)
+        .with_exec_mode(ExecMode::Serial)
+        .without_registry()
+        .with_validation(hpfc_runtime::ValidationLevel::Counts)
+        .with_txn(true);
+    let mut rt = ArrayRt::new("a", vec![src, dst], 8);
+    rt.current(&mut machine, 0).fill(|p| p[0] as f64);
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    for _ in 0..2 {
+        rt.remap(&mut machine, 1, &keep, false);
+        rt.set(&[0], 1.0);
+        rt.remap(&mut machine, 0, &keep, false);
+        rt.set(&[1], 1.0);
+    }
+    // Pin the premise: the cached forward program really is family-only
+    // with Gather kernels — otherwise this section silently degenerates
+    // into another triple-path measurement.
+    {
+        let cached = rt.plan_cache.get(&(0, 1)).expect("warmed");
+        let prog = cached.program.as_ref().expect("cyclic(1) compiles");
+        assert!(!prog.fams.is_empty(), "stride families drive this shape");
+        assert!(prog.runs.is_empty(), "no residual triples for cyclic(1)");
+        assert!(
+            prog.local.iter().chain(prog.rounds.iter().flatten()).all(|u| matches!(
+                u.kernel,
+                hpfc_runtime::Kernel::Gather
+            )),
+            "every unit dispatches the gather kernel"
+        );
+    }
+    let performed = machine.stats.remaps_performed;
+    for i in 0..10u64 {
+        rt.set(&[0], i as f64); // outside the measured window
+        let before = allocations();
+        rt.remap(&mut machine, 1, &keep, false);
+        assert_eq!(allocations(), before, "strided-kernel remap {i} ->1 allocated");
+        rt.set(&[1], i as f64);
+        let before = allocations();
+        rt.remap(&mut machine, 0, &keep, false);
+        assert_eq!(allocations(), before, "strided-kernel remap {i} ->0 allocated");
+    }
+    assert_eq!(machine.stats.remaps_performed, performed + 20, "every bounce moved data");
+    assert_eq!(machine.stats.txn_rollbacks, 0, "the happy path never rolls back");
+    assert_eq!(machine.stats.plans_computed, 2, "planned once per direction");
 }

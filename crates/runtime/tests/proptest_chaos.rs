@@ -420,6 +420,58 @@ fn exhaustion_rolls_a_solo_remap_back_to_its_pre_remap_state() {
     }
 }
 
+/// Rollback byte-identity when the destination is written through
+/// stride-family kernels, not flat triples: `cyclic(1)` destinations
+/// compile to pure Gather families (zero residual triples), so the
+/// transactional snapshot must capture — and the rollback must replay —
+/// strided destination runs. A scratch capture that only walked the
+/// residual triple list would restore nothing here and leave the
+/// partial write behind.
+#[test]
+fn exhaustion_rolls_back_strided_kernel_destinations_byte_identically() {
+    let n = 1u64 << 18; // rounds above PARALLEL_THRESHOLD: both engines real
+    let keep: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+    let src = mk1d(n, 4, DimFormat::Block(None));
+    let dst = mk1d(n, 4, DimFormat::Cyclic(None));
+    let fwd = Arc::new(PlannedRemap::compile(plan_redistribution(&src, &dst, 8)));
+    let back = Arc::new(PlannedRemap::compile(plan_redistribution(&dst, &src, 8)));
+    // Pin the premise: both directions replay through stride families
+    // exclusively — if the encoder ever left this shape to residual
+    // triples, the test would silently stop covering the strided
+    // capture path.
+    for planned in [&fwd, &back] {
+        let prog = planned.program.as_ref().expect("cyclic(1) bounce compiles");
+        assert!(!prog.fams.is_empty(), "stride families drive this shape");
+        assert!(prog.runs.is_empty(), "no residual triples for cyclic(1)");
+    }
+    for mode in [ExecMode::Serial, ExecMode::Parallel(4)] {
+        let mut machine = Machine::new(4).without_registry().with_exec_mode(mode).with_txn(true);
+        let mut rt = ArrayRt::new("a", vec![src.clone(), dst.clone()], 8);
+        rt.seed_plan(0, 1, Arc::clone(&fwd));
+        rt.seed_plan(1, 0, Arc::clone(&back));
+        let shadow = bounce_and_oracle(&mut machine, &mut rt, n, 2);
+        assert_eq!(rt.status, Some(0));
+        assert!(rt.copies[1].is_some(), "v1 stays allocated (stale)");
+        let pre = (rt.status, rt.live.clone(), rt.copies.clone());
+        machine = machine.with_faults(FaultPlan::new(97, 100, &[FaultKind::Exhaust]));
+        let err = rt.try_remap(&mut machine, 1, &keep, false).unwrap_err();
+        assert!(matches!(err, ExecError::Unrecovered { .. }), "typed terminal error: {err}");
+        assert_eq!(machine.stats.txn_rollbacks, 1, "({mode:?})");
+        assert_eq!(rt.status, pre.0, "status restored ({mode:?})");
+        assert_eq!(rt.live, pre.1, "live flags restored ({mode:?})");
+        assert_eq!(
+            rt.copies, pre.2,
+            "strided destination bytes are byte-identical to pre-remap ({mode:?})"
+        );
+        assert_matches_oracle(&rt, &shadow, "contents after strided rollback");
+        // And the array heals: without faults the same remap completes.
+        machine.faults = None;
+        rt.remap(&mut machine, 1, &keep, false);
+        assert_matches_oracle(&rt, &shadow, "remap after strided rollback");
+        assert_eq!(machine.stats.plans_computed, 0, "seeded caches: recovery never plans");
+    }
+}
+
 /// The A/B contrast pinning what the transaction buys: with
 /// `with_txn(false)` the same forced exhaustion leaves the
 /// partially-written destination behind (the ladder writes, then
