@@ -265,6 +265,70 @@ fn bench_registry_sessions(c: &mut Criterion) {
     g.finish();
 }
 
+/// Symbolic plans in P (`HPFC_SYMBOLIC`): launch-time instantiation vs
+/// re-running the planner. `replan` is the concrete cost a re-provision
+/// pays per mapping pair without the symbolic layer (closed-form plan +
+/// caterpillar schedule + program compile from the concrete mappings);
+/// `instantiate_new_p` is the symbolic layer's cost for a `P` it has
+/// not seen — rebuild both mappings from the P-free residue in closed
+/// form, then the same pipeline (so it must track `replan`, paid once
+/// per format pair instead of once per mapping pair); and
+/// `instantiate_cached_p` is the re-launch steady state — the
+/// instantiation point is served from the instance cache, an Arc clone.
+/// The registry-entry economics (O(format pairs) vs O(pairs × P)) are
+/// printed next to the times.
+fn bench_symbolic_instantiate(c: &mut Criterion) {
+    use hpfc::mapping::{format_pair, normalize_symbolic};
+    use hpfc::runtime::{PlanRegistry, PlannedRemap, SymbolicPlan};
+
+    let n = 16384u64;
+    let mut g = c.benchmark_group("redist/symbolic_instantiate");
+    let fmt_src = DimFormat::Cyclic(Some(4));
+    let fmt_dst = DimFormat::Cyclic(None);
+    let (sf, _) = normalize_symbolic(&mk(n, 16, fmt_src)).expect("symbolic");
+    let (df, _) = normalize_symbolic(&mk(n, 16, fmt_dst)).expect("symbolic");
+
+    // Registry economics across a re-provisioning sweep: the same 4
+    // format pairs launched at every P. Concrete keying holds one entry
+    // per (pair, P); symbolic keying holds one per pair.
+    let sweep = [4u64, 8, 16, 32, 64];
+    let registry = PlanRegistry::new(8, 1024);
+    for p in sweep {
+        for (fs, fd) in [(fmt_src, fmt_dst), (fmt_dst, fmt_src)] {
+            for extent in [n, 2 * n] {
+                let (src, dst) = (mk(extent, p, fs), mk(extent, p, fd));
+                registry.get_or_instantiate(&src, &dst, 8).expect("symbolic pair");
+            }
+        }
+    }
+    eprintln!(
+        "redist/symbolic_instantiate: {} symbolic entries ({} instantiation points) \
+         serve what concrete keying holds as {} entries across P in {sweep:?}",
+        registry.sym_len(),
+        registry.sym_instances(),
+        registry.sym_instances(),
+    );
+
+    let (src64, dst64) = (mk(n, 64, fmt_src), mk(n, 64, fmt_dst));
+    g.bench_function("replan", |b| {
+        b.iter(|| {
+            std::hint::black_box(PlannedRemap::compile(plan_redistribution(&src64, &dst64, 8)))
+        })
+    });
+    g.bench_function("instantiate_new_p", |b| {
+        b.iter(|| {
+            let sym = SymbolicPlan::new(format_pair(sf, df), 8);
+            std::hint::black_box(sym.instantiate_planned(64, 64, n).expect("realizable"))
+        })
+    });
+    g.bench_function("instantiate_cached_p", |b| {
+        let sym = SymbolicPlan::new(format_pair(sf, df), 8);
+        sym.instantiate_planned(64, 64, n).expect("realizable");
+        b.iter(|| std::hint::black_box(sym.instantiate_planned(64, 64, n).expect("cached")))
+    });
+    g.finish();
+}
+
 /// The restore-path payoff (Fig. 18, PR 4): a save/restore bounce
 /// around a call — remap to the callee's version, write there (staling
 /// the saved copy), restore to the saved tag. `cached` is the
@@ -462,6 +526,7 @@ criterion_group!(
     bench_procs_sweep,
     bench_remap_loop_caching,
     bench_registry_sessions,
+    bench_symbolic_instantiate,
     bench_restore_bounce,
     bench_group_remap,
     bench_fault_overhead,

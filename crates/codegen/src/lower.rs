@@ -226,6 +226,17 @@ impl<'a> Lowerer<'a> {
             .map(|&r| {
                 let src = self.rg.versions.mapping_of(VersionId { array: a, index: r });
                 let planned = match PlanRegistry::global() {
+                    // Symbolic keying first (`HPFC_SYMBOLIC`, default
+                    // on): a registered concrete artifact (seeded or
+                    // installed) is always honored, then the
+                    // format-pair table instantiates at this pair's
+                    // `(P, extent)` point; shapes it declines compile
+                    // on the concrete keys as before.
+                    Some(reg) if hpfc_runtime::symbolic::enabled_from_env() => reg
+                        .probe(src, dst, elem)
+                        .0
+                        .or_else(|| reg.get_or_instantiate(src, dst, elem).map(|(p, _)| p))
+                        .unwrap_or_else(|| reg.get_or_compile(src, dst, elem).0),
                     Some(reg) => reg.get_or_compile(src, dst, elem).0,
                     None => Arc::new(PlannedRemap::compile(plan_redistribution(src, dst, elem))),
                 };

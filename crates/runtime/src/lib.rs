@@ -42,6 +42,12 @@
 //!   ([`hpfc_mapping::intern`]) and shared by every array, program,
 //!   and interpreter session (`HPFC_REGISTRY`); per-array plan caches
 //!   are thin views that seed from and publish to it;
+//! * [`symbolic::SymbolicPlan`] — plans symbolic in the processor
+//!   count: one parametric entry per interned `(format, format)` pair
+//!   (`HPFC_SYMBOLIC`, default on), instantiated in closed form at any
+//!   `P` at launch time, shrinking the registry to O(format pairs) and
+//!   turning a fleet re-provision (P=16 → P=64) into cheap
+//!   instantiations instead of a recompile;
 //! * [`fault::FaultPlan`] — deterministic fault injection
 //!   (`HPFC_FAULTS`), per-round validation (`HPFC_VALIDATE`), and the
 //!   self-healing recovery ladder behind [`status::ArrayRt::remap_guarded`]
@@ -67,6 +73,7 @@ pub mod registry;
 pub mod schedule;
 pub mod status;
 pub mod store;
+pub mod symbolic;
 
 pub use exec::{CompileDecline, CopyProgram, CopyRun, CopyUnit, ExecMode, GroupCopyProgram, Kernel,
               StrideFamily};
@@ -78,3 +85,4 @@ pub use registry::{PlanRegistry, RegistryConfig, RegistryOutcome};
 pub use schedule::{CommSchedule, MsgDim, PackedMessage};
 pub use status::{ArrayRt, PlannedRemap};
 pub use store::VersionData;
+pub use symbolic::{SymbolicOutcome, SymbolicPlan};

@@ -126,6 +126,14 @@ pub struct NetStats {
     /// Registry lock acquisitions that recovered a poisoned shard lock
     /// (`Mutex::into_inner` instead of an `unwrap` panic).
     pub lock_poison_recoveries: u64,
+    /// Concrete artifacts materialized from a symbolic (P-free) plan:
+    /// a format-pair registry entry instantiated at a processor count
+    /// it had not seen before, instead of re-running the planner.
+    pub symbolic_instantiations: u64,
+    /// Mapping pairs the symbolic normalizer declined (replication,
+    /// constant alignments, multi-dimensional grids, degenerate
+    /// placements) — those fall back to concrete per-pair plan keys.
+    pub symbolic_declines: u64,
 }
 
 impl NetStats {
@@ -157,6 +165,8 @@ impl NetStats {
         self.group_rollbacks += o.group_rollbacks;
         self.quarantined_pairs += o.quarantined_pairs;
         self.lock_poison_recoveries += o.lock_poison_recoveries;
+        self.symbolic_instantiations += o.symbolic_instantiations;
+        self.symbolic_declines += o.symbolic_declines;
     }
 
     /// One-line human-readable digest (experiment drivers, examples).
@@ -218,6 +228,13 @@ impl NetStats {
                 self.lock_poison_recoveries,
             ));
         }
+        let symbolic = self.symbolic_instantiations + self.symbolic_declines;
+        if symbolic > 0 {
+            s.push_str(&format!(
+                " | symbolic {} instantiated / {} declined",
+                self.symbolic_instantiations, self.symbolic_declines,
+            ));
+        }
         s
     }
 }
@@ -229,6 +246,19 @@ impl NetStats {
 fn txn_from_env() -> bool {
     !matches!(
         std::env::var("HPFC_TXN").as_deref().map(str::trim),
+        Ok("off") | Ok("0") | Ok("false") | Ok("no")
+    )
+}
+
+/// The `HPFC_SYMBOLIC` knob: symbolic (P-free) plan keying is **on**
+/// unless the variable opts out (`off` / `0` / `false` / `no`).
+/// Anything else — including unset, empty, or garbage — selects the
+/// default (on), mirroring `HPFC_TXN`: declines always fall back to
+/// concrete keys, so the symbolic path is never less correct, only
+/// smaller-keyed.
+pub(crate) fn symbolic_from_env() -> bool {
+    !matches!(
+        std::env::var("HPFC_SYMBOLIC").as_deref().map(str::trim),
         Ok("off") | Ok("0") | Ok("false") | Ok("no")
     )
 }
@@ -331,6 +361,14 @@ pub struct Machine {
     /// A/B runs). The snapshot only arms on the *guarded* path — the
     /// default fault-free cached bounce is untouched.
     pub txn: bool,
+    /// Whether plan lookups go through the symbolic (P-free) layer:
+    /// registry entries are keyed by interned `(format, format)` pairs
+    /// and re-provisioning to a new processor count instantiates the
+    /// parametric plan instead of recompiling. On by default
+    /// (`HPFC_SYMBOLIC=off` or [`Machine::with_symbolic`] restores the
+    /// concrete per-mapping-pair keying for A/B). Shapes the symbolic
+    /// normalizer declines always fall back to concrete keys.
+    pub symbolic: bool,
     /// Reusable per-phase accounting buffers.
     scratch: PhaseScratch,
     /// Reusable solo-remap rollback record (capacity persists across
@@ -357,6 +395,7 @@ impl Machine {
             validation: crate::fault::ValidationLevel::from_env(),
             registry: crate::registry::PlanRegistry::global().cloned(),
             txn: txn_from_env(),
+            symbolic: symbolic_from_env(),
             scratch: PhaseScratch::default(),
             txn_scratch: crate::store::TxnScratch::default(),
             group_txn_scratch: Vec::new(),
@@ -392,6 +431,15 @@ impl Machine {
     /// error leaves the destination partially written (A/B baseline).
     pub fn with_txn(mut self, txn: bool) -> Self {
         self.txn = txn;
+        self
+    }
+
+    /// Builder-style override of symbolic plan keying
+    /// (`HPFC_SYMBOLIC`). `false` restores concrete per-mapping-pair
+    /// registry keys — the O(mapping pairs) baseline the symbolic
+    /// layer's O(format pairs) registry is pinned against.
+    pub fn with_symbolic(mut self, symbolic: bool) -> Self {
+        self.symbolic = symbolic;
         self
     }
 
@@ -545,6 +593,8 @@ mod tests {
             group_rollbacks: base + 23,
             quarantined_pairs: base + 24,
             lock_poison_recoveries: base + 25,
+            symbolic_instantiations: base + 26,
+            symbolic_declines: base + 27,
         };
         let mut merged = mk(100);
         merged.merge(&mk(1000));
@@ -577,6 +627,8 @@ mod tests {
             group_rollbacks,
             quarantined_pairs,
             lock_poison_recoveries,
+            symbolic_instantiations,
+            symbolic_declines,
         } = merged;
         assert_eq!(messages, 101 + 1001);
         assert_eq!(bytes, 102 + 1002);
@@ -604,11 +656,13 @@ mod tests {
         assert_eq!(group_rollbacks, 123 + 1023);
         assert_eq!(quarantined_pairs, 124 + 1024);
         assert_eq!(lock_poison_recoveries, 125 + 1025);
+        assert_eq!(symbolic_instantiations, 126 + 1026);
+        assert_eq!(symbolic_declines, 127 + 1027);
         // With every counter nonzero, all conditional summary segments
         // print, and every u64 counter's value appears verbatim —
         // summary() cannot silently omit a field either.
         let s = mk(200).summary();
-        for v in 201..=225u64 {
+        for v in 201..=227u64 {
             assert!(s.contains(&v.to_string()), "summary misses {v}: {s}");
         }
         assert!(s.contains("200.5"), "summary misses time_us: {s}");

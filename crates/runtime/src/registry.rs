@@ -165,6 +165,12 @@ pub struct RegistryOutcome {
 /// the element size the plan was computed for.
 type PlanKey = (usize, u64);
 
+/// Key of one symbolic entry: the interned format pair's pointer plus
+/// the element size. Each [`SymbolicPlan`] holds its pair strongly, so
+/// — exactly as with [`PlanKey`] — the pointer cannot dangle or be
+/// recycled while the entry lives.
+type SymKey = (usize, u64);
+
 struct Entry {
     planned: Arc<PlannedRemap>,
     /// LRU recency stamp from the owning shard's clock.
@@ -229,6 +235,13 @@ pub struct PlanRegistry {
     /// Pairs whose artifacts keep failing repair (off the hot path:
     /// only consulted when the quarantine table is non-empty).
     quarantine: Mutex<HashMap<PlanKey, QuarantineEntry>>,
+    /// Parametric plans keyed by interned format pair (`HPFC_SYMBOLIC`
+    /// keying). Deliberately unbounded and un-evicted: the table is
+    /// O(format pairs) *by design* — that bound is the whole point of
+    /// the symbolic layer, and each entry amortizes over every `P` a
+    /// job is ever launched on. One lock, not shards: entries are few
+    /// and materialization is one-time per instantiation point.
+    sym: Mutex<HashMap<SymKey, Arc<crate::symbolic::SymbolicPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -262,6 +275,7 @@ impl PlanRegistry {
             shard_cap,
             groups: Mutex::new(GroupShard { map: HashMap::new(), clock: 0 }),
             quarantine: Mutex::new(HashMap::new()),
+            sym: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -496,6 +510,128 @@ impl PlanRegistry {
         let e = shard.map.get_mut(&key)?;
         e.stamp = stamp;
         Some(Arc::clone(&e.planned))
+    }
+
+    /// A counted probe of the concrete tables for `(src, dst)` at
+    /// `elem_size` — the first leg of the symbolic flow. Mirrors
+    /// the internal lookup-or-compile serving order exactly: a
+    /// quarantined pair short-circuits to its program-stripped artifact
+    /// (consuming one backoff-window slot), then the shard is probed,
+    /// touching LRU recency. A hit bills the registry-internal hit
+    /// counter and sets `out.hit`; a miss bills **nothing** — the
+    /// caller decides whether the symbolic table or a concrete compile
+    /// resolves it, and that path does the miss accounting.
+    pub fn probe(
+        &self,
+        src: &NormalizedMapping,
+        dst: &NormalizedMapping,
+        elem_size: u64,
+    ) -> (Option<Arc<PlannedRemap>>, RegistryOutcome) {
+        let pair: MappingPair = intern::pair(src, dst);
+        let key: PlanKey = (Arc::as_ptr(&pair) as usize, elem_size);
+        let mut out = RegistryOutcome::default();
+        if self.quarantined.load(Ordering::Relaxed) != 0 {
+            if let Some(stripped) = self.quarantine_probe(key, &mut out) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                out.hit = true;
+                return (Some(stripped), out);
+            }
+        }
+        let (mut shard, rec) = self.lock_recover(self.shard_of(key));
+        out.lock_recoveries += rec;
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if let Some(e) = shard.map.get_mut(&key) {
+            e.stamp = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            out.hit = true;
+            return (Some(Arc::clone(&e.planned)), out);
+        }
+        (None, out)
+    }
+
+    /// The symbolic-keyed artifact for `(src, dst)` at `elem_size`:
+    /// both mappings are reduced to their P-free residues
+    /// ([`hpfc_mapping::normalize_symbolic`]), the residue pair is
+    /// interned, and the per-format-pair [`crate::SymbolicPlan`] — created on
+    /// first sight, served ever after — materializes the concrete
+    /// artifact at this exact `(p_src, p_dst, extent)` instantiation
+    /// point.
+    ///
+    /// `None` (a *decline*, `NetStats::symbolic_declines`) when either
+    /// mapping has no symbolic residue, the extents differ, or the
+    /// formats cannot be realized at the requested point; nothing is
+    /// billed and nothing is cached — the caller falls back to the
+    /// concrete [`PlanRegistry::try_get_or_compile`] path.
+    ///
+    /// Billing on success mirrors the concrete scheme so compile-once
+    /// accounting holds under both keyings: a fresh format pair is a
+    /// registry *miss* (the caller additionally bills
+    /// `plans_computed`); a known pair is a *hit*, and if this call
+    /// materialized a new instantiation point, `out.instantiated` marks
+    /// the cheap cross-`P` path (`NetStats::symbolic_instantiations`).
+    pub fn get_or_instantiate(
+        &self,
+        src: &NormalizedMapping,
+        dst: &NormalizedMapping,
+        elem_size: u64,
+    ) -> Option<(Arc<PlannedRemap>, crate::SymbolicOutcome)> {
+        let (src_fmt, p_src) = hpfc_mapping::normalize_symbolic(src)?;
+        let (dst_fmt, p_dst) = hpfc_mapping::normalize_symbolic(dst)?;
+        if src.array_extents != dst.array_extents || src.array_extents.rank() != 1 {
+            return None;
+        }
+        let extent = src.array_extents.extent(0);
+        let formats = hpfc_mapping::format_pair(src_fmt, dst_fmt);
+        let key: SymKey = (Arc::as_ptr(&formats) as usize, elem_size);
+        let mut out = crate::SymbolicOutcome::default();
+        let (mut sym, rec) = self.lock_recover(&self.sym);
+        out.lock_recoveries += rec;
+        let (plan, known) = match sym.get(&key) {
+            Some(plan) => (Arc::clone(plan), true),
+            None => {
+                let plan = Arc::new(crate::SymbolicPlan::new(formats, elem_size));
+                sym.insert(key, Arc::clone(&plan));
+                (plan, false)
+            }
+        };
+        // Materialize under the table lock: racing sessions instantiate
+        // each point exactly once (the instance cache's own lock makes
+        // this belt-and-braces, but holding the table lock keeps the
+        // hit/miss decision and the artifact atomic).
+        let (planned, fresh) = match plan.instantiate_planned(p_src, p_dst, extent) {
+            Some(r) => r,
+            None => {
+                // Unrealizable point: withdraw a pair entry this call
+                // created so a decline leaves no trace.
+                if !known {
+                    sym.remove(&key);
+                }
+                return None;
+            }
+        };
+        drop(sym);
+        if known {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            out.hit = true;
+            out.instantiated = fresh;
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((planned, out))
+    }
+
+    /// Registered symbolic (format-pair) entries — O(format pairs) by
+    /// design; compare [`PlanRegistry::len`], which counts concrete
+    /// per-mapping-pair entries.
+    pub fn sym_len(&self) -> usize {
+        self.lock_recover(&self.sym).0.len()
+    }
+
+    /// Total concrete instantiation points materialized across all
+    /// symbolic entries (each is one cached plan → schedule → program).
+    pub fn sym_instances(&self) -> usize {
+        self.lock_recover(&self.sym).0.values().map(|p| p.instances()).sum()
     }
 
     /// The shared directive-level group artifact for `members` (in

@@ -126,6 +126,51 @@ impl ArrayRt {
         }
         let entry = match machine.registry.clone() {
             Some(reg) => {
+                // Symbolic keying (`HPFC_SYMBOLIC`, default on): probe
+                // the concrete tables first — a seeded, adopted,
+                // installed, or quarantined artifact is always served
+                // as-is — then resolve through the per-format-pair
+                // symbolic table. Shapes the symbolic normalizer
+                // declines fall through to the concrete compile path
+                // below. Injected compile panics stay on the concrete
+                // path: the panic must unwind inside
+                // compile-under-lock to exercise containment.
+                if machine.symbolic && !inject_compile_panic {
+                    let (found, out) = reg.probe(
+                        &self.mappings[src as usize],
+                        &self.mappings[dst as usize],
+                        self.elem_size,
+                    );
+                    machine.stats.lock_poison_recoveries += out.lock_recoveries;
+                    if let Some(planned) = found {
+                        machine.stats.registry_hits += 1;
+                        self.plan_cache.insert((src, dst), Arc::clone(&planned));
+                        return planned;
+                    }
+                    if let Some((planned, sym)) = reg.get_or_instantiate(
+                        &self.mappings[src as usize],
+                        &self.mappings[dst as usize],
+                        self.elem_size,
+                    ) {
+                        machine.stats.lock_poison_recoveries += sym.lock_recoveries;
+                        if sym.hit {
+                            machine.stats.registry_hits += 1;
+                            if sym.instantiated {
+                                machine.stats.symbolic_instantiations += 1;
+                            }
+                        } else {
+                            // First sight of this format pair: billed
+                            // exactly like a concrete compile, so
+                            // compile-once accounting is identical
+                            // under both keying schemes.
+                            machine.stats.registry_misses += 1;
+                            machine.stats.plans_computed += 1;
+                        }
+                        self.plan_cache.insert((src, dst), Arc::clone(&planned));
+                        return planned;
+                    }
+                    machine.stats.symbolic_declines += 1;
+                }
                 let (res, out) = reg.try_get_or_compile(
                     &self.mappings[src as usize],
                     &self.mappings[dst as usize],
@@ -798,7 +843,14 @@ mod tests {
         assert_eq!(m.stats.plan_cache_hits, 18);
         assert_eq!(m.stats.registry_misses, 2);
         assert_eq!(m.stats.registry_hits, 0);
-        assert_eq!(registry.len(), 2);
+        // Same compile-once accounting under both keying schemes; only
+        // where the two entries live differs (concrete shards vs the
+        // symbolic format-pair table).
+        if m.symbolic {
+            assert_eq!((registry.len(), registry.sym_len()), (0, 2));
+        } else {
+            assert_eq!((registry.len(), registry.sym_len()), (2, 0));
+        }
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Symbolic plans: one parametric artifact per `(format, format)` pair,
+//! instantiated at launch time for any processor count.
+//!
+//! The planner is already symbolic in the array extent — its periodic
+//! descriptors are closed-form, so planning cost is flat in `n`. This
+//! module makes the *registry* symbolic in `P` as well. A
+//! [`SymbolicPlan`] pins the P-free residue of a mapping pair (two
+//! [`hpfc_mapping::SymbolicFormat`]s, hash-consed into one
+//! [`FormatPair`]) and materializes concrete artifacts on demand:
+//! [`SymbolicPlan::instantiate`] rebuilds both concrete mappings in
+//! closed form at the requested `(p_src, p_dst, extent)` and evaluates
+//! the closed-form planner pipeline (plan → caterpillar schedule →
+//! stride-encoded [`crate::CopyProgram`]) at that point, caching the
+//! result per instantiation point. Because the rebuilt mappings are
+//! *exactly* the mappings direct normalization produces (the symbolic
+//! normalizer round-trips before admitting a format), every
+//! instantiated artifact is byte-for-byte the artifact direct
+//! compilation produces — pinned by `tests/proptest_symbolic.rs`.
+//!
+//! What this buys (and is pinned by the re-provisioning test): the
+//! [`crate::PlanRegistry`] keyed this way holds **O(format pairs)**
+//! entries instead of O(mapping pairs), and re-provisioning a fleet
+//! from `P = 16` to `P = 64` re-instantiates the same entries —
+//! `NetStats::plans_computed` stays 0 on the second launch; the cost is
+//! one closed-form instantiation per new `P`, billed to
+//! `NetStats::symbolic_instantiations` instead.
+//!
+//! The layer is opt-out (`HPFC_SYMBOLIC=off`, or
+//! [`crate::Machine::with_symbolic`]) and partial by design: shapes the
+//! symbolic normalizer declines (replication, constant alignments,
+//! multi-dimensional grids) fall back to the concrete per-mapping-pair
+//! keys, counted in `NetStats::symbolic_declines`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use hpfc_mapping::symbolic::FormatPair;
+use hpfc_mapping::Extents;
+
+use crate::redist::{plan_redistribution, RedistPlan};
+use crate::status::PlannedRemap;
+
+/// Whether symbolic plan keying is enabled by the environment
+/// (`HPFC_SYMBOLIC`, default **on**; only an explicit `off` / `0` /
+/// `false` / `no` disables it). Read per call — lowering consults it
+/// once per compiled program, and tests toggle it per process.
+pub fn enabled_from_env() -> bool {
+    crate::machine::symbolic_from_env()
+}
+
+/// What one symbolic registry lookup did, for the caller's
+/// [`crate::NetStats`] bookkeeping. Mirrors
+/// [`crate::registry::RegistryOutcome`] for the format-pair table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymbolicOutcome {
+    /// The format pair was already registered (the parametric plan was
+    /// served, not created).
+    pub hit: bool,
+    /// A registered parametric plan materialized a concrete artifact at
+    /// an instantiation point it had not seen before — the cheap
+    /// re-provisioning path (`NetStats::symbolic_instantiations`).
+    /// Always `false` when `hit` is `false`: the first materialization
+    /// of a fresh format pair is billed as an ordinary compile
+    /// (`registry_misses` + `plans_computed`), exactly like the
+    /// concrete keying scheme, so compile-once accounting stays
+    /// identical under both schemes.
+    pub instantiated: bool,
+    /// Poisoned locks recovered during this lookup.
+    pub lock_recoveries: u64,
+}
+
+/// A parametric remap plan: a `(format, format)` pair with `P` left
+/// free, plus the cache of concrete artifacts it has been instantiated
+/// to. One `SymbolicPlan` serves a whole family of launches — every
+/// processor count, one registry entry.
+pub struct SymbolicPlan {
+    /// The interned P-free formats (source, destination).
+    formats: FormatPair,
+    /// Element size the artifacts are compiled for.
+    elem_size: u64,
+    /// Concrete artifacts by instantiation point
+    /// `(p_src, p_dst, extent)`. Materialization happens under this
+    /// lock, so racing sessions instantiate each point exactly once.
+    instances: Mutex<BTreeMap<(u64, u64, u64), Arc<PlannedRemap>>>,
+}
+
+impl std::fmt::Debug for SymbolicPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicPlan")
+            .field("formats", &self.formats)
+            .field("elem_size", &self.elem_size)
+            .field("instances", &self.instances())
+            .finish()
+    }
+}
+
+impl SymbolicPlan {
+    /// A parametric plan over `formats` at `elem_size`, with no
+    /// instantiations yet.
+    pub fn new(formats: FormatPair, elem_size: u64) -> SymbolicPlan {
+        SymbolicPlan { formats, elem_size, instances: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The interned format pair this plan is parametric over.
+    pub fn formats(&self) -> &FormatPair {
+        &self.formats
+    }
+
+    /// Element size the plan's artifacts are compiled for.
+    pub fn elem_size(&self) -> u64 {
+        self.elem_size
+    }
+
+    /// Concrete instantiation points materialized so far.
+    pub fn instances(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Lock the instance cache, recovering a poisoned lock (state is a
+    /// map of immutable `Arc`s — a lost insertion re-materializes).
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<(u64, u64, u64), Arc<PlannedRemap>>> {
+        match self.instances.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.instances.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Materialize the concrete [`RedistPlan`] at `(p_src, p_dst,
+    /// extent)` — the launch-time instantiation of the ISSUE contract.
+    /// `None` when either format cannot be realized there (fewer than
+    /// two processors, alignment image out of bounds, or a placement
+    /// that degenerates to a single owner at that `P`).
+    pub fn instantiate(&self, p_src: u64, p_dst: u64, extent: u64) -> Option<RedistPlan> {
+        self.instantiate_planned(p_src, p_dst, extent).map(|(p, _)| p.plan.clone())
+    }
+
+    /// The full cached artifact (plan → schedule → program) at
+    /// `(p_src, p_dst, extent)`; the `bool` reports whether this call
+    /// materialized it (`false`: served from the instance cache,
+    /// allocation-free). Artifacts are byte-identical to direct
+    /// compilation: the rebuilt mappings equal the directly normalized
+    /// ones, hash-cons to the same interned pair, and feed the same
+    /// deterministic pipeline.
+    pub fn instantiate_planned(
+        &self,
+        p_src: u64,
+        p_dst: u64,
+        extent: u64,
+    ) -> Option<(Arc<PlannedRemap>, bool)> {
+        let key = (p_src, p_dst, extent);
+        let mut cache = self.lock();
+        if let Some(planned) = cache.get(&key) {
+            return Some((Arc::clone(planned), false));
+        }
+        let shape = Extents::new(&[extent]);
+        let src = self.formats.0.instantiate(p_src, &shape)?;
+        let dst = self.formats.1.instantiate(p_dst, &shape)?;
+        let planned =
+            Arc::new(PlannedRemap::compile(plan_redistribution(&src, &dst, self.elem_size)));
+        cache.insert(key, Arc::clone(&planned));
+        Some((planned, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpfc_mapping::testing::mapping_1d;
+    use hpfc_mapping::{format_pair, normalize_symbolic, DimFormat};
+
+    fn plan_for(n: u64, p: u64) -> (SymbolicPlan, u64, u64) {
+        let src = mapping_1d(n, p, DimFormat::Cyclic(Some(3)));
+        let dst = mapping_1d(n, p, DimFormat::Cyclic(None));
+        let (fs, ps) = normalize_symbolic(&src).unwrap();
+        let (fd, pd) = normalize_symbolic(&dst).unwrap();
+        (SymbolicPlan::new(format_pair(fs, fd), 8), ps, pd)
+    }
+
+    #[test]
+    fn instantiation_equals_direct_compilation() {
+        let n = 2016;
+        let (sym, _, _) = plan_for(n, 4);
+        for p in [2u64, 3, 7, 8, 16, 64] {
+            let direct = PlannedRemap::compile(plan_redistribution(
+                &mapping_1d(n, p, DimFormat::Cyclic(Some(3))),
+                &mapping_1d(n, p, DimFormat::Cyclic(None)),
+                8,
+            ));
+            let (inst, fresh) = sym.instantiate_planned(p, p, n).unwrap();
+            assert!(fresh);
+            assert_eq!(inst.plan, direct.plan, "plan differs at P={p}");
+            assert_eq!(inst.schedule, direct.schedule, "schedule differs at P={p}");
+            assert_eq!(inst.program, direct.program, "program differs at P={p}");
+        }
+        assert_eq!(sym.instances(), 6);
+    }
+
+    #[test]
+    fn instantiation_points_cache_one_artifact() {
+        let (sym, ps, pd) = plan_for(1024, 4);
+        let (a, fresh_a) = sym.instantiate_planned(ps, pd, 1024).unwrap();
+        let (b, fresh_b) = sym.instantiate_planned(ps, pd, 1024).unwrap();
+        assert!(fresh_a && !fresh_b);
+        assert!(Arc::ptr_eq(&a, &b), "cached instantiation must share the Arc");
+        assert_eq!(sym.instances(), 1);
+        // The ISSUE-shaped plan accessor serves the same cached point.
+        let plan = sym.instantiate(ps, pd, 1024).unwrap();
+        assert_eq!(plan, a.plan);
+    }
+
+    #[test]
+    fn unrealizable_points_decline() {
+        let (sym, _, _) = plan_for(1024, 4);
+        assert!(sym.instantiate_planned(1, 4, 1024).is_none(), "P=1 is never symbolic");
+        assert!(sym.instantiate_planned(4, 4, 4096).is_none(), "extent beyond the template");
+        assert_eq!(sym.instances(), 0, "declines cache nothing");
+    }
+}
